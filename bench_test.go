@@ -1,0 +1,134 @@
+package introspect_test
+
+// The benchmark harness: one testing.B benchmark per figure of the
+// paper's evaluation section. Each benchmark iteration regenerates the
+// figure's full data (all benchmarks × all analysis variants) and
+// reports aggregate work counts, so
+//
+//	go test -bench=Fig -benchmem
+//
+// reproduces the paper's evaluation end to end. For a single pass use
+// -benchtime=1x. cmd/introbench prints the same data as tables.
+
+import (
+	"testing"
+
+	"introspect/internal/figures"
+	"introspect/internal/introspect"
+	"introspect/internal/pta"
+	"introspect/internal/report"
+	"introspect/internal/suite"
+)
+
+var cfg = figures.Config{}
+
+// BenchmarkFig1 regenerates Figure 1: context-insensitive vs 2objH on
+// all nine benchmarks, one sub-benchmark per (benchmark, analysis).
+func BenchmarkFig1(b *testing.B) {
+	for _, bench := range suite.Names() {
+		for _, analysis := range []string{"insens", "2objH"} {
+			b.Run(bench+"/"+analysis, func(b *testing.B) {
+				benchFull(b, bench, analysis)
+			})
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates the Figure 4 selection statistics: the
+// insensitive pass plus both heuristics' selections per benchmark.
+func BenchmarkFig4(b *testing.B) {
+	for _, bench := range suite.Figure4Subjects() {
+		b.Run(bench, func(b *testing.B) {
+			prog, err := suite.Load(bench)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				first, err := pta.Analyze(prog, "insens", cfg.Opts())
+				if err != nil {
+					b.Fatal(err)
+				}
+				selA := introspect.Select(first, introspect.DefaultA())
+				selB := introspect.Select(first, introspect.DefaultB())
+				if i == 0 {
+					b.ReportMetric(selA.PctCallSites(), "callsA%")
+					b.ReportMetric(selB.PctCallSites(), "callsB%")
+					b.ReportMetric(selA.PctObjects(), "objsA%")
+					b.ReportMetric(selB.PctObjects(), "objsB%")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 (2objH variants).
+func BenchmarkFig5(b *testing.B) { benchFig(b, "2objH") }
+
+// BenchmarkFig6 regenerates Figure 6 (2typeH variants).
+func BenchmarkFig6(b *testing.B) { benchFig(b, "2typeH") }
+
+// BenchmarkFig7 regenerates Figure 7 (2callH variants).
+func BenchmarkFig7(b *testing.B) { benchFig(b, "2callH") }
+
+func benchFig(b *testing.B, deep string) {
+	for _, bench := range suite.ExperimentalSubjects() {
+		b.Run(bench+"/insens", func(b *testing.B) { benchFull(b, bench, "insens") })
+		b.Run(bench+"/"+deep+"-IntroA", func(b *testing.B) { benchIntro(b, bench, deep, introspect.DefaultA()) })
+		b.Run(bench+"/"+deep+"-IntroB", func(b *testing.B) { benchIntro(b, bench, deep, introspect.DefaultB()) })
+		b.Run(bench+"/"+deep, func(b *testing.B) { benchFull(b, bench, deep) })
+	}
+}
+
+func benchFull(b *testing.B, bench, analysis string) {
+	b.Helper()
+	prog, err := suite.Load(bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last *pta.Result
+	for i := 0; i < b.N; i++ {
+		res, err := pta.Analyze(prog, analysis, cfg.Opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportResult(b, last)
+}
+
+func benchIntro(b *testing.B, bench, deep string, h introspect.Heuristic) {
+	b.Helper()
+	prog, err := suite.Load(bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last *pta.Result
+	for i := 0; i < b.N; i++ {
+		run, err := introspect.Run(prog, deep, h, cfg.Opts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = run.Second
+	}
+	reportResult(b, last)
+}
+
+// reportResult attaches the figure's y-axis values to the benchmark
+// output: the work count (deterministic time proxy) and the three
+// precision metrics. A timeout (the paper's missing bars) is reported
+// as timeout=1.
+func reportResult(b *testing.B, res *pta.Result) {
+	b.Helper()
+	if res == nil {
+		return
+	}
+	b.ReportMetric(float64(res.Work), "work")
+	if res.TimedOut {
+		b.ReportMetric(1, "timeout")
+		return
+	}
+	p := report.Measure(res)
+	b.ReportMetric(float64(p.PolyVCalls), "polycalls")
+	b.ReportMetric(float64(p.ReachableMethods), "reachable")
+	b.ReportMetric(float64(p.MayFailCasts), "maycasts")
+}

@@ -1,0 +1,90 @@
+// Command minijavac compiles a Mini-Java source file to the analysis
+// IR and optionally runs a points-to analysis over it.
+//
+// Usage:
+//
+//	minijavac prog.mj                 # compile and dump the IR
+//	minijavac -analysis 2objH prog.mj # compile and analyze
+//	echo 'class Main {...}' | minijavac -   # read from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"introspect/internal/lang"
+	"introspect/internal/pta"
+	"introspect/internal/report"
+)
+
+func main() {
+	analysis := flag.String("analysis", "", "run an analysis after compiling (e.g. insens, 2objH)")
+	quiet := flag.Bool("q", false, "do not dump the IR")
+	emit := flag.String("emit", "", "write the program in textual IR format to this file")
+	format := flag.Bool("fmt", false, "print the formatted source instead of the IR dump")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minijavac [-analysis NAME] [-q] <file.mj | ->")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	var src []byte
+	var err error
+	if path == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minijavac:", err)
+		os.Exit(1)
+	}
+
+	if *format {
+		f, err := lang.Parse(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "minijavac:", err)
+			os.Exit(1)
+		}
+		fmt.Print(lang.Format(f))
+		return
+	}
+	prog, err := lang.Compile(path, string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minijavac:", err)
+		os.Exit(1)
+	}
+	if *emit != "" {
+		f, err := os.Create(*emit)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "minijavac:", err)
+			os.Exit(1)
+		}
+		if err := prog.WriteText(f); err != nil {
+			fmt.Fprintln(os.Stderr, "minijavac:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "minijavac:", err)
+			os.Exit(1)
+		}
+	}
+	if !*quiet {
+		prog.Dump(os.Stdout)
+	}
+	if *analysis == "" {
+		return
+	}
+	res, err := pta.Analyze(prog, *analysis, pta.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minijavac:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Stats())
+	p := report.Measure(res)
+	fmt.Printf("precision: polycalls=%d reachable=%d maycasts=%d\n",
+		p.PolyVCalls, p.ReachableMethods, p.MayFailCasts)
+}

@@ -1,0 +1,127 @@
+// Command pta runs a points-to analysis over a program — a suite
+// benchmark, a Mini-Java source file, or a textual IR file — and
+// prints cost and precision statistics.
+//
+// Usage:
+//
+//	pta -bench jython -analysis 2objH [-intro A|B] [-budget N]
+//	pta -mj prog.mj -analysis 2objH
+//	pta -ir prog.ir -analysis 2callH -intro B
+//
+// With -intro, the full introspective pipeline runs (insensitive pass,
+// heuristic selection, refined pass) and the selection statistics are
+// printed alongside the results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"introspect/internal/introspect"
+	"introspect/internal/ir"
+	"introspect/internal/lang"
+	"introspect/internal/pta"
+	"introspect/internal/report"
+	"introspect/internal/suite"
+)
+
+func main() {
+	bench := flag.String("bench", "", "suite benchmark name (e.g. jython); see -list")
+	mjFile := flag.String("mj", "", "Mini-Java source file to analyze")
+	irFile := flag.String("ir", "", "textual IR file to analyze")
+	analysis := flag.String("analysis", "insens", "analysis name: insens, 2objH, 2typeH, 2callH, 1call, ...")
+	intro := flag.String("intro", "", "introspective heuristic: A or B (requires a context-sensitive -analysis)")
+	budget := flag.Int64("budget", 0, "work budget (0 = default, <0 = unlimited)")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	dump := flag.Bool("dumpstats", false, "print program statistics only")
+	polysites := flag.Bool("polysites", false, "list polymorphic virtual call sites")
+	dist := flag.Bool("dist", false, "print the points-to set size distribution")
+	flag.Parse()
+
+	if *list {
+		for _, n := range suite.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	prog, err := loadProgram(*bench, *mjFile, *irFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pta:", err)
+		os.Exit(1)
+	}
+	if *dump {
+		fmt.Printf("%s: %s\n", prog.Name, prog.Stats())
+		return
+	}
+	opts := pta.Options{Budget: *budget}
+
+	var res *pta.Result
+	switch *intro {
+	case "":
+		res, err = pta.Analyze(prog, *analysis, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pta:", err)
+			os.Exit(1)
+		}
+	case "A", "B":
+		var h introspect.Heuristic = introspect.DefaultA()
+		if *intro == "B" {
+			h = introspect.DefaultB()
+		}
+		run, err := introspect.Run(prog, *analysis, h, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pta:", err)
+			os.Exit(1)
+		}
+		fmt.Println(run.Selection)
+		res = run.Second
+	default:
+		fmt.Fprintln(os.Stderr, "pta: -intro must be A or B")
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s: %s\n", prog.Name, prog.Stats())
+	fmt.Println(res.Stats())
+	p := report.Measure(res)
+	fmt.Printf("precision: polycalls=%d reachable=%d maycasts=%d\n",
+		p.PolyVCalls, p.ReachableMethods, p.MayFailCasts)
+	if *polysites {
+		for _, s := range report.PolySites(res) {
+			fmt.Println("poly:", s)
+		}
+	}
+	if *dist {
+		fmt.Print(report.MeasureDistribution(res))
+	}
+}
+
+// loadProgram resolves exactly one of the three program sources.
+func loadProgram(bench, mjFile, irFile string) (*ir.Program, error) {
+	n := 0
+	for _, s := range []string{bench, mjFile, irFile} {
+		if s != "" {
+			n++
+		}
+	}
+	if n != 1 {
+		return nil, fmt.Errorf("exactly one of -bench, -mj, -ir is required (try -list)")
+	}
+	switch {
+	case bench != "":
+		return suite.Load(bench)
+	case mjFile != "":
+		src, err := os.ReadFile(mjFile)
+		if err != nil {
+			return nil, err
+		}
+		return lang.Compile(mjFile, string(src))
+	default:
+		f, err := os.Open(irFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ir.ParseText(f)
+	}
+}

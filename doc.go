@@ -1,0 +1,21 @@
+// Package introspect is the root of a Go reproduction of
+// "Introspective Analysis: Context-Sensitivity, Across the Board"
+// (Smaragdakis, Kastrinis, Balatsouras — PLDI 2014).
+//
+// The repository implements the paper's whole stack from scratch:
+//
+//   - internal/ir — the analyzed intermediate representation;
+//   - internal/lang — a Mini-Java frontend that lowers to ir;
+//   - internal/pta — the context-sensitive points-to analysis with
+//     pluggable context constructors (RECORD/MERGE);
+//   - internal/introspect — the paper's contribution: cost metrics,
+//     Heuristics A and B, and the two-pass introspective driver;
+//   - internal/datalog + internal/dlpta — a Datalog engine evaluating
+//     the paper's Figure 3 rules, cross-checked against internal/pta;
+//   - internal/suite — synthetic DaCapo-like benchmarks;
+//   - internal/figures — regeneration of every evaluation figure.
+//
+// The root package holds no code; see README.md for a tour and
+// bench_test.go for the benchmark harness that regenerates the paper's
+// tables and figures via `go test -bench`.
+package introspect

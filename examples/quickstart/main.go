@@ -1,0 +1,78 @@
+// Quickstart: compile a small Mini-Java program, run a context-
+// insensitive and a 2-object-sensitive analysis, and inspect the
+// difference in points-to facts.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"introspect/internal/ir"
+	"introspect/internal/lang"
+	"introspect/internal/pta"
+	"introspect/internal/report"
+)
+
+const src = `
+class Box {
+  Object item;
+  void put(Object x) { this.item = x; }
+  Object get() { return this.item; }
+}
+class Apple { }
+class Orange { }
+class Main {
+  static void main() {
+    Box a = new Box();
+    Box b = new Box();
+    a.put(new Apple());
+    b.put(new Orange());
+    Object fromA = a.get();   // really an Apple
+    Orange o = (Orange) b.get();
+    print(fromA);
+    print(o);
+  }
+}`
+
+func main() {
+	prog, err := lang.Compile("quickstart", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("program:", prog.Stats())
+
+	for _, analysis := range []string{"insens", "2objH"} {
+		res, err := pta.Analyze(prog, analysis, pta.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n== %s ==\n", analysis)
+		fmt.Println(res.Stats())
+
+		// What may fromA point to?
+		for v := 0; v < prog.NumVars(); v++ {
+			vv := ir.VarID(v)
+			if prog.Vars[v].Name != "fromA" {
+				continue
+			}
+			fmt.Printf("pt(%s) = {", prog.VarName(vv))
+			first := true
+			res.VarHeaps(vv).ForEach(func(h int32) {
+				if !first {
+					fmt.Print(", ")
+				}
+				first = false
+				fmt.Print(prog.TypeName(prog.HeapType(ir.HeapID(h))))
+			})
+			fmt.Println("}")
+		}
+
+		p := report.Measure(res)
+		fmt.Printf("precision: %d polymorphic calls, %d reachable methods, %d casts that may fail\n",
+			p.PolyVCalls, p.ReachableMethods, p.MayFailCasts)
+	}
+	fmt.Println("\nWith 2objH the two boxes are separated: fromA is exactly an Apple,")
+	fmt.Println("and the (Orange) cast is proven safe.")
+}

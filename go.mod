@@ -1,0 +1,3 @@
+module introspect
+
+go 1.22

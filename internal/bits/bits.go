@@ -1,0 +1,173 @@
+// Package bits provides a growable bitset used for points-to sets.
+//
+// The solver in internal/pta identifies every context-qualified heap
+// object with a small dense integer, so points-to sets are sets of small
+// ints. Set is a thin, allocation-conscious wrapper around a []uint64
+// that supports the operations the solver needs: insert, membership,
+// difference-aware union, iteration, and cardinality.
+package bits
+
+import "math/bits"
+
+const wordBits = 64
+
+// Set is a growable bitset. The zero value is an empty set ready to use.
+type Set struct {
+	words []uint64
+}
+
+// Add inserts x and reports whether the set changed.
+func (s *Set) Add(x int32) bool {
+	w := int(x) / wordBits
+	if w >= len(s.words) {
+		s.grow(w + 1)
+	}
+	mask := uint64(1) << (uint(x) % wordBits)
+	if s.words[w]&mask != 0 {
+		return false
+	}
+	s.words[w] |= mask
+	return true
+}
+
+// Has reports whether x is in the set.
+func (s *Set) Has(x int32) bool {
+	w := int(x) / wordBits
+	if w >= len(s.words) {
+		return false
+	}
+	return s.words[w]&(uint64(1)<<(uint(x)%wordBits)) != 0
+}
+
+// Remove deletes x and reports whether the set changed.
+func (s *Set) Remove(x int32) bool {
+	w := int(x) / wordBits
+	if w >= len(s.words) {
+		return false
+	}
+	mask := uint64(1) << (uint(x) % wordBits)
+	if s.words[w]&mask == 0 {
+		return false
+	}
+	s.words[w] &^= mask
+	return true
+}
+
+// Len returns the number of elements in the set.
+func (s *Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements but keeps the backing storage.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// UnionInto adds every element of src to s and appends each newly added
+// element to delta. It returns the extended delta slice. This is the
+// solver's difference-propagation primitive.
+func (s *Set) UnionInto(src *Set, delta []int32) []int32 {
+	if len(src.words) > len(s.words) {
+		s.grow(len(src.words))
+	}
+	for i, sw := range src.words {
+		diff := sw &^ s.words[i]
+		if diff == 0 {
+			continue
+		}
+		s.words[i] |= diff
+		base := int32(i * wordBits)
+		for diff != 0 {
+			b := bits.TrailingZeros64(diff)
+			delta = append(delta, base+int32(b))
+			diff &^= 1 << uint(b)
+		}
+	}
+	return delta
+}
+
+// Union adds every element of src to s and reports whether s changed.
+func (s *Set) Union(src *Set) bool {
+	if len(src.words) > len(s.words) {
+		s.grow(len(src.words))
+	}
+	changed := false
+	for i, sw := range src.words {
+		if sw&^s.words[i] != 0 {
+			s.words[i] |= sw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ForEach calls fn for each element in ascending order.
+func (s *Set) ForEach(fn func(int32)) {
+	for i, w := range s.words {
+		base := int32(i * wordBits)
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(base + int32(b))
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Elems returns the elements in ascending order as a fresh slice.
+func (s *Set) Elems() []int32 {
+	out := make([]int32, 0, s.Len())
+	s.ForEach(func(x int32) { out = append(out, x) })
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Equal reports whether s and o contain the same elements.
+func (s *Set) Equal(o *Set) bool {
+	longer, shorter := s.words, o.words
+	if len(shorter) > len(longer) {
+		longer, shorter = shorter, longer
+	}
+	for i, w := range shorter {
+		if w != longer[i] {
+			return false
+		}
+	}
+	for _, w := range longer[len(shorter):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Set) grow(n int) {
+	if cap(s.words) >= n {
+		s.words = s.words[:n]
+		return
+	}
+	nw := make([]uint64, n, n+n/2+4)
+	copy(nw, s.words)
+	s.words = nw
+}

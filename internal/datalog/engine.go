@@ -1,0 +1,185 @@
+// Package datalog implements a small, self-contained Datalog engine:
+// textual rules, stratified negation, count aggregation, constructor
+// builtins, and bottom-up semi-naive evaluation with automatic
+// indexing.
+//
+// The engine exists because the paper specifies its analyses as
+// Datalog programs (run on the commercial LogicBlox engine in the
+// original artifact). internal/dlpta encodes the paper's Figure 3
+// rule set for this engine and cross-checks the results against the
+// native solver of internal/pta.
+//
+// Values are interned int32 symbols (see Universe). Rules follow the
+// conventions of the paper: relations are capitalized, variables are
+// lower-case, `!` is stratified negation, `x = fn(a, b)` calls a
+// registered builtin (used for the RECORD/MERGE context constructors),
+// and `count n : Atom(...)` aggregates.
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Universe interns symbols to dense int32 values.
+type Universe struct {
+	syms []string
+	idx  map[string]int32
+}
+
+// NewUniverse returns an empty universe.
+func NewUniverse() *Universe {
+	return &Universe{idx: make(map[string]int32)}
+}
+
+// Sym interns a symbol.
+func (u *Universe) Sym(s string) int32 {
+	if v, ok := u.idx[s]; ok {
+		return v
+	}
+	v := int32(len(u.syms))
+	u.syms = append(u.syms, s)
+	u.idx[s] = v
+	return v
+}
+
+// Int interns an integer constant.
+func (u *Universe) Int(i int64) int32 { return u.Sym(strconv.FormatInt(i, 10)) }
+
+// Name returns the symbol text of a value.
+func (u *Universe) Name(v int32) string {
+	if v < 0 || int(v) >= len(u.syms) {
+		return fmt.Sprintf("?%d", v)
+	}
+	return u.syms[v]
+}
+
+// Len returns the number of interned symbols.
+func (u *Universe) Len() int { return len(u.syms) }
+
+// Builtin is a registered function callable from rule bodies as
+// `out = name(args...)`. It returns the output value and whether the
+// call succeeded (failure kills the binding, like a failed join).
+type Builtin struct {
+	Arity int
+	Fn    func(args []int32) (int32, bool)
+}
+
+// Engine holds relations, rules, and builtins.
+type Engine struct {
+	U *Universe
+
+	rels     map[string]*Relation
+	rules    []*Rule
+	builtins map[string]Builtin
+	prov     map[string]provEntry
+}
+
+// NewEngine returns an empty engine with a fresh universe.
+func NewEngine() *Engine {
+	return &Engine{
+		U:        NewUniverse(),
+		rels:     make(map[string]*Relation),
+		builtins: make(map[string]Builtin),
+	}
+}
+
+// Relation returns the named relation, creating it with the given
+// arity on first use. It panics on an arity mismatch — rule parsing
+// reports those as errors before evaluation.
+func (e *Engine) Relation(name string, arity int) *Relation {
+	if r, ok := e.rels[name]; ok {
+		if r.arity != arity {
+			panic(fmt.Sprintf("datalog: relation %s used with arity %d and %d", name, r.arity, arity))
+		}
+		return r
+	}
+	r := newRelation(name, arity)
+	e.rels[name] = r
+	return r
+}
+
+// Rel returns the named relation, or nil if it was never used.
+func (e *Engine) Rel(name string) *Relation { return e.rels[name] }
+
+// AddFact inserts a tuple into a relation (creating it on first use).
+func (e *Engine) AddFact(name string, args ...int32) {
+	e.Relation(name, len(args)).insert(args)
+}
+
+// Register installs a builtin function.
+func (e *Engine) Register(name string, arity int, fn func(args []int32) (int32, bool)) {
+	e.builtins[name] = Builtin{Arity: arity, Fn: fn}
+}
+
+// AddRules parses rule text and adds the rules. Facts in the text
+// (clauses with no body) are inserted directly.
+func (e *Engine) AddRules(text string) error {
+	rules, err := parseRules(e, text)
+	if err != nil {
+		return err
+	}
+	e.rules = append(e.rules, rules...)
+	return nil
+}
+
+// Run evaluates all rules to fixpoint. It returns an error if the
+// rules cannot be stratified (negation or aggregation in a recursive
+// cycle) or if a rule is unsafe.
+func (e *Engine) Run() error {
+	strata, err := stratify(e)
+	if err != nil {
+		return err
+	}
+	for _, s := range strata {
+		if err := e.evalStratum(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the engine state for diagnostics.
+func (e *Engine) Stats() string {
+	total := 0
+	for _, r := range e.rels {
+		total += r.Len()
+	}
+	return fmt.Sprintf("datalog: %d relations, %d rules, %d tuples, %d symbols",
+		len(e.rels), len(e.rules), total, e.U.Len())
+}
+
+// Query evaluates a one-shot rule against the current (already
+// computed) relations and returns the head tuples. The rule text is
+// standard rule syntax whose head predicate must be FRESH (not an
+// existing relation); it is evaluated once, non-recursively, against
+// the relations as they stand — negation means "not currently derived".
+//
+//	rows, err := e.Query(`Q(v, h) :- VarPointsTo(v, _, h, _), !Special(h).`)
+//
+// The temporary head relation is discarded afterwards; Query does not
+// change the engine state (beyond interning symbols).
+func (e *Engine) Query(rule string) ([][]int32, error) {
+	rules, err := parseRules(e, rule)
+	if err != nil {
+		return nil, err
+	}
+	if len(rules) != 1 {
+		return nil, fmt.Errorf("datalog: Query wants exactly one rule, got %d", len(rules))
+	}
+	r := rules[0]
+	head := e.rels[r.Head.Pred]
+	if head.Len() > 0 {
+		delete(e.rels, r.Head.Pred)
+		return nil, fmt.Errorf("datalog: Query head %s must be a fresh predicate", r.Head.Pred)
+	}
+	defer delete(e.rels, r.Head.Pred)
+	if err := e.evalRule(r, -1, 0, 0); err != nil {
+		return nil, err
+	}
+	var out [][]int32
+	head.ForEach(func(t []int32) {
+		out = append(out, append([]int32(nil), t...))
+	})
+	return out, nil
+}

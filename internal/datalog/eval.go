@@ -1,0 +1,487 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// stratum is a set of mutually recursive predicates plus the rules
+// defining them.
+type stratum struct {
+	preds map[string]bool
+	rules []*Rule
+}
+
+// stratify computes the evaluation order: strongly connected
+// components of the predicate dependency graph in topological order,
+// with the requirement that negated and aggregated predicates are
+// fully computed in earlier strata.
+func stratify(e *Engine) ([]*stratum, error) {
+	// Dependency edges: head -> body predicate (true if negative).
+	type edge struct {
+		to  string
+		neg bool
+	}
+	edges := map[string][]edge{}
+	preds := map[string]bool{}
+	for _, r := range e.rules {
+		preds[r.Head.Pred] = true
+		for _, it := range r.Items {
+			switch it.kind {
+			case itemPos:
+				preds[it.atom.Pred] = true
+				edges[r.Head.Pred] = append(edges[r.Head.Pred], edge{to: it.atom.Pred})
+			case itemNeg, itemAgg:
+				preds[it.atom.Pred] = true
+				edges[r.Head.Pred] = append(edges[r.Head.Pred], edge{to: it.atom.Pred, neg: true})
+			}
+		}
+	}
+
+	// Tarjan SCC.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	comp := map[string]int{}
+	nComp := 0
+	counter := 0
+	var strong func(v string)
+	strong = func(v string) {
+		counter++
+		index[v] = counter
+		low[v] = counter
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, e := range edges[v] {
+			w := e.to
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = nComp
+				if w == v {
+					break
+				}
+			}
+			nComp++
+		}
+	}
+	names := make([]string, 0, len(preds))
+	for p := range preds {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	for _, p := range names {
+		if _, seen := index[p]; !seen {
+			strong(p)
+		}
+	}
+
+	// Negative edges inside one component are illegal.
+	for from, es := range edges {
+		for _, e := range es {
+			if e.neg && comp[from] == comp[e.to] {
+				return nil, fmt.Errorf("datalog: predicate %s depends negatively on %s within a recursive cycle", from, e.to)
+			}
+		}
+	}
+
+	// Tarjan emits components in reverse topological order of the
+	// dependency direction head->body, which is exactly
+	// evaluate-bodies-first order.
+	strata := make([]*stratum, nComp)
+	for i := range strata {
+		strata[i] = &stratum{preds: map[string]bool{}}
+	}
+	for p, cIdx := range comp {
+		strata[cIdx].preds[p] = true
+	}
+	for _, r := range e.rules {
+		s := strata[comp[r.Head.Pred]]
+		s.rules = append(s.rules, r)
+	}
+	return strata, nil
+}
+
+// evalStratum evaluates one stratum to fixpoint.
+func (e *Engine) evalStratum(s *stratum) error {
+	var nonRec, rec []*Rule
+	for _, r := range s.rules {
+		recursive := false
+		for _, it := range r.Items {
+			if it.kind == itemPos && s.preds[it.atom.Pred] {
+				recursive = true
+				break
+			}
+		}
+		if recursive {
+			rec = append(rec, r)
+		} else {
+			nonRec = append(nonRec, r)
+		}
+	}
+
+	// Non-recursive rules run once over full relations.
+	for _, r := range nonRec {
+		if err := e.evalRule(r, -1, 0, 0); err != nil {
+			return err
+		}
+	}
+	if len(rec) == 0 {
+		return nil
+	}
+
+	// Semi-naive iteration: evaluate each recursive rule once per
+	// recursive atom position, restricting that atom to the delta of
+	// the previous round.
+	prev := map[string]int{}
+	for p := range s.preds {
+		prev[p] = 0 // everything is "new" in round one
+	}
+	for {
+		cur := map[string]int{}
+		for p := range s.preds {
+			if r := e.rels[p]; r != nil {
+				cur[p] = r.snapshotLen()
+			}
+		}
+		changed := false
+		for _, r := range rec {
+			for i, it := range r.Items {
+				if it.kind != itemPos || !s.preds[it.atom.Pred] {
+					continue
+				}
+				rel := e.rels[it.atom.Pred]
+				lo := prev[it.atom.Pred]
+				hi := cur[it.atom.Pred]
+				if rel == nil || lo >= hi {
+					continue
+				}
+				before := e.rels[r.Head.Pred].Len()
+				if err := e.evalRule(r, i, lo, hi); err != nil {
+					return err
+				}
+				if e.rels[r.Head.Pred].Len() > before {
+					changed = true
+				}
+			}
+		}
+		for p, n := range cur {
+			prev[p] = n
+		}
+		// New tuples may have been added during this round (they will
+		// be the next round's delta).
+		if !changed {
+			grown := false
+			for p := range s.preds {
+				if r := e.rels[p]; r != nil && r.snapshotLen() > prev[p] {
+					grown = true
+				}
+			}
+			if !grown {
+				return nil
+			}
+		}
+	}
+}
+
+// planOrder chooses an evaluation order for the rule body: the delta
+// atom (if any) first, then greedily the item with the most bound
+// arguments among those whose prerequisites are satisfied. Negations
+// and builtins wait until their variables are bound; aggregation goes
+// last.
+func (e *Engine) planOrder(r *Rule, deltaIdx int) ([]int, error) {
+	placed := make([]bool, len(r.Items))
+	bound := make([]bool, r.NVars)
+	var order []int
+
+	bindItem := func(it item) {
+		switch it.kind {
+		case itemPos:
+			for _, t := range it.atom.Args {
+				if t.IsVar {
+					bound[t.Val] = true
+				}
+			}
+		case itemBuiltin, itemAgg:
+			bound[it.out] = true
+		}
+	}
+	ready := func(it item) bool {
+		switch it.kind {
+		case itemPos:
+			return true
+		case itemNeg:
+			for _, t := range it.atom.Args {
+				if t.IsVar && !bound[t.Val] {
+					return false
+				}
+			}
+			return true
+		case itemBuiltin:
+			for _, t := range it.args {
+				if t.IsVar && !bound[t.Val] {
+					return false
+				}
+			}
+			return true
+		case itemAgg:
+			// Aggregates wait until every other item is placed.
+			for i := range r.Items {
+				if !placed[i] && r.Items[i].kind != itemAgg {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	score := func(it item) int {
+		if it.kind != itemPos {
+			return 1 << 20 // run filters as early as they are ready
+		}
+		n := 0
+		for _, t := range it.atom.Args {
+			if !t.IsVar || bound[t.Val] {
+				n++
+			}
+		}
+		return n
+	}
+
+	if deltaIdx >= 0 {
+		placed[deltaIdx] = true
+		order = append(order, deltaIdx)
+		bindItem(r.Items[deltaIdx])
+	}
+	for len(order) < len(r.Items) {
+		best := -1
+		bestScore := -1
+		for i, it := range r.Items {
+			if placed[i] || !ready(it) {
+				continue
+			}
+			if s := score(it); s > bestScore {
+				best = i
+				bestScore = s
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("datalog: cannot order body of rule: %s", r.Text)
+		}
+		placed[best] = true
+		order = append(order, best)
+		bindItem(r.Items[best])
+	}
+	return order, nil
+}
+
+// bindTuple matches tuple t against atom a under the current bindings,
+// appending newly bound variable indices to journal. On mismatch it
+// rolls back its own bindings and reports false.
+func bindTuple(a Atom, t []int32, env []int32, bound []bool, journal []int32) ([]int32, bool) {
+	start := len(journal)
+	for i, arg := range a.Args {
+		if !arg.IsVar {
+			if t[i] != arg.Val {
+				goto mismatch
+			}
+			continue
+		}
+		if bound[arg.Val] {
+			if env[arg.Val] != t[i] {
+				goto mismatch
+			}
+			continue
+		}
+		env[arg.Val] = t[i]
+		bound[arg.Val] = true
+		journal = append(journal, arg.Val)
+	}
+	return journal, true
+mismatch:
+	for _, v := range journal[start:] {
+		bound[v] = false
+	}
+	return journal[:start], false
+}
+
+// evalRule joins the rule body and inserts head tuples. If deltaIdx
+// >= 0, the positive atom at that body position is restricted to
+// tuples [lo, hi) of its relation (semi-naive delta).
+func (e *Engine) evalRule(r *Rule, deltaIdx, lo, hi int) error {
+	order, err := e.planOrder(r, deltaIdx)
+	if err != nil {
+		return err
+	}
+	env := make([]int32, r.NVars)
+	bound := make([]bool, r.NVars)
+	head := e.rels[r.Head.Pred]
+	headTuple := make([]int32, len(r.Head.Args))
+
+	var step func(k int)
+	step = func(k int) {
+		if k == len(order) {
+			for i, t := range r.Head.Args {
+				if t.IsVar {
+					headTuple[i] = env[t.Val]
+				} else {
+					headTuple[i] = t.Val
+				}
+			}
+			if head.insert(headTuple) && e.prov != nil {
+				e.recordDerivation(r, headTuple, env)
+			}
+			return
+		}
+		it := r.Items[order[k]]
+		switch it.kind {
+		case itemPos:
+			rel := e.rels[it.atom.Pred]
+			if rel == nil || rel.Len() == 0 {
+				return
+			}
+			iter := func(tu []int32) {
+				j, ok := bindTuple(it.atom, tu, env, bound, nil)
+				if !ok {
+					return
+				}
+				step(k + 1)
+				for _, v := range j {
+					bound[v] = false
+				}
+			}
+			if order[k] == deltaIdx {
+				for off := lo * rel.arity; off < hi*rel.arity; off += rel.arity {
+					iter(rel.data[off : off+rel.arity])
+				}
+				return
+			}
+			var mask uint32
+			probe := make([]int32, rel.arity)
+			for i, t := range it.atom.Args {
+				if !t.IsVar {
+					mask |= 1 << uint(i)
+					probe[i] = t.Val
+				} else if bound[t.Val] {
+					mask |= 1 << uint(i)
+					probe[i] = env[t.Val]
+				}
+			}
+			if mask == 0 {
+				for off := 0; off < len(rel.data); off += rel.arity {
+					iter(rel.data[off : off+rel.arity])
+				}
+				return
+			}
+			for _, off := range rel.lookup(mask, probe) {
+				iter(rel.tupleAt(off))
+			}
+
+		case itemNeg:
+			rel := e.rels[it.atom.Pred]
+			tu := make([]int32, len(it.atom.Args))
+			for i, a := range it.atom.Args {
+				if a.IsVar {
+					tu[i] = env[a.Val]
+				} else {
+					tu[i] = a.Val
+				}
+			}
+			if rel == nil || !rel.Has(tu) {
+				step(k + 1)
+			}
+
+		case itemBuiltin:
+			b := e.builtins[it.fn]
+			in := make([]int32, len(it.args))
+			for i, a := range it.args {
+				if a.IsVar {
+					in[i] = env[a.Val]
+				} else {
+					in[i] = a.Val
+				}
+			}
+			out, ok := b.Fn(in)
+			if !ok {
+				return
+			}
+			if bound[it.out] {
+				if env[it.out] == out {
+					step(k + 1)
+				}
+				return
+			}
+			env[it.out] = out
+			bound[it.out] = true
+			step(k + 1)
+			bound[it.out] = false
+
+		case itemAgg:
+			count := e.countMatches(it.atom, env, bound)
+			out := e.U.Int(int64(count))
+			if bound[it.out] {
+				if env[it.out] == out {
+					step(k + 1)
+				}
+				return
+			}
+			env[it.out] = out
+			bound[it.out] = true
+			step(k + 1)
+			bound[it.out] = false
+		}
+	}
+	step(0)
+	return nil
+}
+
+// countMatches counts tuples of the aggregation atom consistent with
+// the current bindings.
+func (e *Engine) countMatches(a Atom, env []int32, bound []bool) int {
+	rel := e.rels[a.Pred]
+	if rel == nil {
+		return 0
+	}
+	var mask uint32
+	probe := make([]int32, rel.arity)
+	for i, t := range a.Args {
+		if !t.IsVar {
+			mask |= 1 << uint(i)
+			probe[i] = t.Val
+		} else if bound[t.Val] {
+			mask |= 1 << uint(i)
+			probe[i] = env[t.Val]
+		}
+	}
+	count := 0
+	tally := func(tu []int32) {
+		j, ok := bindTuple(a, tu, env, bound, nil)
+		if !ok {
+			return
+		}
+		count++
+		for _, v := range j {
+			bound[v] = false
+		}
+	}
+	if mask == 0 {
+		rel.ForEach(tally)
+		return count
+	}
+	for _, off := range rel.lookup(mask, probe) {
+		tally(rel.tupleAt(off))
+	}
+	return count
+}

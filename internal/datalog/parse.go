@@ -1,0 +1,456 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Term is a rule argument: a constant value or a rule-local variable
+// index.
+type Term struct {
+	IsVar bool
+	Val   int32 // constant value, or variable index when IsVar
+}
+
+// Atom is Pred(Args...).
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// itemKind classifies body items.
+type itemKind uint8
+
+const (
+	itemPos itemKind = iota
+	itemNeg
+	itemBuiltin
+	itemAgg
+)
+
+// item is one body element.
+type item struct {
+	kind itemKind
+	atom Atom   // itemPos, itemNeg, itemAgg
+	fn   string // itemBuiltin
+	args []Term // itemBuiltin inputs
+	out  int32  // itemBuiltin / itemAgg output variable index
+}
+
+// Rule is Head :- body.
+type Rule struct {
+	Head  Atom
+	Items []item
+	NVars int
+	Text  string
+}
+
+// --- rule lexer ---
+
+type rtoken struct {
+	kind byte // 'i' ident, 'n' number, 'q' quoted, or the punctuation byte; 0 = EOF
+	text string
+	line int
+}
+
+func lexRules(src string) ([]rtoken, error) {
+	var toks []rtoken
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#': // comment to end of line
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			start := i
+			for i < len(src) && (src[i] == '_' || src[i] >= 'a' && src[i] <= 'z' ||
+				src[i] >= 'A' && src[i] <= 'Z' || src[i] >= '0' && src[i] <= '9') {
+				i++
+			}
+			toks = append(toks, rtoken{kind: 'i', text: src[start:i], line: line})
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			start := i
+			i++
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			toks = append(toks, rtoken{kind: 'n', text: src[start:i], line: line})
+		case c == '\'' || c == '"':
+			q := c
+			i++
+			start := i
+			for i < len(src) && src[i] != q && src[i] != '\n' {
+				i++
+			}
+			if i >= len(src) || src[i] != q {
+				return nil, fmt.Errorf("datalog: line %d: unterminated quoted symbol", line)
+			}
+			toks = append(toks, rtoken{kind: 'q', text: src[start:i], line: line})
+			i++
+		case c == ':' && i+1 < len(src) && src[i+1] == '-':
+			toks = append(toks, rtoken{kind: '-', text: ":-", line: line})
+			i += 2
+		case strings.IndexByte("(),.!=:", c) >= 0:
+			toks = append(toks, rtoken{kind: c, text: string(c), line: line})
+			i++
+		default:
+			return nil, fmt.Errorf("datalog: line %d: unexpected character %q", line, string(c))
+		}
+	}
+	toks = append(toks, rtoken{kind: 0, line: line})
+	return toks, nil
+}
+
+// --- rule parser ---
+
+type ruleParser struct {
+	e    *Engine
+	toks []rtoken
+	pos  int
+
+	vars map[string]int32
+	n    int32
+}
+
+func parseRules(e *Engine, src string) ([]*Rule, error) {
+	toks, err := lexRules(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &ruleParser{e: e, toks: toks}
+	var rules []*Rule
+	for p.peek().kind != 0 {
+		r, err := p.clause()
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			rules = append(rules, r)
+		}
+	}
+	// Declare head relations so strata include rules whose relations
+	// have no facts yet, and validate arities (a mismatch in rule text
+	// is a parse error, not a crash).
+	check := func(pred string, arity int, text string) error {
+		if r, ok := e.rels[pred]; ok && r.arity != arity {
+			return fmt.Errorf("datalog: relation %s used with arity %d and %d in: %s",
+				pred, r.arity, arity, text)
+		}
+		e.Relation(pred, arity)
+		return nil
+	}
+	for _, r := range rules {
+		if err := check(r.Head.Pred, len(r.Head.Args), r.Text); err != nil {
+			return nil, err
+		}
+		for _, it := range r.Items {
+			if it.kind == itemPos || it.kind == itemNeg || it.kind == itemAgg {
+				if err := check(it.atom.Pred, len(it.atom.Args), r.Text); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return rules, nil
+}
+
+func (p *ruleParser) peek() rtoken { return p.toks[p.pos] }
+
+func (p *ruleParser) next() rtoken {
+	t := p.toks[p.pos]
+	if t.kind != 0 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *ruleParser) expect(kind byte, what string) (rtoken, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("datalog: line %d: expected %s, found %q", t.line, what, t.text)
+	}
+	return t, nil
+}
+
+func isVarName(s string) bool {
+	c := s[0]
+	return c == '_' || c >= 'a' && c <= 'z'
+}
+
+func (p *ruleParser) varIndex(name string) int32 {
+	if name == "_" {
+		v := p.n
+		p.n++
+		return v
+	}
+	if v, ok := p.vars[name]; ok {
+		return v
+	}
+	v := p.n
+	p.n++
+	p.vars[name] = v
+	return v
+}
+
+// term parses a constant or variable.
+func (p *ruleParser) term() (Term, error) {
+	t := p.next()
+	switch t.kind {
+	case 'i':
+		if isVarName(t.text) {
+			return Term{IsVar: true, Val: p.varIndex(t.text)}, nil
+		}
+		// Uppercase identifier in term position: symbolic constant.
+		return Term{Val: p.e.U.Sym(t.text)}, nil
+	case 'n':
+		return Term{Val: p.e.U.Sym(t.text)}, nil
+	case 'q':
+		return Term{Val: p.e.U.Sym(t.text)}, nil
+	}
+	return Term{}, fmt.Errorf("datalog: line %d: expected a term, found %q", t.line, t.text)
+}
+
+// atom parses Pred(args...). The predicate name must be capitalized.
+func (p *ruleParser) atom() (Atom, error) {
+	name, err := p.expect('i', "a predicate name")
+	if err != nil {
+		return Atom{}, err
+	}
+	if isVarName(name.text) {
+		return Atom{}, fmt.Errorf("datalog: line %d: predicate %q must be capitalized", name.line, name.text)
+	}
+	if _, err := p.expect('(', "'('"); err != nil {
+		return Atom{}, err
+	}
+	var args []Term
+	for p.peek().kind != ')' {
+		if len(args) > 0 {
+			if _, err := p.expect(',', "','"); err != nil {
+				return Atom{}, err
+			}
+		}
+		t, err := p.term()
+		if err != nil {
+			return Atom{}, err
+		}
+		args = append(args, t)
+	}
+	p.next() // ')'
+	return Atom{Pred: name.text, Args: args}, nil
+}
+
+// clause parses one fact or rule ending in '.'.
+func (p *ruleParser) clause() (*Rule, error) {
+	p.vars = map[string]int32{}
+	p.n = 0
+	start := p.pos
+
+	head, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	r := &Rule{Head: head}
+
+	if p.peek().kind == '.' {
+		p.next()
+		// Ground fact. Arity mismatches with an existing relation are
+		// parse errors, not crashes.
+		if rel, ok := p.e.rels[head.Pred]; ok && rel.arity != len(head.Args) {
+			return nil, fmt.Errorf("datalog: fact %s has arity %d but the relation has arity %d",
+				head.Pred, len(head.Args), rel.arity)
+		}
+		tuple := make([]int32, len(head.Args))
+		for i, a := range head.Args {
+			if a.IsVar {
+				return nil, fmt.Errorf("datalog: fact %s has a variable argument", head.Pred)
+			}
+			tuple[i] = a.Val
+		}
+		p.e.AddFact(head.Pred, tuple...)
+		return nil, nil
+	}
+	if _, err := p.expect('-', "':-' or '.'"); err != nil {
+		return nil, err
+	}
+	for {
+		it, err := p.bodyItem()
+		if err != nil {
+			return nil, err
+		}
+		r.Items = append(r.Items, it)
+		t := p.next()
+		if t.kind == '.' {
+			break
+		}
+		if t.kind != ',' {
+			return nil, fmt.Errorf("datalog: line %d: expected ',' or '.', found %q", t.line, t.text)
+		}
+	}
+	r.NVars = int(p.n)
+	r.Text = p.textOf(start)
+	if err := p.checkSafety(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (p *ruleParser) textOf(start int) string {
+	var sb strings.Builder
+	for i := start; i < p.pos && i < len(p.toks); i++ {
+		if i > start {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(p.toks[i].text)
+	}
+	return sb.String()
+}
+
+func (p *ruleParser) bodyItem() (item, error) {
+	t := p.peek()
+	switch {
+	case t.kind == '!':
+		p.next()
+		a, err := p.atom()
+		if err != nil {
+			return item{}, err
+		}
+		return item{kind: itemNeg, atom: a}, nil
+
+	case t.kind == 'i' && t.text == "count":
+		// count n : Atom(...)
+		p.next()
+		v, err := p.expect('i', "an aggregation variable")
+		if err != nil {
+			return item{}, err
+		}
+		if !isVarName(v.text) {
+			return item{}, fmt.Errorf("datalog: line %d: aggregation output must be a variable", v.line)
+		}
+		if _, err := p.expect(':', "':'"); err != nil {
+			return item{}, err
+		}
+		a, err := p.atom()
+		if err != nil {
+			return item{}, err
+		}
+		return item{kind: itemAgg, atom: a, out: p.varIndex(v.text)}, nil
+
+	case t.kind == 'i' && isVarName(t.text) && p.toks[p.pos+1].kind == '=':
+		// out = fn(args...)
+		p.next()
+		out := p.varIndex(t.text)
+		p.next() // '='
+		fn, err := p.expect('i', "a builtin name")
+		if err != nil {
+			return item{}, err
+		}
+		if _, err := p.expect('(', "'('"); err != nil {
+			return item{}, err
+		}
+		var args []Term
+		for p.peek().kind != ')' {
+			if len(args) > 0 {
+				if _, err := p.expect(',', "','"); err != nil {
+					return item{}, err
+				}
+			}
+			a, err := p.term()
+			if err != nil {
+				return item{}, err
+			}
+			args = append(args, a)
+		}
+		p.next() // ')'
+		b, ok := p.e.builtins[fn.text]
+		if !ok {
+			return item{}, fmt.Errorf("datalog: line %d: unknown builtin %q", fn.line, fn.text)
+		}
+		if b.Arity != len(args) {
+			return item{}, fmt.Errorf("datalog: line %d: builtin %q takes %d arguments, got %d",
+				fn.line, fn.text, b.Arity, len(args))
+		}
+		return item{kind: itemBuiltin, fn: fn.text, args: args, out: out}, nil
+
+	default:
+		a, err := p.atom()
+		if err != nil {
+			return item{}, err
+		}
+		return item{kind: itemPos, atom: a}, nil
+	}
+}
+
+// checkSafety verifies that every variable in the head, in negations,
+// and in builtin inputs is bound by a positive atom or a builtin
+// output, and computes nothing else. (The evaluator re-derives binding
+// order; this is the user-facing diagnostic.)
+func (p *ruleParser) checkSafety(r *Rule) error {
+	bound := make([]bool, r.NVars)
+	// Iterate to fixpoint over items that can bind.
+	for changed := true; changed; {
+		changed = false
+		for _, it := range r.Items {
+			switch it.kind {
+			case itemPos:
+				for _, t := range it.atom.Args {
+					if t.IsVar && !bound[t.Val] {
+						bound[t.Val] = true
+						changed = true
+					}
+				}
+			case itemBuiltin:
+				ok := true
+				for _, t := range it.args {
+					if t.IsVar && !bound[t.Val] {
+						ok = false
+					}
+				}
+				if ok && !bound[it.out] {
+					bound[it.out] = true
+					changed = true
+				}
+			case itemAgg:
+				if !bound[it.out] {
+					bound[it.out] = true
+					changed = true
+				}
+			}
+		}
+	}
+	check := func(ts []Term, what string) error {
+		for _, t := range ts {
+			if t.IsVar && !bound[t.Val] {
+				return fmt.Errorf("datalog: unsafe rule (%s has an unbound variable): %s", what, r.Text)
+			}
+		}
+		return nil
+	}
+	if err := check(r.Head.Args, "head"); err != nil {
+		return err
+	}
+	for _, it := range r.Items {
+		switch it.kind {
+		case itemNeg:
+			if err := check(it.atom.Args, "negation"); err != nil {
+				return err
+			}
+		case itemBuiltin:
+			if err := check(it.args, "builtin argument"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

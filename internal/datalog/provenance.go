@@ -1,0 +1,135 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Provenance records, for every derived tuple, the rule instance that
+// first derived it. The paper's related work (Liang & Naik's pruning,
+// reference [16]) is built on exactly this kind of provenance; here it
+// doubles as a debugging tool: Explain answers "why does this variable
+// point to this object?" with a proof tree.
+//
+// Provenance must be enabled before Run; it costs memory proportional
+// to the number of derived tuples.
+
+// Derivation is one node of a proof tree: the tuple, the rule that
+// first derived it (empty for input facts), and the instantiated
+// positive body atoms it consumed.
+type Derivation struct {
+	Pred  string
+	Tuple []int32
+	Rule  string // "" for EDB facts
+	Body  []*Derivation
+}
+
+type provEntry struct {
+	rule  *Rule
+	preds []string
+	body  [][]int32
+}
+
+// EnableProvenance turns on derivation recording for subsequent Run
+// calls.
+func (e *Engine) EnableProvenance() {
+	if e.prov == nil {
+		e.prov = make(map[string]provEntry)
+	}
+}
+
+// ProvenanceEnabled reports whether provenance recording is on.
+func (e *Engine) ProvenanceEnabled() bool { return e.prov != nil }
+
+func provKey(pred string, tuple []int32) string {
+	return pred + "\x00" + encode(tuple)
+}
+
+// recordDerivation stores the first derivation of a tuple.
+func (e *Engine) recordDerivation(r *Rule, head []int32, env []int32) {
+	key := provKey(r.Head.Pred, head)
+	if _, ok := e.prov[key]; ok {
+		return
+	}
+	entry := provEntry{rule: r}
+	for _, it := range r.Items {
+		if it.kind != itemPos {
+			continue
+		}
+		tu := make([]int32, len(it.atom.Args))
+		for i, a := range it.atom.Args {
+			if a.IsVar {
+				tu[i] = env[a.Val]
+			} else {
+				tu[i] = a.Val
+			}
+		}
+		entry.preds = append(entry.preds, it.atom.Pred)
+		entry.body = append(entry.body, tu)
+	}
+	e.prov[key] = entry
+}
+
+// Explain returns the proof tree for a tuple, or false if the tuple
+// was never derived (or provenance was off). Shared subderivations are
+// expanded each time; the tree is finite because first derivations
+// form a well-founded order.
+func (e *Engine) Explain(pred string, tuple []int32) (*Derivation, bool) {
+	rel := e.rels[pred]
+	if rel == nil || !rel.Has(tuple) {
+		return nil, false
+	}
+	return e.explain(pred, tuple, make(map[string]bool)), true
+}
+
+func (e *Engine) explain(pred string, tuple []int32, onPath map[string]bool) *Derivation {
+	d := &Derivation{Pred: pred, Tuple: append([]int32(nil), tuple...)}
+	key := provKey(pred, tuple)
+	entry, ok := e.prov[key]
+	if !ok || onPath[key] {
+		return d // EDB fact, recorded before provenance, or defensive cycle cut
+	}
+	onPath[key] = true
+	d.Rule = entry.rule.Text
+	for i, b := range entry.body {
+		d.Body = append(d.Body, e.explain(entry.preds[i], b, onPath))
+	}
+	delete(onPath, key)
+	return d
+}
+
+// Format renders the proof tree with indentation.
+func (d *Derivation) Format(u *Universe) string {
+	var sb strings.Builder
+	d.format(u, &sb, 0)
+	return sb.String()
+}
+
+func (d *Derivation) format(u *Universe, sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+	args := make([]string, len(d.Tuple))
+	for i, v := range d.Tuple {
+		args[i] = u.Name(v)
+	}
+	fmt.Fprintf(sb, "%s(%s)", d.Pred, strings.Join(args, ", "))
+	if d.Rule == "" {
+		sb.WriteString("  [fact]")
+	}
+	sb.WriteByte('\n')
+	for _, b := range d.Body {
+		b.format(u, sb, depth+1)
+	}
+}
+
+// Depth returns the height of the proof tree (a fact has depth 1).
+func (d *Derivation) Depth() int {
+	max := 0
+	for _, b := range d.Body {
+		if dd := b.Depth(); dd > max {
+			max = dd
+		}
+	}
+	return max + 1
+}

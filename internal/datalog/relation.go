@@ -1,0 +1,129 @@
+package datalog
+
+// Relation stores a set of tuples with automatic secondary indexing.
+//
+// Tuples live in one flat []int32 (arity values per tuple). A
+// hash-set over the encoded tuple bytes provides O(1) dedup, and
+// per-column-mask indexes are built lazily the first time a join
+// needs them, then maintained incrementally on insert.
+type Relation struct {
+	name  string
+	arity int
+
+	data []int32 // flattened tuples
+	set  map[string]struct{}
+
+	// indexes[mask] maps the key of the bound columns (per mask bit)
+	// to the tuple start offsets having those values.
+	indexes map[uint32]map[string][]int32
+}
+
+func newRelation(name string, arity int) *Relation {
+	return &Relation{
+		name:    name,
+		arity:   arity,
+		set:     make(map[string]struct{}),
+		indexes: make(map[uint32]map[string][]int32),
+	}
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the tuple width.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int {
+	if r.arity == 0 {
+		return len(r.set)
+	}
+	return len(r.data) / r.arity
+}
+
+func encode(tuple []int32) string {
+	b := make([]byte, 0, len(tuple)*4)
+	for _, v := range tuple {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func maskKey(tuple []int32, mask uint32) string {
+	b := make([]byte, 0, 16)
+	for i, v := range tuple {
+		if mask&(1<<uint(i)) != 0 {
+			b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+	}
+	return string(b)
+}
+
+// insert adds a tuple, returning true if it was new.
+func (r *Relation) insert(tuple []int32) bool {
+	if len(tuple) != r.arity {
+		panic("datalog: arity mismatch on insert into " + r.name)
+	}
+	k := encode(tuple)
+	if _, ok := r.set[k]; ok {
+		return false
+	}
+	r.set[k] = struct{}{}
+	off := int32(len(r.data))
+	r.data = append(r.data, tuple...)
+	for mask, idx := range r.indexes {
+		mk := maskKey(tuple, mask)
+		idx[mk] = append(idx[mk], off)
+	}
+	return true
+}
+
+// Has reports membership.
+func (r *Relation) Has(tuple []int32) bool {
+	_, ok := r.set[encode(tuple)]
+	return ok
+}
+
+// ForEach visits every tuple. The slice is reused; copy it to retain.
+func (r *Relation) ForEach(fn func(tuple []int32)) {
+	if r.arity == 0 {
+		if len(r.set) > 0 {
+			fn(nil)
+		}
+		return
+	}
+	for off := 0; off < len(r.data); off += r.arity {
+		fn(r.data[off : off+r.arity])
+	}
+}
+
+// tupleAt returns the tuple starting at offset off.
+func (r *Relation) tupleAt(off int32) []int32 {
+	return r.data[off : off+int32(r.arity)]
+}
+
+// index returns (building if needed) the index for a column mask.
+func (r *Relation) index(mask uint32) map[string][]int32 {
+	if idx, ok := r.indexes[mask]; ok {
+		return idx
+	}
+	idx := make(map[string][]int32)
+	for off := 0; off < len(r.data); off += r.arity {
+		t := r.data[off : off+r.arity]
+		mk := maskKey(t, mask)
+		idx[mk] = append(idx[mk], int32(off))
+	}
+	r.indexes[mask] = idx
+	return idx
+}
+
+// lookup returns the offsets of tuples whose columns selected by mask
+// equal the corresponding values in probe.
+func (r *Relation) lookup(mask uint32, probe []int32) []int32 {
+	return r.index(mask)[maskKey(probe, mask)]
+}
+
+// snapshotLen supports semi-naive evaluation: the tuple count at the
+// start of an iteration. Tuples at offsets >= arity*snapshotLen are
+// "new" relative to that snapshot.
+func (r *Relation) snapshotLen() int { return r.Len() }

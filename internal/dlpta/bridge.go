@@ -1,0 +1,345 @@
+package dlpta
+
+import (
+	"fmt"
+
+	"introspect/internal/bits"
+	"introspect/internal/datalog"
+	"introspect/internal/ir"
+	"introspect/internal/pta"
+)
+
+// Analysis runs the Figure 3 rule set over an ir.Program on the
+// Datalog engine, with context construction backed by real pta
+// policies (the same code the native solver uses), so the two
+// implementations are comparable fact-for-fact.
+type Analysis struct {
+	Prog   *ir.Program
+	Engine *datalog.Engine
+
+	tab   *pta.Table
+	deep  pta.Policy
+	cheap pta.Policy
+
+	// symbol encodings
+	vars  []int32 // VarID -> symbol
+	heaps []int32
+	meths []int32
+	flds  []int32
+	types []int32
+	sigs  []int32
+	invos []int32
+
+	ctxSym  map[pta.Ctx]int32
+	symCtx  map[int32]pta.Ctx
+	hctxSym map[pta.HCtx]int32
+	symHCtx map[int32]pta.HCtx
+}
+
+// New prepares an analysis of prog under the named deep context
+// abstraction (e.g. "2objH"; "insens" gives a context-insensitive
+// analysis). ref, if non-nil, is the refinement-exclusion input: the
+// listed elements get the insensitive context, exactly as in
+// pta.NewIntrospective.
+func New(prog *ir.Program, analysis string, ref *pta.Refinement) (*Analysis, error) {
+	spec, err := pta.ParseSpec(analysis)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{
+		Prog:    prog,
+		Engine:  datalog.NewEngine(),
+		tab:     pta.NewTable(),
+		ctxSym:  map[pta.Ctx]int32{},
+		symCtx:  map[int32]pta.Ctx{},
+		hctxSym: map[pta.HCtx]int32{},
+		symHCtx: map[int32]pta.HCtx{},
+	}
+	a.deep = pta.NewPolicy(spec, prog, a.tab)
+	a.cheap = pta.NewPolicy(pta.Spec{Flavor: pta.Insensitive}, prog, a.tab)
+	a.registerBuiltins()
+	a.emitFacts(ref)
+	if err := a.Engine.AddRules(Rules); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Run evaluates the rules to fixpoint.
+func (a *Analysis) Run() error { return a.Engine.Run() }
+
+// --- symbol encodings ---
+
+func encodeAll(u *datalog.Universe, prefix string, n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = u.Sym(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return out
+}
+
+func (a *Analysis) ctx(c pta.Ctx) int32 {
+	if s, ok := a.ctxSym[c]; ok {
+		return s
+	}
+	s := a.Engine.U.Sym(fmt.Sprintf("C%d", c))
+	a.ctxSym[c] = s
+	a.symCtx[s] = c
+	return s
+}
+
+func (a *Analysis) hctx(c pta.HCtx) int32 {
+	if s, ok := a.hctxSym[c]; ok {
+		return s
+	}
+	s := a.Engine.U.Sym(fmt.Sprintf("HC%d", c))
+	a.hctxSym[c] = s
+	a.symHCtx[s] = c
+	return s
+}
+
+func (a *Analysis) registerBuiltins() {
+	e := a.Engine
+	e.Register("initCtx", 0, func([]int32) (int32, bool) {
+		return a.ctx(pta.EmptyCtx), true
+	})
+	record := func(pol pta.Policy) func([]int32) (int32, bool) {
+		return func(args []int32) (int32, bool) {
+			h := ir.HeapID(a.decode(args[0]))
+			ctx, ok := a.symCtx[args[1]]
+			if !ok {
+				return 0, false
+			}
+			return a.hctx(pol.Record(h, ctx)), true
+		}
+	}
+	merge := func(pol pta.Policy) func([]int32) (int32, bool) {
+		return func(args []int32) (int32, bool) {
+			h := ir.HeapID(a.decode(args[0]))
+			hc, ok1 := a.symHCtx[args[1]]
+			invo := ir.InvoID(a.decode(args[2]))
+			meth := ir.MethodID(a.decode(args[3]))
+			ctx, ok2 := a.symCtx[args[4]]
+			if !ok1 || !ok2 {
+				return 0, false
+			}
+			return a.ctx(pol.Merge(h, hc, invo, meth, ctx)), true
+		}
+	}
+	mergeStatic := func(pol pta.Policy) func([]int32) (int32, bool) {
+		return func(args []int32) (int32, bool) {
+			invo := ir.InvoID(a.decode(args[0]))
+			meth := ir.MethodID(a.decode(args[1]))
+			ctx, ok := a.symCtx[args[2]]
+			if !ok {
+				return 0, false
+			}
+			return a.ctx(pol.MergeStatic(invo, meth, ctx)), true
+		}
+	}
+	e.Register("record", 2, record(a.deep))
+	e.Register("recordCheap", 2, record(a.cheap))
+	e.Register("merge", 5, merge(a.deep))
+	e.Register("mergeCheap", 5, merge(a.cheap))
+	e.Register("mergeStatic", 3, mergeStatic(a.deep))
+	e.Register("mergeStaticCheap", 3, mergeStatic(a.cheap))
+}
+
+// decode extracts the numeric id from a "X<i>"-style symbol.
+func (a *Analysis) decode(sym int32) int32 {
+	name := a.Engine.U.Name(sym)
+	var id int32
+	for i := 1; i < len(name); i++ {
+		id = id*10 + int32(name[i]-'0')
+	}
+	return id
+}
+
+// emitFacts extracts the EDB from the program.
+func (a *Analysis) emitFacts(ref *pta.Refinement) {
+	e := a.Engine
+	p := a.Prog
+	u := e.U
+
+	a.vars = encodeAll(u, "V", p.NumVars())
+	a.heaps = encodeAll(u, "H", p.NumHeaps())
+	a.meths = encodeAll(u, "M", p.NumMethods())
+	a.flds = encodeAll(u, "F", p.NumFields())
+	a.types = encodeAll(u, "T", p.NumTypes())
+	a.sigs = encodeAll(u, "S", len(p.Sigs))
+	a.invos = encodeAll(u, "I", p.NumInvos())
+
+	for _, m := range p.Entries {
+		e.AddFact("InitialReachable", a.meths[m])
+	}
+	for h := range p.Heaps {
+		e.AddFact("HeapType", a.heaps[h], a.types[p.Heaps[h].Type])
+	}
+	for t1 := 0; t1 < p.NumTypes(); t1++ {
+		for t2 := 0; t2 < p.NumTypes(); t2++ {
+			if p.SubtypeOf(ir.TypeID(t1), ir.TypeID(t2)) {
+				e.AddFact("Subtype", a.types[t1], a.types[t2])
+			}
+		}
+		for s := range p.Sigs {
+			if m := p.Lookup(ir.TypeID(t1), ir.SigID(s)); m != ir.None {
+				e.AddFact("Lookup", a.types[t1], a.sigs[s], a.meths[m])
+			}
+		}
+	}
+
+	for mi := range p.Methods {
+		m := &p.Methods[mi]
+		msym := a.meths[mi]
+		if m.This != ir.None {
+			e.AddFact("ThisVar", msym, a.vars[m.This])
+		}
+		e.AddFact("ExcVar", msym, a.vars[m.Exc])
+		for _, th := range m.Throws {
+			e.AddFact("Throw", a.vars[th.From], msym)
+		}
+		for _, ca := range m.Catches {
+			e.AddFact("CatchVar", msym, a.vars[ca.Var], a.types[ca.Type])
+		}
+		for i, f := range m.Formals {
+			e.AddFact("FormalArg", msym, u.Int(int64(i)), a.vars[f])
+		}
+		if m.Ret != ir.None {
+			e.AddFact("FormalReturn", msym, a.vars[m.Ret])
+		}
+		for _, x := range m.Allocs {
+			e.AddFact("Alloc", a.vars[x.Var], a.heaps[x.Heap], msym)
+		}
+		for _, x := range m.Moves {
+			e.AddFact("Move", a.vars[x.To], a.vars[x.From])
+		}
+		for _, x := range m.Loads {
+			e.AddFact("Load", a.vars[x.To], a.vars[x.Base], a.flds[x.Field])
+		}
+		for _, x := range m.Stores {
+			e.AddFact("Store", a.vars[x.Base], a.flds[x.Field], a.vars[x.From])
+		}
+		for _, x := range m.Casts {
+			e.AddFact("Cast", a.vars[x.To], a.vars[x.From], a.types[x.Type])
+		}
+		for _, x := range m.SLoads {
+			e.AddFact("SLoad", a.vars[x.To], a.flds[x.Field], msym)
+		}
+		for _, x := range m.SStores {
+			e.AddFact("SStore", a.flds[x.Field], a.vars[x.From])
+		}
+		for ci := range m.Calls {
+			c := &m.Calls[ci]
+			isym := a.invos[c.Invo]
+			e.AddFact("InMethod", isym, msym)
+			for i, arg := range c.Args {
+				e.AddFact("ActualArg", isym, u.Int(int64(i)), a.vars[arg])
+			}
+			if c.Ret != ir.None {
+				e.AddFact("ActualReturn", isym, a.vars[c.Ret])
+			}
+			switch {
+			case c.Kind == ir.Virtual:
+				e.AddFact("VCall", a.vars[c.Base], a.sigs[c.Sig], isym, msym)
+			case c.Base != ir.None:
+				e.AddFact("DirectCallInstance", a.vars[c.Base], isym, a.meths[c.Target], msym)
+			default:
+				e.AddFact("DirectCallStatic", isym, a.meths[c.Target], msym)
+			}
+		}
+	}
+
+	// Refinement exclusions (complement form, like pta.Refinement).
+	// The relations must exist even when empty for negation to work.
+	e.Relation("ObjectToExclude", 1)
+	e.Relation("SiteExcludeInvo", 1)
+	e.Relation("SiteExcludeMeth", 1)
+	if ref != nil {
+		ref.Heaps.ForEach(func(h int32) { e.AddFact("ObjectToExclude", a.heaps[h]) })
+		ref.Invos.ForEach(func(i int32) { e.AddFact("SiteExcludeInvo", a.invos[i]) })
+		ref.Methods.ForEach(func(m int32) { e.AddFact("SiteExcludeMeth", a.meths[m]) })
+	}
+}
+
+// --- result extraction ---
+
+// VarHeaps returns the context-insensitive projection of VarPointsTo
+// for variable v.
+func (a *Analysis) VarHeaps(v ir.VarID) *bits.Set {
+	out := &bits.Set{}
+	rel := a.Engine.Rel("VarPointsTo")
+	if rel == nil {
+		return out
+	}
+	vsym := a.vars[v]
+	rel.ForEach(func(t []int32) {
+		if t[0] == vsym {
+			out.Add(a.decode(t[2]))
+		}
+	})
+	return out
+}
+
+// ReachableMethods returns the set of reachable methods.
+func (a *Analysis) ReachableMethods() *bits.Set {
+	out := &bits.Set{}
+	rel := a.Engine.Rel("Reachable")
+	if rel == nil {
+		return out
+	}
+	rel.ForEach(func(t []int32) { out.Add(a.decode(t[0])) })
+	return out
+}
+
+// InvoTargets returns the resolved targets of an invocation site.
+func (a *Analysis) InvoTargets(i ir.InvoID) *bits.Set {
+	out := &bits.Set{}
+	rel := a.Engine.Rel("CallGraph")
+	if rel == nil {
+		return out
+	}
+	isym := a.invos[i]
+	rel.ForEach(func(t []int32) {
+		if t[0] == isym {
+			out.Add(a.decode(t[2]))
+		}
+	})
+	return out
+}
+
+// NumVarPointsTo returns the context-qualified VarPointsTo size.
+func (a *Analysis) NumVarPointsTo() int {
+	if rel := a.Engine.Rel("VarPointsTo"); rel != nil {
+		return rel.Len()
+	}
+	return 0
+}
+
+// EnableProvenance turns on derivation recording (call before Run).
+func (a *Analysis) EnableProvenance() { a.Engine.EnableProvenance() }
+
+// ExplainVarPointsTo returns a formatted proof tree for why variable v
+// may point to allocation site h (under some context), or false if the
+// analysis derived no such fact. Provenance must have been enabled
+// before Run.
+func (a *Analysis) ExplainVarPointsTo(v ir.VarID, h ir.HeapID) (string, bool) {
+	rel := a.Engine.Rel("VarPointsTo")
+	if rel == nil {
+		return "", false
+	}
+	vsym, hsym := a.vars[v], a.heaps[h]
+	var found []int32
+	rel.ForEach(func(t []int32) {
+		if found == nil && t[0] == vsym && t[2] == hsym {
+			found = append([]int32(nil), t...)
+		}
+	})
+	if found == nil {
+		return "", false
+	}
+	d, ok := a.Engine.Explain("VarPointsTo", found)
+	if !ok {
+		return "", false
+	}
+	return d.Format(a.Engine.U), true
+}

@@ -1,0 +1,73 @@
+package dlpta
+
+// MetricsRules implements the paper's Section 3 cost-metric queries in
+// Datalog over the analysis result, exactly as the paper sketches for
+// the in-flow metric:
+//
+//	HEAPSPERINVOCATIONPERARG(invo, arg, heap) <- CALLGRAPH(invo,_,_,_),
+//	    ACTUALARG(invo,_,arg), VARPOINTSTO(arg,_,heap,_).
+//	INFLOW(invo, result) <- agg<result = count()>
+//	    (HEAPSPERINVOCATIONPERARG(invo,_,_)).
+//
+// plus the pointed-by-vars metric (#5). Run them after the analysis
+// rules (they live in a later stratum since they aggregate over the
+// analysis output).
+const MetricsRules = `
+ReachedInvo(invo) :- CallGraph(invo, _, _, _).
+
+HeapsPerInvocationPerArg(invo, arg, h) :-
+    ReachedInvo(invo), ActualArg(invo, _, arg),
+    VarPointsTo(arg, _, h, _).
+
+InFlow(invo, n) :- ReachedInvo(invo), count n : HeapsPerInvocationPerArg(invo, _, _).
+
+VarPointsToHeap(v, h) :- VarPointsTo(v, _, h, _).
+HeapPointed(h) :- VarPointsToHeap(_, h).
+PointedByVars(h, n) :- HeapPointed(h), count n : VarPointsToHeap(_, h).
+`
+
+// AddMetrics installs the metric rules; call before Run.
+func (a *Analysis) AddMetrics() error {
+	return a.Engine.AddRules(MetricsRules)
+}
+
+// InFlow returns the Datalog-computed in-flow metric per invocation
+// site (0 for sites with no call-graph edge).
+func (a *Analysis) InFlow() []int {
+	out := make([]int, a.Prog.NumInvos())
+	rel := a.Engine.Rel("InFlow")
+	if rel == nil {
+		return out
+	}
+	rel.ForEach(func(t []int32) {
+		invo := a.decode(t[0])
+		n := int(a.decodeInt(t[1]))
+		out[invo] = n
+	})
+	return out
+}
+
+// PointedByVars returns the Datalog-computed pointed-by-vars metric
+// per allocation site.
+func (a *Analysis) PointedByVars() []int {
+	out := make([]int, a.Prog.NumHeaps())
+	rel := a.Engine.Rel("PointedByVars")
+	if rel == nil {
+		return out
+	}
+	rel.ForEach(func(t []int32) {
+		h := a.decode(t[0])
+		out[h] = int(a.decodeInt(t[1]))
+	})
+	return out
+}
+
+// decodeInt parses a plain decimal symbol (aggregation outputs).
+func (a *Analysis) decodeInt(sym int32) int64 {
+	name := a.Engine.U.Name(sym)
+	var v int64
+	for i := 0; i < len(name); i++ {
+		v = v*10 + int64(name[i]-'0')
+	}
+	return v
+}

@@ -1,0 +1,140 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"introspect/internal/introspect"
+	"introspect/internal/report"
+	"introspect/internal/suite"
+)
+
+// Ablation reproduces the paper's Section 3/4 robustness claim: the
+// heuristics' value "does not come from excessive tuning ... even
+// relatively large variations of these numbers make scarcely any
+// difference in the total picture of results". It re-runs the
+// introspective variants of one deep analysis with every heuristic
+// constant scaled by the given factors and reports, per scale, which
+// benchmarks time out and how much precision is retained.
+type AblationRow struct {
+	Scale     float64
+	Heuristic string
+	// Timeouts lists benchmarks whose introspective run exhausted the
+	// budget at this scale.
+	Timeouts []string
+	// Retention is the average retained fraction of the insens→full
+	// precision delta over benchmarks where the full analysis
+	// terminates (NaN-free: -1 when not computable).
+	Retention float64
+}
+
+// scaledA returns Heuristic A with constants scaled by f.
+func scaledA(f float64) introspect.Heuristic {
+	d := introspect.DefaultA()
+	return introspect.HeuristicA{
+		K: int(float64(d.K) * f),
+		L: int(float64(d.L) * f),
+		M: int(float64(d.M) * f),
+	}
+}
+
+// scaledB returns Heuristic B with constants scaled by f.
+func scaledB(f float64) introspect.Heuristic {
+	d := introspect.DefaultB()
+	return introspect.HeuristicB{
+		P: int(float64(d.P) * f),
+		Q: int(float64(d.Q) * f),
+	}
+}
+
+// Ablation runs the sweep for one deep analysis over the experimental
+// subjects. The insensitive and full runs are shared across scales
+// (they do not depend on the heuristic constants).
+func Ablation(cfg Config, deep string, scales []float64) ([]AblationRow, error) {
+	ins := map[string]report.Row{}
+	full := map[string]report.Row{}
+	for _, b := range suite.ExperimentalSubjects() {
+		ri, err := runFull(b, "insens", cfg.Opts())
+		if err != nil {
+			return nil, err
+		}
+		ins[b] = ri
+		rf, err := runFull(b, deep, cfg.Opts())
+		if err != nil {
+			return nil, err
+		}
+		full[b] = rf
+	}
+
+	var rows []AblationRow
+	for _, scale := range scales {
+		for _, h := range []introspect.Heuristic{scaledA(scale), scaledB(scale)} {
+			row := AblationRow{Scale: scale, Heuristic: h.Name(), Retention: -1}
+			var figRows []report.Row
+			for _, b := range suite.ExperimentalSubjects() {
+				ri, _, err := runIntro(b, deep, h, cfg.Opts())
+				if err != nil {
+					return nil, err
+				}
+				if ri.TimedOut {
+					row.Timeouts = append(row.Timeouts, b)
+				}
+				figRows = append(figRows, ins[b], ri, full[b])
+			}
+			sum := Summary(figRows)
+			if v, ok := sum[bucketOf(h.Name())]; ok {
+				row.Retention = v
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func bucketOf(name string) string {
+	if strings.HasSuffix(name, "IntroB") || name == "IntroB" {
+		return "B"
+	}
+	return "A"
+}
+
+// SyntacticBaseline reproduces the paper's related-work observation
+// that the traditional hard-coded heuristics (strings, exceptions, and
+// similar allocated context-insensitively) do not address the
+// scalability pathologies: it runs the deep analysis with only the
+// classic syntactic exclusions on the benchmarks the paper reports as
+// non-terminating, and returns their rows (expected: still TIMEOUT).
+func SyntacticBaseline(cfg Config, deep string, benchmarks []string) ([]report.Row, error) {
+	var rows []report.Row
+	for _, b := range benchmarks {
+		prog, err := suite.Load(b)
+		if err != nil {
+			return nil, err
+		}
+		res, err := introspect.RunSyntactic(prog, deep, introspect.DefaultSyntactic(), cfg.Opts())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, report.Row{Benchmark: b, Precision: report.Measure(res)})
+	}
+	return rows, nil
+}
+
+// FormatAblation renders the sweep.
+func FormatAblation(deep string, rows []AblationRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: heuristic-constant robustness for %s\n", deep)
+	fmt.Fprintf(&sb, "%-8s %-10s %-28s %s\n", "scale", "heuristic", "timeouts", "retention")
+	for _, r := range rows {
+		to := strings.Join(r.Timeouts, ",")
+		if to == "" {
+			to = "(none)"
+		}
+		ret := "n/a"
+		if r.Retention >= 0 {
+			ret = fmt.Sprintf("%.0f%%", 100*r.Retention)
+		}
+		fmt.Fprintf(&sb, "%-8.2g %-10s %-28s %s\n", r.Scale, r.Heuristic, to, ret)
+	}
+	return sb.String()
+}

@@ -1,0 +1,90 @@
+package figures
+
+import (
+	"testing"
+
+	"introspect/internal/introspect"
+	"introspect/internal/pta"
+	"introspect/internal/suite"
+)
+
+// TestHybridAtLeastAsExplosive examines the paper's Section 5
+// observation about hybrid context-sensitivity (reference [12]): on
+// the paper's subjects hybrid was "virtually indistinguishable from
+// object-sensitivity". Structurally, hybrid strictly ADDS call-site
+// context at static calls, so it can only time out on a superset of
+// 2objH's benchmarks. On our suite that superset is strict: bloat and
+// xalan carry a static-call fan-in pathology (built to break 2callH)
+// that 2objH is immune to but hybrid inherits — an interesting
+// refinement of the paper's observation that EXPERIMENTS.md records.
+// On benchmarks without call-site-specific pathologies the two flavors
+// agree.
+func TestHybridAtLeastAsExplosive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow; skipped with -short")
+	}
+	cfg := Config{}
+	agreeOn := map[string]bool{"chart": true, "eclipse": true, "hsqldb": true, "jython": true}
+	for _, b := range suite.ExperimentalSubjects() {
+		prog, err := suite.Load(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := pta.Analyze(prog, "2objH", cfg.Opts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		hyb, err := pta.Analyze(prog, "2hybH", cfg.Opts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obj.TimedOut && !hyb.TimedOut {
+			t.Errorf("%s: 2objH times out but 2hybH terminates; hybrid only adds context", b)
+		}
+		if agreeOn[b] && obj.TimedOut != hyb.TimedOut {
+			t.Errorf("%s: expected 2objH and 2hybH to agree here (obj=%v hyb=%v)",
+				b, obj.TimedOut, hyb.TimedOut)
+		}
+	}
+	// Introspection rescues hybrid where it rescues object-sensitivity.
+	run, err := introspect.Run(suite.MustLoad("hsqldb"), "2hybH", introspect.DefaultB(), cfg.Opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Second.TimedOut {
+		t.Error("hsqldb: 2hybH-IntroB should scale, like 2objH-IntroB")
+	}
+}
+
+// TestDeeperContextExtension goes beyond the paper's evaluated depths:
+// 3-object-sensitivity explodes at least as badly as 2objH, and the
+// introspective variant still scales everywhere — evidence that the
+// technique generalizes with context depth, as the paper's "any kind
+// of context abstraction" claim implies.
+func TestDeeperContextExtension(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow; skipped with -short")
+	}
+	cfg := Config{}
+	objTimeouts := map[string]bool{"hsqldb": true, "jython": true}
+	for _, b := range suite.ExperimentalSubjects() {
+		prog, err := suite.Load(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := pta.Analyze(prog, "3objH", cfg.Opts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if objTimeouts[b] && !full.TimedOut {
+			t.Errorf("%s: 3objH terminated but 2objH does not; deeper context should not be cheaper here", b)
+		}
+		run, err := introspect.Run(prog, "3objH", introspect.DefaultA(), cfg.Opts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Second.TimedOut {
+			t.Errorf("%s: 3objH-IntroA timed out; IntroA should scale at depth 3 too", b)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation section (Figures 1 and 4-7) over the synthetic suite.
+//
+// The numbers are not expected to match the paper's absolute values
+// (the substrate differs); the *shape* — which analyses time out on
+// which benchmarks, which heuristic is cheaper, how much precision each
+// variant retains — is the reproduction target and is asserted by the
+// package's tests.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"introspect/internal/introspect"
+	"introspect/internal/pta"
+	"introspect/internal/report"
+	"introspect/internal/suite"
+)
+
+// Config controls a figure run.
+type Config struct {
+	// Budget is the per-run work budget standing in for the paper's
+	// 90-minute timeout. 0 means DefaultBudget.
+	Budget int64
+}
+
+// DefaultBudget reproduces the paper's timeout behavior on this suite:
+// runs the paper reports as non-terminating exhaust this budget.
+const DefaultBudget int64 = 30_000_000
+
+// Opts returns the solver options a figure run uses.
+func (c Config) Opts() pta.Options {
+	b := c.Budget
+	if b == 0 {
+		b = DefaultBudget
+	}
+	return pta.Options{Budget: b}
+}
+
+// runFull runs a plain analysis on a benchmark.
+func runFull(name, analysis string, opts pta.Options) (report.Row, error) {
+	prog, err := suite.Load(name)
+	if err != nil {
+		return report.Row{}, err
+	}
+	res, err := pta.Analyze(prog, analysis, opts)
+	if err != nil {
+		return report.Row{}, err
+	}
+	return report.Row{Benchmark: name, Precision: report.Measure(res)}, nil
+}
+
+// runIntro runs the two-pass introspective analysis on a benchmark.
+func runIntro(name, analysis string, h introspect.Heuristic, opts pta.Options) (report.Row, *introspect.Selection, error) {
+	prog, err := suite.Load(name)
+	if err != nil {
+		return report.Row{}, nil, err
+	}
+	run, err := introspect.Run(prog, analysis, h, opts)
+	if err != nil {
+		return report.Row{}, nil, err
+	}
+	return report.Row{Benchmark: name, Precision: report.Measure(run.Second)}, run.Selection, nil
+}
+
+// Fig1 reproduces Figure 1: context-insensitive vs 2objH running cost
+// on all nine benchmarks, demonstrating the bimodal behavior of deep
+// context-sensitivity.
+func Fig1(cfg Config) ([]report.Row, error) {
+	var rows []report.Row
+	for _, b := range suite.Names() {
+		for _, a := range []string{"insens", "2objH"} {
+			r, err := runFull(b, a, cfg.Opts())
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// Fig4Row is one line of the Figure 4 table: the percentage of call
+// sites and objects each heuristic chose NOT to refine.
+type Fig4Row struct {
+	Benchmark              string
+	CallSitesA, CallSitesB float64
+	ObjectsA, ObjectsB     float64
+}
+
+// Fig4 reproduces the Figure 4 table.
+func Fig4(cfg Config) ([]Fig4Row, error) {
+	var rows []Fig4Row
+	for _, b := range suite.Figure4Subjects() {
+		prog, err := suite.Load(b)
+		if err != nil {
+			return nil, err
+		}
+		first, err := pta.Analyze(prog, "insens", cfg.Opts())
+		if err != nil {
+			return nil, err
+		}
+		selA := introspect.Select(first, introspect.DefaultA())
+		selB := introspect.Select(first, introspect.DefaultB())
+		rows = append(rows, Fig4Row{
+			Benchmark:  b,
+			CallSitesA: selA.PctCallSites(), CallSitesB: selB.PctCallSites(),
+			ObjectsA: selA.PctObjects(), ObjectsB: selB.PctObjects(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatFig4 renders the Figure 4 table, including the paper's average
+// row.
+func FormatFig4(rows []Fig4Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 4: call sites and objects NOT refined (%%)\n")
+	fmt.Fprintf(&sb, "%-10s %12s %12s %12s %12s\n", "benchmark",
+		"calls-HeurA", "calls-HeurB", "objs-HeurA", "objs-HeurB")
+	var ca, cb, oa, ob float64
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n",
+			r.Benchmark, r.CallSitesA, r.CallSitesB, r.ObjectsA, r.ObjectsB)
+		ca += r.CallSitesA
+		cb += r.CallSitesB
+		oa += r.ObjectsA
+		ob += r.ObjectsB
+	}
+	n := float64(len(rows))
+	if n > 0 {
+		fmt.Fprintf(&sb, "%-10s %11.2f%% %11.2f%% %11.2f%% %11.2f%%\n",
+			"average", ca/n, cb/n, oa/n, ob/n)
+	}
+	return sb.String()
+}
+
+// Variants returns the four analyses plotted in Figures 5-7 for a deep
+// analysis name: insens, <deep>-IntroA, <deep>-IntroB, <deep>.
+func Variants(deep string) []string {
+	return []string{"insens", deep + "-IntroA", deep + "-IntroB", deep}
+}
+
+// FigPerf reproduces one of Figures 5 (deep="2objH"), 6 ("2typeH"), or
+// 7 ("2callH"): running cost plus the three precision metrics for the
+// four analysis variants over the six experimental subjects.
+func FigPerf(cfg Config, deep string) ([]report.Row, error) {
+	var rows []report.Row
+	for _, b := range suite.ExperimentalSubjects() {
+		r, err := runFull(b, "insens", cfg.Opts())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+
+		ra, _, err := runIntro(b, deep, introspect.DefaultA(), cfg.Opts())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ra)
+
+		rb, _, err := runIntro(b, deep, introspect.DefaultB(), cfg.Opts())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rb)
+
+		rf, err := runFull(b, deep, cfg.Opts())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rf)
+	}
+	return rows, nil
+}
+
+// FigNumber maps a deep analysis to its paper figure number.
+func FigNumber(deep string) int {
+	switch deep {
+	case "2objH":
+		return 5
+	case "2typeH":
+		return 6
+	case "2callH":
+		return 7
+	}
+	return 0
+}
+
+// Summary computes, for a set of FigPerf rows, the precision retention
+// of each introspective variant: the fraction of the insens→full
+// precision delta that the variant preserves, averaged over benchmarks
+// where the full analysis terminated and over the three metrics.
+func Summary(rows []report.Row) map[string]float64 {
+	byBench := map[string]map[string]report.Row{}
+	for _, r := range rows {
+		if byBench[r.Benchmark] == nil {
+			byBench[r.Benchmark] = map[string]report.Row{}
+		}
+		key := r.Analysis
+		if strings.HasSuffix(key, "-IntroA") {
+			key = "A"
+		} else if strings.HasSuffix(key, "-IntroB") {
+			key = "B"
+		} else if key != "insens" {
+			key = "full"
+		}
+		byBench[r.Benchmark][key] = r
+	}
+	sums := map[string]float64{}
+	counts := map[string]float64{}
+	for _, m := range byBench {
+		ins, full := m["insens"], m["full"]
+		if full.TimedOut || ins.Analysis == "" || full.Analysis == "" {
+			continue
+		}
+		for _, v := range []string{"A", "B"} {
+			r, ok := m[v]
+			if !ok || r.TimedOut {
+				continue
+			}
+			frac, n := 0.0, 0
+			add := func(insV, fullV, got int) {
+				if insV > fullV {
+					frac += float64(insV-got) / float64(insV-fullV)
+					n++
+				}
+			}
+			add(ins.PolyVCalls, full.PolyVCalls, r.PolyVCalls)
+			add(ins.ReachableMethods, full.ReachableMethods, r.ReachableMethods)
+			add(ins.MayFailCasts, full.MayFailCasts, r.MayFailCasts)
+			if n > 0 {
+				sums[v] += frac / float64(n)
+				counts[v]++
+			}
+		}
+	}
+	out := map[string]float64{}
+	for v, s := range sums {
+		out[v] = s / counts[v]
+	}
+	return out
+}
+
+// SortRows orders rows benchmark-major in suite display order, variant
+// minor in Variants order — the layout of the paper's charts.
+func SortRows(rows []report.Row, deep string) {
+	benchOrder := map[string]int{}
+	for i, b := range suite.Names() {
+		benchOrder[b] = i
+	}
+	varOrder := map[string]int{}
+	for i, v := range Variants(deep) {
+		varOrder[v] = i
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if benchOrder[rows[i].Benchmark] != benchOrder[rows[j].Benchmark] {
+			return benchOrder[rows[i].Benchmark] < benchOrder[rows[j].Benchmark]
+		}
+		return varOrder[rows[i].Analysis] < varOrder[rows[j].Analysis]
+	})
+}

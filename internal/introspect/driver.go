@@ -1,0 +1,56 @@
+package introspect
+
+import (
+	"fmt"
+
+	"introspect/internal/ir"
+	"introspect/internal/pta"
+)
+
+// RunResult bundles the artifacts of a full introspective analysis: the
+// context-insensitive first pass, the heuristic's selection, and the
+// introspective second pass.
+type RunResult struct {
+	// First is the context-insensitive pass whose results feed the
+	// heuristic.
+	First *pta.Result
+	// Selection is the chosen refinement-exclusion sets and their
+	// Figure-4 statistics.
+	Selection *Selection
+	// Second is the introspective context-sensitive pass; its Analysis
+	// name is "<deep>-<heuristic>", e.g. "2objH-IntroA".
+	Second *pta.Result
+}
+
+// Run performs the paper's two-pass introspective analysis: an
+// insensitive pass, heuristic selection, and a second pass where
+// program elements selected by the heuristic keep the insensitive
+// context while everything else is analyzed under deep (e.g. "2objH").
+//
+// Per the paper, the two passes run identical analysis code; only the
+// (complement-form) SITETOREFINE/OBJECTTOREFINE inputs differ.
+func Run(prog *ir.Program, deep string, h Heuristic, opts pta.Options) (*RunResult, error) {
+	spec, err := pta.ParseSpec(deep)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Flavor == pta.Insensitive {
+		return nil, fmt.Errorf("introspect: deep analysis must be context-sensitive, got %q", deep)
+	}
+	first, err := pta.Analyze(prog, "insens", opts)
+	if err != nil {
+		return nil, err
+	}
+	if first.TimedOut {
+		return nil, fmt.Errorf("introspect: context-insensitive pass exhausted its budget on %s", prog.Name)
+	}
+	sel := Select(first, h)
+
+	tab := pta.NewTable()
+	deepPol := pta.NewPolicy(spec, prog, tab)
+	cheapPol := pta.NewPolicy(pta.Spec{Flavor: pta.Insensitive}, prog, tab)
+	pol := pta.NewIntrospective(deepPol, cheapPol, sel.Refinement, deep+"-"+h.Name())
+	second := pta.Solve(prog, pol, tab, opts)
+
+	return &RunResult{First: first, Selection: sel, Second: second}, nil
+}

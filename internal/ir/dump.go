@@ -1,0 +1,124 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Stats summarizes a program's size.
+type Stats struct {
+	Types, Methods, Vars, Heaps, Fields, Invos int
+	Allocs, Moves, Loads, Stores, Calls, Casts int
+}
+
+// Stats computes size statistics for the program.
+func (p *Program) Stats() Stats {
+	s := Stats{
+		Types: len(p.Types), Methods: len(p.Methods), Vars: len(p.Vars),
+		Heaps: len(p.Heaps), Fields: len(p.Fields), Invos: len(p.Invos),
+	}
+	for i := range p.Methods {
+		m := &p.Methods[i]
+		s.Allocs += len(m.Allocs)
+		s.Moves += len(m.Moves)
+		s.Loads += len(m.Loads) + len(m.SLoads)
+		s.Stores += len(m.Stores) + len(m.SStores)
+		s.Calls += len(m.Calls)
+		s.Casts += len(m.Casts)
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("types=%d methods=%d vars=%d heaps=%d fields=%d invos=%d insns=%d",
+		s.Types, s.Methods, s.Vars, s.Heaps, s.Fields, s.Invos,
+		s.Allocs+s.Moves+s.Loads+s.Stores+s.Calls+s.Casts)
+}
+
+// Dump writes a human-readable listing of the whole program.
+func (p *Program) Dump(w io.Writer) {
+	fmt.Fprintf(w, "program %s  // %s\n", p.Name, p.Stats())
+	for ti := range p.Types {
+		t := &p.Types[ti]
+		kind := "class"
+		if t.Kind == InterfaceKind {
+			kind = "interface"
+		}
+		var ext []string
+		if t.Super != None {
+			ext = append(ext, p.Types[t.Super].Name)
+		}
+		for _, i := range t.Interfaces {
+			ext = append(ext, p.Types[i].Name)
+		}
+		hdr := fmt.Sprintf("%s %s", kind, t.Name)
+		if len(ext) > 0 {
+			hdr += " <: " + strings.Join(ext, ", ")
+		}
+		fmt.Fprintln(w, hdr)
+		for mi := range p.Methods {
+			if p.Methods[mi].Owner == TypeID(ti) {
+				p.dumpMethod(w, MethodID(mi))
+			}
+		}
+	}
+}
+
+func (p *Program) dumpMethod(w io.Writer, mi MethodID) {
+	m := &p.Methods[mi]
+	mod := ""
+	if m.Static {
+		mod = "static "
+	}
+	fmt.Fprintf(w, "  %smethod %s [%s]\n", mod, m.Name, p.Sigs[m.Sig])
+	v := func(id VarID) string {
+		if id == None {
+			return "_"
+		}
+		return p.Vars[id].Name
+	}
+	for _, a := range m.Allocs {
+		fmt.Fprintf(w, "    %s = new %s  // %s\n", v(a.Var), p.Types[p.Heaps[a.Heap].Type].Name, p.Heaps[a.Heap].Name)
+	}
+	for _, mv := range m.Moves {
+		fmt.Fprintf(w, "    %s = %s\n", v(mv.To), v(mv.From))
+	}
+	for _, l := range m.Loads {
+		fmt.Fprintf(w, "    %s = %s.%s\n", v(l.To), v(l.Base), p.Fields[l.Field].Name)
+	}
+	for _, s := range m.Stores {
+		fmt.Fprintf(w, "    %s.%s = %s\n", v(s.Base), p.Fields[s.Field].Name, v(s.From))
+	}
+	for _, l := range m.SLoads {
+		fmt.Fprintf(w, "    %s = static %s\n", v(l.To), p.Fields[l.Field].Name)
+	}
+	for _, s := range m.SStores {
+		fmt.Fprintf(w, "    static %s = %s\n", p.Fields[s.Field].Name, v(s.From))
+	}
+	for _, c := range m.Casts {
+		fmt.Fprintf(w, "    %s = (%s) %s\n", v(c.To), p.Types[c.Type].Name, v(c.From))
+	}
+	for _, t := range m.Throws {
+		fmt.Fprintf(w, "    throw %s\n", v(t.From))
+	}
+	for _, c := range m.Catches {
+		fmt.Fprintf(w, "    catch (%s %s)\n", p.Types[c.Type].Name, v(c.Var))
+	}
+	for _, c := range m.Calls {
+		args := make([]string, len(c.Args))
+		for i, a := range c.Args {
+			args[i] = v(a)
+		}
+		switch c.Kind {
+		case Virtual:
+			fmt.Fprintf(w, "    %s = %s.%s(%s)\n", v(c.Ret), v(c.Base), p.Sigs[c.Sig], strings.Join(args, ", "))
+		case Direct:
+			recv := ""
+			if c.Base != None {
+				recv = v(c.Base) + "."
+			}
+			fmt.Fprintf(w, "    %s = %scall %s(%s)\n", v(c.Ret), recv, p.Methods[c.Target].Name, strings.Join(args, ", "))
+		}
+	}
+}

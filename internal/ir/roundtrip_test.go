@@ -1,0 +1,86 @@
+package ir_test
+
+import (
+	"bytes"
+	"testing"
+
+	"introspect/internal/ir"
+	"introspect/internal/lang"
+	"introspect/internal/pta"
+	"introspect/internal/randprog"
+	"introspect/internal/report"
+	"introspect/internal/suite"
+)
+
+// roundTripEquivalent serializes a program to the text format, parses
+// it back, and checks that the two programs are analysis-equivalent:
+// identical structure statistics and identical analysis outcomes.
+func roundTripEquivalent(t *testing.T, prog *ir.Program, analysis string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := prog.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ir.ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("%s: reparse failed: %v", prog.Name, err)
+	}
+	if prog.Stats() != back.Stats() {
+		t.Fatalf("%s: stats differ:\n  orig %v\n  back %v", prog.Name, prog.Stats(), back.Stats())
+	}
+	r1, err := pta.Analyze(prog, analysis, pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := pta.Analyze(back, analysis, pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := report.Measure(r1), report.Measure(r2)
+	if p1.PolyVCalls != p2.PolyVCalls || p1.ReachableMethods != p2.ReachableMethods ||
+		p1.MayFailCasts != p2.MayFailCasts || p1.VarPTSize != p2.VarPTSize ||
+		r1.NumCallGraphEdges() != r2.NumCallGraphEdges() {
+		t.Errorf("%s/%s: analysis results differ after round trip:\n  orig %+v cg=%d\n  back %+v cg=%d",
+			prog.Name, analysis, p1, r1.NumCallGraphEdges(), p2, r2.NumCallGraphEdges())
+	}
+}
+
+func TestRoundTripSuiteBenchmark(t *testing.T) {
+	for _, name := range []string{"lusearch", "antlr"} {
+		roundTripEquivalent(t, suite.MustLoad(name), "insens")
+		roundTripEquivalent(t, suite.MustLoad(name), "2objH")
+	}
+}
+
+func TestRoundTripCompiledProgram(t *testing.T) {
+	prog := lang.MustCompile("rt", `
+interface Animal { String speak(); }
+class Dog implements Animal { String speak() { return "woof"; } }
+class Cat implements Animal { String speak() { return "meow"; } }
+class Holder {
+  Object o;
+  Holder(Object x) { this.o = x; }
+  Object get() { return this.o; }
+}
+class Main {
+  static void main() {
+    Holder h = new Holder(new Dog());
+    Animal a = (Animal) h.get();
+    String s = a.speak();
+    try { Main.risky(); } catch (Cat c) { print(c); }
+    print(s);
+  }
+  static void risky() { throw new Cat(); }
+}`)
+	for _, a := range []string{"insens", "2objH", "2callH", "2typeH"} {
+		roundTripEquivalent(t, prog, a)
+	}
+}
+
+func TestRoundTripRandomPrograms(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		prog := randprog.Generate(seed, randprog.Default())
+		roundTripEquivalent(t, prog, "insens")
+		roundTripEquivalent(t, prog, "1objH")
+	}
+}

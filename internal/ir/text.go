@@ -1,0 +1,250 @@
+package ir
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements a textual interchange format for IR programs,
+// in the spirit of Soot's .jimple files: human-readable, writable by
+// hand, and parsed back into an identical analysis subject. It enables
+// standalone .ir benchmark files and golden tests.
+//
+// Format sketch:
+//
+//	program myprog
+//	interface I extends J
+//	class A extends Object implements I { field f }
+//	abstract class B { }
+//
+//	entry static method Main.main/0 {
+//	  var t1
+//	  t1 = new A @ "site label"
+//	  t1 = t2
+//	  t1 = t2.A::f
+//	  t2.A::f = t1
+//	  t1 = static A::cache
+//	  static A::cache = t1
+//	  t1 = (A) t2
+//	  t1 = virtual t2.m/1(t3)
+//	  t1 = direct A.<init>/1 on t2 (t3)
+//	  t1 = static-call A.helper/1 (t3)
+//	  throw t1
+//	  catch (A) e1
+//	}
+//
+// The variables this, p0..pN-1 (formals), ret, and exc are implicit;
+// `method ... returns` declares a non-void method. Class members may
+// be declared inline in the class header or via separate `field`
+// lines.
+
+// WriteText serializes the program.
+func (p *Program) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "program %s\n\n", p.Name)
+
+	// Types, in id order (supertypes have smaller ids by construction).
+	for ti := range p.Types {
+		t := &p.Types[ti]
+		switch {
+		case t.Kind == InterfaceKind:
+			fmt.Fprintf(bw, "interface %s", t.Name)
+			if len(t.Interfaces) > 0 {
+				fmt.Fprintf(bw, " extends %s", p.typeList(t.Interfaces))
+			}
+		default:
+			if t.Abstract {
+				fmt.Fprintf(bw, "abstract ")
+			}
+			fmt.Fprintf(bw, "class %s", t.Name)
+			if t.Super != None {
+				fmt.Fprintf(bw, " extends %s", p.Types[t.Super].Name)
+			}
+			if len(t.Interfaces) > 0 {
+				fmt.Fprintf(bw, " implements %s", p.typeList(t.Interfaces))
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprintln(bw)
+
+	// Fields (the array pseudo-field is implicit).
+	for fi := range p.Fields {
+		f := &p.Fields[fi]
+		if f.Owner == None {
+			continue
+		}
+		fmt.Fprintf(bw, "field %s::%s\n", p.Types[f.Owner].Name, f.Name)
+	}
+	fmt.Fprintln(bw)
+
+	entries := map[MethodID]bool{}
+	for _, e := range p.Entries {
+		entries[e] = true
+	}
+
+	for mi := range p.Methods {
+		m := &p.Methods[mi]
+		if entries[MethodID(mi)] {
+			fmt.Fprint(bw, "entry ")
+		}
+		if m.Static {
+			fmt.Fprint(bw, "static ")
+		}
+		// Method header: Owner.bareName/arity with the dispatch sig.
+		fmt.Fprintf(bw, "method %s sig %s", p.methodRef(MethodID(mi)), p.Sigs[m.Sig])
+		if m.Ret != None {
+			fmt.Fprint(bw, " returns")
+		}
+		fmt.Fprintln(bw, " {")
+		p.writeBody(bw, MethodID(mi))
+		fmt.Fprintln(bw, "}")
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+func (p *Program) typeList(ids []TypeID) string {
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = p.Types[id].Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// methodRef renders Owner.bare/arity, the unique reference used for
+// direct-call targets and headers.
+func (p *Program) methodRef(m MethodID) string {
+	mm := &p.Methods[m]
+	bare := mm.Name
+	if i := strings.LastIndexByte(bare, '.'); i >= 0 {
+		bare = bare[i+1:]
+	}
+	return fmt.Sprintf("%s.%s/%d", p.Types[mm.Owner].Name, bare, len(mm.Formals))
+}
+
+// fieldRef renders Owner::name, or [] for the array pseudo-field.
+func (p *Program) fieldRef(f FieldID) string {
+	ff := &p.Fields[f]
+	if ff.Owner == None {
+		return "[]"
+	}
+	return fmt.Sprintf("%s::%s", p.Types[ff.Owner].Name, ff.Name)
+}
+
+// writeBody emits declarations and instructions with uniquified var
+// names.
+func (p *Program) writeBody(w io.Writer, mi MethodID) {
+	m := &p.Methods[mi]
+	names := map[VarID]string{}
+	used := map[string]bool{}
+	assign := func(v VarID, want string) {
+		name := want
+		for i := 2; used[name]; i++ {
+			name = fmt.Sprintf("%s$%d", want, i)
+		}
+		used[name] = true
+		names[v] = name
+	}
+	if m.This != None {
+		assign(m.This, "this")
+	}
+	for i, f := range m.Formals {
+		assign(f, fmt.Sprintf("p%d", i))
+	}
+	if m.Ret != None {
+		assign(m.Ret, "ret")
+	}
+	assign(m.Exc, "exc")
+	var locals []VarID
+	for v := range p.Vars {
+		if p.Vars[v].Method != mi {
+			continue
+		}
+		if _, done := names[VarID(v)]; done {
+			continue
+		}
+		locals = append(locals, VarID(v))
+	}
+	sort.Slice(locals, func(i, j int) bool { return locals[i] < locals[j] })
+	for _, v := range locals {
+		assign(v, sanitizeVarName(p.Vars[v].Name))
+		fmt.Fprintf(w, "  var %s\n", names[v])
+	}
+	n := func(v VarID) string { return names[v] }
+
+	for _, a := range m.Allocs {
+		fmt.Fprintf(w, "  %s = new %s @ %s\n", n(a.Var), p.Types[p.Heaps[a.Heap].Type].Name,
+			strconv.Quote(p.Heaps[a.Heap].Name))
+	}
+	for _, mv := range m.Moves {
+		fmt.Fprintf(w, "  %s = %s\n", n(mv.To), n(mv.From))
+	}
+	for _, l := range m.Loads {
+		fmt.Fprintf(w, "  %s = %s.%s\n", n(l.To), n(l.Base), p.fieldRef(l.Field))
+	}
+	for _, s := range m.Stores {
+		fmt.Fprintf(w, "  %s.%s = %s\n", n(s.Base), p.fieldRef(s.Field), n(s.From))
+	}
+	for _, l := range m.SLoads {
+		fmt.Fprintf(w, "  %s = static %s\n", n(l.To), p.fieldRef(l.Field))
+	}
+	for _, s := range m.SStores {
+		fmt.Fprintf(w, "  static %s = %s\n", p.fieldRef(s.Field), n(s.From))
+	}
+	for _, c := range m.Casts {
+		fmt.Fprintf(w, "  %s = (%s) %s\n", n(c.To), p.Types[c.Type].Name, n(c.From))
+	}
+	for _, t := range m.Throws {
+		fmt.Fprintf(w, "  throw %s\n", n(t.From))
+	}
+	for _, c := range m.Catches {
+		fmt.Fprintf(w, "  catch (%s) %s\n", p.Types[c.Type].Name, n(c.Var))
+	}
+	for ci := range m.Calls {
+		c := &m.Calls[ci]
+		ret := ""
+		if c.Ret != None {
+			ret = n(c.Ret) + " = "
+		}
+		args := make([]string, len(c.Args))
+		for i, a := range c.Args {
+			args[i] = n(a)
+		}
+		switch {
+		case c.Kind == Virtual:
+			fmt.Fprintf(w, "  %svirtual %s.%s(%s)\n", ret, n(c.Base), p.Sigs[c.Sig], strings.Join(args, ", "))
+		case c.Base != None:
+			fmt.Fprintf(w, "  %sdirect %s on %s (%s)\n", ret, p.methodRef(c.Target), n(c.Base), strings.Join(args, ", "))
+		default:
+			fmt.Fprintf(w, "  %sstatic-call %s (%s)\n", ret, p.methodRef(c.Target), strings.Join(args, ", "))
+		}
+	}
+}
+
+func sanitizeVarName(s string) string {
+	if s == "" {
+		return "v"
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == '$' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if ok {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	switch out {
+	case "this", "ret", "exc", "var", "new", "static", "throw", "catch", "virtual", "direct":
+		return out + "_"
+	}
+	return out
+}

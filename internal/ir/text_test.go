@@ -1,0 +1,181 @@
+package ir
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildTextProgram exercises every construct the text format supports.
+func buildTextProgram(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("textprog")
+	iface := b.AddInterface("Runner", nil)
+	sub := b.AddInterface("FastRunner", []TypeID{iface})
+	base := b.AddAbstractClass("Base", None, nil)
+	impl := b.AddClass("Impl", base, []TypeID{sub})
+	fldF := b.AddField(impl, "f")
+	fldCache := b.AddField(base, "cache")
+
+	run := b.AddMethod(impl, "run", "run", 1, false)
+	run.Move(run.Ret(), run.Formal(0))
+	run.Store(run.This(), fldF, run.Formal(0))
+	t1 := run.NewVar("t1", None)
+	run.Load(t1, run.This(), fldF)
+	run.Cast(t1, run.Formal(0), impl)
+	run.Throw(t1)
+	cv := run.Catch(impl, "caught")
+	_ = cv
+
+	helper := b.AddStaticMethod(impl, "helper", 1, true)
+	helper.SStore(fldCache, helper.Formal(0))
+	hv := helper.NewVar("hv", None)
+	helper.SLoad(hv, fldCache)
+
+	main := b.AddStaticMethod(impl, "main", 0, true)
+	o := main.NewVar("o", impl)
+	main.Alloc(o, impl, "the impl")
+	arr := main.NewVar("arr", None)
+	main.Alloc(arr, impl, "")
+	main.Store(arr, b.ArrayElemField(), o)
+	e := main.NewVar("e", None)
+	main.Load(e, arr, b.ArrayElemField())
+	r := main.NewVar("r", None)
+	main.VCall(r, o, "run", e)
+	main.Call(None, helper.ID(), None, r)
+	main.Call(None, run.ID(), o, e) // direct instance call
+	b.AddEntry(main.ID())
+	prog, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func roundTrip(t *testing.T, prog *Program) *Program {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := prog.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse failed: %v\ntext:\n%s", err, buf.String())
+	}
+	return back
+}
+
+func TestTextRoundTripStructure(t *testing.T) {
+	prog := buildTextProgram(t)
+	back := roundTrip(t, prog)
+	if prog.Stats() != back.Stats() {
+		t.Errorf("stats differ:\n  orig %v\n  back %v", prog.Stats(), back.Stats())
+	}
+	if prog.Name != back.Name {
+		t.Errorf("name: %q vs %q", prog.Name, back.Name)
+	}
+	if len(prog.Entries) != len(back.Entries) {
+		t.Errorf("entries differ")
+	}
+	// Second round trip is a fixpoint textually.
+	var a, b bytes.Buffer
+	if err := back.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	twice := roundTrip(t, back)
+	if err := twice.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("text form is not a fixpoint after one round trip")
+	}
+}
+
+func TestTextFormatContents(t *testing.T) {
+	prog := buildTextProgram(t)
+	var buf bytes.Buffer
+	if err := prog.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"program textprog",
+		"interface Runner",
+		"interface FastRunner extends Runner",
+		"abstract class Base extends Object",
+		"class Impl extends Base implements FastRunner",
+		"field Impl::f",
+		"field Base::cache",
+		"method Impl.run/1 sig run/1 returns {",
+		"entry static method Impl.main/0 sig main/0 {",
+		`o = new Impl @ "the impl"`,
+		"this.Impl::f = p0",
+		"t1 = this.Impl::f",
+		"t1 = (Impl) p0",
+		"throw t1",
+		"catch (Impl) caught",
+		"static Base::cache = p0",
+		"hv = static Base::cache",
+		"arr.[] = o",
+		"e = arr.[]",
+		"r = virtual o.run/1(e)",
+		"static-call Impl.helper/1 (r)",
+		"direct Impl.run/1 on o (e)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serialized text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTextParseErrors(t *testing.T) {
+	cases := []string{
+		"class A",                                                       // missing program header
+		"program p\nclass A extends Missing",                            // unknown supertype
+		"program p\nfield Nope::f",                                      // unknown owner
+		"program p\nclass A\nfield A::f\nfield A::f",                    // duplicate field
+		"program p\nclass A\nstatic method A.m/0 sig m/0 {",             // unterminated
+		"program p\nclass A\nstatic method A.m/0 sig m/0 {\n  x = y\n}", // unknown var
+		"program p\nclass A\nentry static method A.m/0 sig m/0 {\n  var v\n  v = new Nope @ \"x\"\n}",
+		"program p\nnonsense",
+	}
+	for _, src := range cases {
+		if _, err := ParseText(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseText(%q): expected error", src)
+		}
+	}
+}
+
+func TestTextHandWritten(t *testing.T) {
+	src := `
+program hand
+interface Greeter
+class Hello implements Greeter
+field Hello::msg
+
+method Hello.greet/0 sig greet/0 returns {
+  ret = this.Hello::msg
+}
+
+entry static method Hello.main/0 sig main/0 {
+  var h
+  var m
+  h = new Hello @ "h"
+  m = new Hello @ "m"
+  h.Hello::msg = m
+  var g
+  g = virtual h.greet/0()
+}
+`
+	prog, err := ParseText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := prog.Stats()
+	if st.Methods != 2 || st.Allocs != 2 || st.Calls != 1 || st.Loads != 1 || st.Stores != 1 {
+		t.Errorf("hand-written program parsed wrong: %v", st)
+	}
+	if len(prog.Entries) != 1 {
+		t.Error("entry not registered")
+	}
+}

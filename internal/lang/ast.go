@@ -1,0 +1,275 @@
+package lang
+
+// AST node definitions. Every node carries the position of its first
+// token for error reporting.
+
+// File is a parsed compilation unit.
+type File struct {
+	Classes    []*ClassDecl
+	Interfaces []*InterfaceDecl
+}
+
+// TypeExpr is a syntactic type: a base name plus array dimensions.
+type TypeExpr struct {
+	Pos  Pos
+	Name string // "int", "boolean", "String", "void", or a class name
+	Dims int    // number of "[]" suffixes
+}
+
+// Param is a formal parameter.
+type Param struct {
+	Type TypeExpr
+	Name string
+	Pos  Pos
+}
+
+// ClassDecl is "class Name extends Super implements I, J { ... }".
+type ClassDecl struct {
+	Pos        Pos
+	Name       string
+	Extends    string // "" if none
+	Implements []string
+	Fields     []*FieldDecl
+	Methods    []*MethodDecl
+	Ctors      []*MethodDecl // constructors (Name == class name, no return type)
+}
+
+// InterfaceDecl is "interface Name extends I, J { sigs }".
+type InterfaceDecl struct {
+	Pos     Pos
+	Name    string
+	Extends []string
+	Methods []*MethodDecl // bodies are nil
+}
+
+// FieldDecl is a field declaration.
+type FieldDecl struct {
+	Pos    Pos
+	Static bool
+	Type   TypeExpr
+	Name   string
+}
+
+// MethodDecl is a method, constructor, or interface method signature.
+type MethodDecl struct {
+	Pos    Pos
+	Static bool
+	Ctor   bool
+	Ret    TypeExpr // Name "void" for void methods and constructors
+	Name   string
+	Params []Param
+	Body   []Stmt // nil for interface signatures
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtPos() Pos }
+
+// VarDeclStmt is "Type x = init;".
+type VarDeclStmt struct {
+	Pos  Pos
+	Type TypeExpr
+	Name string
+	Init Expr // may be nil
+}
+
+// AssignStmt is "lhs = rhs;" where lhs is an Ident, FieldAccess, or
+// IndexExpr.
+type AssignStmt struct {
+	Pos Pos
+	LHS Expr
+	RHS Expr
+}
+
+// IfStmt is "if (cond) then else els".
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // may be nil
+}
+
+// WhileStmt is "while (cond) body".
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body []Stmt
+}
+
+// ReturnStmt is "return expr;" (Expr nil for bare return).
+type ReturnStmt struct {
+	Pos  Pos
+	Expr Expr
+}
+
+// ExprStmt is an expression evaluated for effect (a call).
+type ExprStmt struct {
+	Pos  Pos
+	Expr Expr
+}
+
+// PrintStmt is "print(expr);" — evaluated, then discarded. It exists so
+// example programs have an innocuous sink.
+type PrintStmt struct {
+	Pos  Pos
+	Expr Expr
+}
+
+// ThrowStmt is "throw expr;".
+type ThrowStmt struct {
+	Pos  Pos
+	Expr Expr
+}
+
+// TryStmt is "try { body } catch (T name) { handler }".
+type TryStmt struct {
+	Pos       Pos
+	Body      []Stmt
+	CatchType TypeExpr
+	CatchName string
+	Handler   []Stmt
+}
+
+// ForStmt is "for (init; cond; post) body" — pure sugar for a while
+// loop under the flow-insensitive analysis, but parsed and checked
+// like Java's.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // may be nil; a VarDeclStmt or AssignStmt
+	Cond Expr // may be nil (treated as true)
+	Post Stmt // may be nil; an AssignStmt or ExprStmt
+	Body []Stmt
+}
+
+func (s *VarDeclStmt) stmtPos() Pos { return s.Pos }
+func (s *AssignStmt) stmtPos() Pos  { return s.Pos }
+func (s *IfStmt) stmtPos() Pos      { return s.Pos }
+func (s *WhileStmt) stmtPos() Pos   { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos  { return s.Pos }
+func (s *ExprStmt) stmtPos() Pos    { return s.Pos }
+func (s *PrintStmt) stmtPos() Pos   { return s.Pos }
+func (s *ThrowStmt) stmtPos() Pos   { return s.Pos }
+func (s *TryStmt) stmtPos() Pos     { return s.Pos }
+func (s *ForStmt) stmtPos() Pos     { return s.Pos }
+
+// Expr is an expression node.
+type Expr interface{ exprPos() Pos }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos   Pos
+	Value int64
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Pos   Pos
+	Value bool
+}
+
+// StringLit is a string literal (allocates a String object).
+type StringLit struct {
+	Pos   Pos
+	Value string
+}
+
+// NullLit is null.
+type NullLit struct{ Pos Pos }
+
+// ThisExpr is this.
+type ThisExpr struct{ Pos Pos }
+
+// Ident is a bare name: a local, parameter, field of this, or — in
+// qualified positions — a class name.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// FieldAccess is "recv.Name" (recv may denote a class for statics).
+type FieldAccess struct {
+	Pos  Pos
+	Recv Expr
+	Name string
+}
+
+// IndexExpr is "arr[idx]".
+type IndexExpr struct {
+	Pos Pos
+	Arr Expr
+	Idx Expr
+}
+
+// CallExpr is "recv.Name(args)" or "Name(args)" (recv nil).
+type CallExpr struct {
+	Pos  Pos
+	Recv Expr // nil for unqualified calls
+	Name string
+	Args []Expr
+}
+
+// NewExpr is "new Name(args)".
+type NewExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// NewArrayExpr is "new Elem[len]".
+type NewArrayExpr struct {
+	Pos  Pos
+	Elem TypeExpr
+	Len  Expr
+}
+
+// CastExpr is "(Type) expr".
+type CastExpr struct {
+	Pos  Pos
+	Type TypeExpr
+	Expr Expr
+}
+
+// UnaryExpr is "!x" or "-x".
+type UnaryExpr struct {
+	Pos Pos
+	Op  Kind
+	X   Expr
+}
+
+// BinaryExpr is "x op y" for arithmetic, comparison, and logical ops.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   Kind
+	X, Y Expr
+}
+
+// InstanceofExpr is "x instanceof T".
+type InstanceofExpr struct {
+	Pos  Pos
+	X    Expr
+	Type TypeExpr
+}
+
+// SuperCallExpr is "super.m(args)": a direct (non-virtual) call to the
+// superclass's implementation.
+type SuperCallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+func (e *IntLit) exprPos() Pos         { return e.Pos }
+func (e *BoolLit) exprPos() Pos        { return e.Pos }
+func (e *StringLit) exprPos() Pos      { return e.Pos }
+func (e *NullLit) exprPos() Pos        { return e.Pos }
+func (e *ThisExpr) exprPos() Pos       { return e.Pos }
+func (e *Ident) exprPos() Pos          { return e.Pos }
+func (e *FieldAccess) exprPos() Pos    { return e.Pos }
+func (e *IndexExpr) exprPos() Pos      { return e.Pos }
+func (e *CallExpr) exprPos() Pos       { return e.Pos }
+func (e *NewExpr) exprPos() Pos        { return e.Pos }
+func (e *NewArrayExpr) exprPos() Pos   { return e.Pos }
+func (e *CastExpr) exprPos() Pos       { return e.Pos }
+func (e *UnaryExpr) exprPos() Pos      { return e.Pos }
+func (e *BinaryExpr) exprPos() Pos     { return e.Pos }
+func (e *InstanceofExpr) exprPos() Pos { return e.Pos }
+func (e *SuperCallExpr) exprPos() Pos  { return e.Pos }

@@ -1,0 +1,590 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"introspect/internal/ir"
+)
+
+// Compile parses, type-checks, and lowers a Mini-Java program to the
+// analysis IR. The program's entry points are all `static void main()`
+// methods.
+func Compile(name, src string) (*ir.Program, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileFile(name, f)
+}
+
+// MustCompile is Compile for known-good sources; it panics on error.
+func MustCompile(name, src string) *ir.Program {
+	p, err := Compile(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// CompileSources parses and lowers a multi-file program: each source
+// is parsed separately (with its own error positions) and the
+// declarations are merged into one compilation unit, like a Java
+// package.
+func CompileSources(name string, sources ...string) (*ir.Program, error) {
+	merged := &File{}
+	var errs []string
+	for i, src := range sources {
+		f, err := Parse(src)
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("file %d: %v", i+1, err))
+			continue
+		}
+		merged.Classes = append(merged.Classes, f.Classes...)
+		merged.Interfaces = append(merged.Interfaces, f.Interfaces...)
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("%s", strings.Join(errs, "\n"))
+	}
+	return CompileFile(name, merged)
+}
+
+// CompileFile lowers a parsed file.
+func CompileFile(name string, f *File) (*ir.Program, error) {
+	c := &compiler{
+		b:       ir.NewBuilder(name),
+		classes: map[string]*classInfo{},
+		byID:    map[ir.TypeID]*classInfo{},
+		names:   map[ir.TypeID]string{},
+		ancs:    map[ir.TypeID]map[ir.TypeID]bool{},
+		iface:   map[ir.TypeID]bool{},
+	}
+	c.declareBuiltins()
+	c.declareTypes(f)
+	if len(c.errs) == 0 {
+		c.declareMembers(f)
+	}
+	if len(c.errs) == 0 {
+		c.checkImplements()
+	}
+	if len(c.errs) == 0 {
+		c.lowerBodies()
+	}
+	if len(c.errs) > 0 {
+		const max = 10
+		errs := c.errs
+		if len(errs) > max {
+			errs = append(errs[:max:max], fmt.Sprintf("... and %d more errors", len(c.errs)-max))
+		}
+		return nil, fmt.Errorf("compile errors:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return c.b.Finish()
+}
+
+// classInfo carries sema information for one class or interface.
+type classInfo struct {
+	name    string
+	id      ir.TypeID
+	isIface bool
+	decl    *ClassDecl     // nil for interfaces and builtins
+	idecl   *InterfaceDecl // nil for classes
+	super   *classInfo     // superclass (classes only)
+	ifaces  []*classInfo   // implemented/extended interfaces
+
+	fields  map[string]*fieldInfo  // own fields
+	methods map[string]*methodInfo // own methods, key "name/arity"
+	ctors   map[int]*methodInfo    // constructors by arity
+}
+
+type fieldInfo struct {
+	name   string
+	id     ir.FieldID
+	typ    semType
+	static bool
+	owner  *classInfo
+}
+
+type methodInfo struct {
+	name   string
+	arity  int
+	static bool
+	ctor   bool
+	ret    semType
+	params []semType
+	mb     *ir.MethodBuilder
+	owner  *classInfo
+	decl   *MethodDecl
+}
+
+func (m *methodInfo) key() string { return fmt.Sprintf("%s/%d", m.name, m.arity) }
+
+type compiler struct {
+	b    *ir.Builder
+	errs []string
+
+	classes map[string]*classInfo
+	byID    map[ir.TypeID]*classInfo
+	names   map[ir.TypeID]string
+	ancs    map[ir.TypeID]map[ir.TypeID]bool // reflexive-transitive supertypes
+	iface   map[ir.TypeID]bool
+
+	objectCls ir.TypeID
+	stringCls ir.TypeID
+	arrayCls  ir.TypeID
+
+	entries int
+}
+
+func (c *compiler) fail(p Pos, format string, args ...any) {
+	c.errs = append(c.errs, fmt.Sprintf("%s: %s", p, fmt.Sprintf(format, args...)))
+}
+
+func (c *compiler) clsName(id ir.TypeID) string {
+	if n, ok := c.names[id]; ok {
+		return n
+	}
+	return fmt.Sprintf("type#%d", id)
+}
+
+func (c *compiler) subtype(sub, super ir.TypeID) bool {
+	if sub == super {
+		return true
+	}
+	return c.ancs[sub][super]
+}
+
+func (c *compiler) isInterface(id ir.TypeID) bool { return c.iface[id] }
+
+func (c *compiler) infoByID(id ir.TypeID) *classInfo { return c.byID[id] }
+
+func (c *compiler) registerType(name string, id ir.TypeID, isIface bool, super ir.TypeID, ifaces []ir.TypeID) *classInfo {
+	info := &classInfo{
+		name: name, id: id, isIface: isIface,
+		fields:  map[string]*fieldInfo{},
+		methods: map[string]*methodInfo{},
+		ctors:   map[int]*methodInfo{},
+	}
+	c.classes[name] = info
+	c.byID[id] = info
+	c.names[id] = name
+	c.iface[id] = isIface
+	anc := map[ir.TypeID]bool{id: true}
+	if super != ir.None {
+		for a := range c.ancs[super] {
+			anc[a] = true
+		}
+	}
+	for _, i := range ifaces {
+		for a := range c.ancs[i] {
+			anc[a] = true
+		}
+	}
+	// Every reference type, interfaces included, is assignable to
+	// Object.
+	if len(c.classes) > 0 { // Object itself registers first
+		anc[c.objectCls] = true
+	}
+	c.ancs[id] = anc
+	return info
+}
+
+func (c *compiler) declareBuiltins() {
+	c.objectCls = c.b.TypeByName("Object")
+	c.registerType("Object", c.objectCls, false, ir.None, nil)
+	c.stringCls = c.b.AddClass("String", ir.None, nil)
+	c.registerType("String", c.stringCls, false, c.objectCls, nil)
+	c.arrayCls = c.b.AddClass("Array", ir.None, nil)
+	c.registerType("Array", c.arrayCls, false, c.objectCls, nil)
+}
+
+// declareTypes declares all classes and interfaces in supertype-first
+// order.
+func (c *compiler) declareTypes(f *File) {
+	classDecls := map[string]*ClassDecl{}
+	ifaceDecls := map[string]*InterfaceDecl{}
+	for _, d := range f.Classes {
+		if _, dup := classDecls[d.Name]; dup || c.classes[d.Name] != nil || ifaceDecls[d.Name] != nil {
+			c.fail(d.Pos, "duplicate type %s", d.Name)
+			continue
+		}
+		classDecls[d.Name] = d
+	}
+	for _, d := range f.Interfaces {
+		if _, dup := ifaceDecls[d.Name]; dup || c.classes[d.Name] != nil || classDecls[d.Name] != nil {
+			c.fail(d.Pos, "duplicate type %s", d.Name)
+			continue
+		}
+		ifaceDecls[d.Name] = d
+	}
+
+	// Topological declaration with cycle detection.
+	state := map[string]int{} // 0 new, 1 visiting, 2 done
+	var declare func(name string, at Pos) bool
+	declare = func(name string, at Pos) bool {
+		if c.classes[name] != nil {
+			return true
+		}
+		switch state[name] {
+		case 1:
+			c.fail(at, "type hierarchy cycle involving %s", name)
+			return false
+		case 2:
+			return true
+		}
+		state[name] = 1
+		defer func() { state[name] = 2 }()
+
+		if d, ok := classDecls[name]; ok {
+			super := c.objectCls
+			var superInfo *classInfo
+			if d.Extends != "" {
+				if !declare(d.Extends, d.Pos) {
+					return false
+				}
+				si := c.classes[d.Extends]
+				if si == nil {
+					c.fail(d.Pos, "unknown superclass %s", d.Extends)
+					return false
+				}
+				if si.isIface {
+					c.fail(d.Pos, "class %s extends interface %s", name, d.Extends)
+					return false
+				}
+				super = si.id
+				superInfo = si
+			} else {
+				superInfo = c.classes["Object"]
+			}
+			var ifaceIDs []ir.TypeID
+			var ifaceInfos []*classInfo
+			for _, iname := range d.Implements {
+				if !declare(iname, d.Pos) {
+					return false
+				}
+				ii := c.classes[iname]
+				if ii == nil || !ii.isIface {
+					c.fail(d.Pos, "%s is not an interface", iname)
+					continue
+				}
+				ifaceIDs = append(ifaceIDs, ii.id)
+				ifaceInfos = append(ifaceInfos, ii)
+			}
+			id := c.b.AddClass(name, super, ifaceIDs)
+			info := c.registerType(name, id, false, super, ifaceIDs)
+			info.decl = d
+			info.super = superInfo
+			info.ifaces = ifaceInfos
+			return true
+		}
+		if d, ok := ifaceDecls[name]; ok {
+			var ifaceIDs []ir.TypeID
+			var ifaceInfos []*classInfo
+			for _, iname := range d.Extends {
+				if !declare(iname, d.Pos) {
+					return false
+				}
+				ii := c.classes[iname]
+				if ii == nil || !ii.isIface {
+					c.fail(d.Pos, "%s is not an interface", iname)
+					continue
+				}
+				ifaceIDs = append(ifaceIDs, ii.id)
+				ifaceInfos = append(ifaceInfos, ii)
+			}
+			id := c.b.AddInterface(name, ifaceIDs)
+			info := c.registerType(name, id, true, ir.None, ifaceIDs)
+			info.idecl = d
+			info.ifaces = ifaceInfos
+			return true
+		}
+		c.fail(at, "unknown type %s", name)
+		return false
+	}
+
+	names := make([]string, 0, len(classDecls)+len(ifaceDecls))
+	for n := range classDecls {
+		names = append(names, n)
+	}
+	for n := range ifaceDecls {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		declare(n, Pos{})
+	}
+}
+
+// resolveType resolves a syntactic type.
+func (c *compiler) resolveType(t TypeExpr) semType {
+	var base semType
+	switch t.Name {
+	case "int":
+		base = intType
+	case "boolean":
+		base = boolType
+	case "void":
+		base = voidType
+	case "String":
+		base = refType(c.stringCls)
+	default:
+		info := c.classes[t.Name]
+		if info == nil {
+			c.fail(t.Pos, "unknown type %s", t.Name)
+			base = refType(c.objectCls)
+		} else {
+			base = refType(info.id)
+		}
+	}
+	for i := 0; i < t.Dims; i++ {
+		if base.k == tVoid {
+			c.fail(t.Pos, "array of void")
+			break
+		}
+		base = arrayType(base)
+	}
+	return base
+}
+
+// declareMembers declares all fields, methods, and constructors.
+func (c *compiler) declareMembers(f *File) {
+	for _, info := range c.sortedClasses() {
+		switch {
+		case info.decl != nil:
+			c.declareClassMembers(info)
+		case info.idecl != nil:
+			c.declareIfaceMembers(info)
+		}
+	}
+}
+
+func (c *compiler) sortedClasses() []*classInfo {
+	out := make([]*classInfo, 0, len(c.classes))
+	for _, info := range c.classes {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func (c *compiler) declareClassMembers(info *classInfo) {
+	d := info.decl
+	for _, fd := range d.Fields {
+		if info.fields[fd.Name] != nil {
+			c.fail(fd.Pos, "duplicate field %s.%s", info.name, fd.Name)
+			continue
+		}
+		typ := c.resolveType(fd.Type)
+		if typ.k == tVoid {
+			c.fail(fd.Pos, "field %s has type void", fd.Name)
+			continue
+		}
+		fi := &fieldInfo{name: fd.Name, typ: typ, static: fd.Static, owner: info}
+		if typ.isRefLike() {
+			fi.id = c.b.AddField(info.id, fd.Name)
+		} else {
+			fi.id = ir.None
+		}
+		info.fields[fd.Name] = fi
+	}
+	for _, md := range d.Methods {
+		c.declareMethod(info, md)
+	}
+	for _, md := range d.Ctors {
+		mi := c.newMethodInfo(info, md)
+		if info.ctors[mi.arity] != nil {
+			c.fail(md.Pos, "duplicate constructor %s/%d", info.name, mi.arity)
+			continue
+		}
+		mi.mb = c.b.AddMethod(info.id, "<init>", "<init>", mi.arity, true)
+		info.ctors[mi.arity] = mi
+	}
+}
+
+func (c *compiler) declareIfaceMembers(info *classInfo) {
+	for _, md := range info.idecl.Methods {
+		mi := c.newMethodInfo(info, md)
+		if info.methods[mi.key()] != nil {
+			c.fail(md.Pos, "duplicate method %s.%s", info.name, mi.key())
+			continue
+		}
+		info.methods[mi.key()] = mi // no MethodBuilder: no body
+	}
+}
+
+func (c *compiler) newMethodInfo(info *classInfo, md *MethodDecl) *methodInfo {
+	mi := &methodInfo{
+		name: md.Name, arity: len(md.Params), static: md.Static, ctor: md.Ctor,
+		ret: c.resolveType(md.Ret), owner: info, decl: md,
+	}
+	for _, p := range md.Params {
+		t := c.resolveType(p.Type)
+		if t.k == tVoid {
+			c.fail(p.Pos, "parameter %s has type void", p.Name)
+			t = intType
+		}
+		mi.params = append(mi.params, t)
+	}
+	return mi
+}
+
+func (c *compiler) declareMethod(info *classInfo, md *MethodDecl) {
+	mi := c.newMethodInfo(info, md)
+	if info.methods[mi.key()] != nil {
+		c.fail(md.Pos, "duplicate method %s.%s", info.name, mi.key())
+		return
+	}
+	// Override compatibility: a superclass method with the same
+	// name/arity must agree on parameter and return types.
+	if !mi.static {
+		if over := c.lookupMethod(info.super, mi.name, mi.arity); over != nil {
+			if over.static {
+				c.fail(md.Pos, "%s.%s overrides a static method", info.name, mi.key())
+			} else if !c.sameSignature(mi, over) {
+				c.fail(md.Pos, "%s.%s overrides %s.%s with an incompatible signature",
+					info.name, mi.key(), over.owner.name, over.key())
+			}
+		}
+	}
+	void := mi.ret.k == tVoid
+	if mi.static {
+		mi.mb = c.b.AddStaticMethod(info.id, md.Name, mi.arity, void)
+	} else {
+		mi.mb = c.b.AddMethod(info.id, md.Name, md.Name, mi.arity, void)
+	}
+	info.methods[mi.key()] = mi
+}
+
+func (c *compiler) sameSignature(a, b *methodInfo) bool {
+	if !a.ret.equal(b.ret) || len(a.params) != len(b.params) {
+		return false
+	}
+	for i := range a.params {
+		if !a.params[i].equal(b.params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// lookupMethod finds a non-static method by name/arity along the
+// superclass chain and interface closure starting at info.
+func (c *compiler) lookupMethod(info *classInfo, name string, arity int) *methodInfo {
+	key := fmt.Sprintf("%s/%d", name, arity)
+	seen := map[*classInfo]bool{}
+	var walk func(ci *classInfo) *methodInfo
+	walk = func(ci *classInfo) *methodInfo {
+		if ci == nil || seen[ci] {
+			return nil
+		}
+		seen[ci] = true
+		if m, ok := ci.methods[key]; ok && !m.static {
+			return m
+		}
+		if m := walk(ci.super); m != nil {
+			return m
+		}
+		for _, i := range ci.ifaces {
+			if m := walk(i); m != nil {
+				return m
+			}
+		}
+		return nil
+	}
+	return walk(info)
+}
+
+// lookupStatic finds a static method by name/arity on exactly the
+// given class or its superclasses.
+func (c *compiler) lookupStatic(info *classInfo, name string, arity int) *methodInfo {
+	key := fmt.Sprintf("%s/%d", name, arity)
+	for ci := info; ci != nil; ci = ci.super {
+		if m, ok := ci.methods[key]; ok && m.static {
+			return m
+		}
+	}
+	return nil
+}
+
+// lookupField finds a field along the superclass chain.
+func (c *compiler) lookupField(info *classInfo, name string) *fieldInfo {
+	for ci := info; ci != nil; ci = ci.super {
+		if f, ok := ci.fields[name]; ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// checkImplements verifies that every concrete class provides all
+// methods of its interfaces.
+func (c *compiler) checkImplements() {
+	for _, info := range c.sortedClasses() {
+		if info.decl == nil {
+			continue
+		}
+		var need []*methodInfo
+		seen := map[*classInfo]bool{}
+		var collect func(ci *classInfo)
+		collect = func(ci *classInfo) {
+			if ci == nil || seen[ci] {
+				return
+			}
+			seen[ci] = true
+			if ci.isIface {
+				for _, m := range ci.methods {
+					need = append(need, m)
+				}
+			}
+			for _, i := range ci.ifaces {
+				collect(i)
+			}
+			collect(ci.super)
+		}
+		collect(info)
+		for _, m := range need {
+			impl := c.lookupMethod(info, m.name, m.arity)
+			if impl == nil || impl.owner.isIface {
+				c.fail(info.decl.Pos, "class %s does not implement %s.%s",
+					info.name, m.owner.name, m.key())
+			} else if !c.sameSignature(impl, m) {
+				c.fail(impl.decl.Pos, "%s.%s implements %s.%s with an incompatible signature",
+					info.name, impl.key(), m.owner.name, m.key())
+			}
+		}
+	}
+}
+
+// lowerBodies lowers every declared method body and registers entry
+// points.
+func (c *compiler) lowerBodies() {
+	for _, info := range c.sortedClasses() {
+		if info.decl == nil {
+			continue
+		}
+		keys := make([]string, 0, len(info.methods))
+		for k := range info.methods {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			mi := info.methods[k]
+			c.lowerMethod(mi)
+			if mi.static && mi.name == "main" && mi.arity == 0 {
+				c.b.AddEntry(mi.mb.ID())
+				c.entries++
+			}
+		}
+		arities := make([]int, 0, len(info.ctors))
+		for a := range info.ctors {
+			arities = append(arities, a)
+		}
+		sort.Ints(arities)
+		for _, a := range arities {
+			c.lowerMethod(info.ctors[a])
+		}
+	}
+	if c.entries == 0 && len(c.errs) == 0 {
+		c.errs = append(c.errs, "program has no `static void main()` entry point")
+	}
+}

@@ -1,0 +1,184 @@
+package lang
+
+import (
+	"testing"
+
+	"introspect/internal/ir"
+	"introspect/internal/pta"
+	"introspect/internal/report"
+)
+
+const excSrc = `
+class IoError { }
+class ParseError { }
+
+class Reader {
+  Object read(boolean bad) {
+    if (bad) { throw new IoError(); }
+    return new Reader();
+  }
+}
+
+class Parser {
+  Object parse(Reader r) {
+    Object data = r.read(false);   // IoError escapes read, not caught here
+    throw new ParseError();
+  }
+}
+
+class Main {
+  static void main() {
+    Reader r = new Reader();
+    Parser p = new Parser();
+    try {
+      Object result = p.parse(r);
+      print(result);
+    } catch (ParseError e) {
+      print(e);
+    }
+  }
+}`
+
+func TestExceptionsEndToEnd(t *testing.T) {
+	prog := compileOK(t, excSrc)
+	res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	typesOf := func(v ir.VarID) map[string]bool {
+		out := map[string]bool{}
+		res.VarHeaps(v).ForEach(func(h int32) {
+			out[prog.TypeName(prog.HeapType(ir.HeapID(h)))] = true
+		})
+		return out
+	}
+
+	// The catch variable e sees ParseError (thrown by the callee) but
+	// not IoError (wrong type for the clause).
+	var catchVar ir.VarID = ir.None
+	for v := range prog.Vars {
+		if prog.Vars[v].Name == "e" && prog.MethodName(prog.Vars[v].Method) == "Main.main" {
+			catchVar = ir.VarID(v)
+		}
+	}
+	if catchVar == ir.None {
+		t.Fatal("catch variable not found")
+	}
+	got := typesOf(catchVar)
+	if !got["ParseError"] {
+		t.Errorf("catch var: got %v, want ParseError", got)
+	}
+	if got["IoError"] {
+		t.Errorf("catch var: IoError should be filtered by the clause type, got %v", got)
+	}
+
+	// Both exception objects escape main uncaught in the coarse model:
+	// IoError matches no clause; ParseError is caught but the model
+	// conservatively keeps escapes.
+	unc := report.UncaughtExceptions(res)
+	foundIo := false
+	for _, u := range unc {
+		if u != "" && containsType(u, "IoError") {
+			foundIo = true
+		}
+	}
+	if !foundIo {
+		t.Errorf("UncaughtExceptions = %v, want an IoError entry", unc)
+	}
+}
+
+func containsType(s, typ string) bool {
+	return len(s) >= len(typ) && (s == typ || indexOf(s, typ) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestThrowTypeErrors(t *testing.T) {
+	compileErr(t, `class A { static void main() { throw 42; } }`, "cannot throw")
+	compileErr(t, `class A { static void main() { try { } catch (int e) { } } }`, "catch type")
+}
+
+func TestParseTryCatch(t *testing.T) {
+	f, err := Parse(`class A { static void main() {
+	  try { print(1); } catch (A e) { print(2); }
+	  throw new A();
+	} }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := f.Classes[0].Methods[0].Body
+	ts, ok := body[0].(*TryStmt)
+	if !ok {
+		t.Fatalf("expected TryStmt, got %T", body[0])
+	}
+	if ts.CatchType.Name != "A" || ts.CatchName != "e" || len(ts.Body) != 1 || len(ts.Handler) != 1 {
+		t.Errorf("TryStmt parsed wrong: %+v", ts)
+	}
+	if _, ok := body[1].(*ThrowStmt); !ok {
+		t.Errorf("expected ThrowStmt, got %T", body[1])
+	}
+}
+
+// TestExceptionContextSensitivity: exceptions participate in context
+// sensitivity like any other flow — two reader objects throwing their
+// own error objects are separated by 2objH.
+func TestExceptionContextSensitivity(t *testing.T) {
+	prog := compileOK(t, `
+class Err { Object payload; Err(Object p) { this.payload = p; } }
+class Thrower {
+  Object tag;
+  void arm(Object t) { this.tag = t; }
+  void fire() { Object x = this.tag; throw new Err(x); }
+}
+class Main {
+  static void main() {
+    Thrower t1 = new Thrower();
+    Thrower t2 = new Thrower();
+    t1.arm(new Main());
+    t2.arm(new Thrower());
+    try { t1.fire(); } catch (Err e1) { print(e1); }
+  }
+}`)
+	res, err := pta.Analyze(prog, "2objH", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the payload field content of the Err caught from t1: its
+	// payload must be Main only (t1's tag), not Thrower.
+	var e1 ir.VarID = ir.None
+	for v := range prog.Vars {
+		if prog.Vars[v].Name == "e1" {
+			e1 = ir.VarID(v)
+		}
+	}
+	if e1 == ir.None {
+		t.Fatal("e1 not found")
+	}
+	// e1 -> Err heaps; their payload fields.
+	var payloadFld ir.FieldID = ir.None
+	for f := range prog.Fields {
+		if prog.Fields[f].Name == "payload" {
+			payloadFld = ir.FieldID(f)
+		}
+	}
+	types := map[string]bool{}
+	res.VarHeaps(e1).ForEach(func(h int32) {
+		res.HeapFieldHeaps(ir.HeapID(h), payloadFld).ForEach(func(p int32) {
+			types[prog.TypeName(prog.HeapType(ir.HeapID(p)))] = true
+		})
+	})
+	if !types["Main"] {
+		t.Errorf("caught Err payload: got %v, want Main", types)
+	}
+	if types["Thrower"] {
+		t.Errorf("caught Err payload conflated with t2's tag: %v", types)
+	}
+}

@@ -1,0 +1,43 @@
+package lang
+
+import "testing"
+
+// FuzzParse checks that the Mini-Java parser never panics and that any
+// program it accepts either compiles or reports errors gracefully —
+// and that accepted, compilable programs survive a format/reparse
+// round trip. Run with `go test -fuzz=FuzzParse ./internal/lang` for a
+// real campaign; as a plain test it exercises the seed corpus.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`class A { static void main() { } }`,
+		`interface I { int m(); } class A implements I { int m() { return 1; } static void main() { } }`,
+		`class A { Object f; A(Object x) { this.f = x; } static void main() { A a = new A(null); print(a.f); } }`,
+		`class A { static void main() { for (int i = 0; i < 3; i = i + 1) { print(i); } } }`,
+		`class A { static void main() { try { throw new A(); } catch (A e) { print(e); } } }`,
+		`class A { static void main() { Object[] x = new Object[2]; x[0] = (Object) x[1]; } }`,
+		`class B { void m() { super.m(); } }`,
+		`class C { static void main() { String s = "a" + "b"; print(s instanceof String); } }`,
+		"class \x00 {", "class A { int",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		prog, err := CompileFile("fuzz", file)
+		if err != nil {
+			return
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("compiled program fails validation: %v\nsource: %q", err, src)
+		}
+		// Accepted programs must survive format -> reparse.
+		out := Format(file)
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("formatted output does not reparse: %v\nsource: %q\nformatted: %q", err, src, out)
+		}
+	})
+}

@@ -1,0 +1,364 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"introspect/internal/ir"
+	"introspect/internal/pta"
+)
+
+func TestTokenize(t *testing.T) {
+	toks, err := Tokenize(`class A { int x; } // comment
+/* block
+comment */ "str" 42 <= >= == != && || ! . , ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []Kind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	want := []Kind{KWCLASS, IDENT, LBRACE, KWINT, IDENT, SEMI, RBRACE,
+		STRING, INT, LE, GE, EQ, NE, ANDAND, OROR, NOT, DOT, COMMA, SEMI, EOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks, err := Tokenize("class\n  Foo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("first token at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("second token at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, "/* unterminated", "#"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseBasics(t *testing.T) {
+	f, err := Parse(`
+interface Shape { int area(); }
+class Square extends Object implements Shape {
+  int side;
+  static int count;
+  Square(int s) { this.side = s; }
+  int area() { return side * side; }
+  static void main() {
+    Square sq = new Square(4);
+    int a = sq.area();
+    if (a > 10) { print(a); } else print(0);
+    while (a > 0) a = a - 1;
+    int[] xs = new int[3];
+    xs[0] = 1;
+    Object o = (Object) sq;
+  }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Classes) != 1 || len(f.Interfaces) != 1 {
+		t.Fatalf("got %d classes, %d interfaces", len(f.Classes), len(f.Interfaces))
+	}
+	c := f.Classes[0]
+	if c.Name != "Square" || c.Extends != "Object" || len(c.Implements) != 1 {
+		t.Errorf("class header parsed wrong: %+v", c)
+	}
+	if len(c.Fields) != 2 || !c.Fields[1].Static {
+		t.Errorf("fields parsed wrong")
+	}
+	if len(c.Ctors) != 1 || len(c.Methods) != 2 {
+		t.Errorf("got %d ctors, %d methods", len(c.Ctors), len(c.Methods))
+	}
+}
+
+func TestParseCastVsParen(t *testing.T) {
+	f, err := Parse(`class A { static void main() {
+	  Object o = null;
+	  A a = (A) o;        // cast
+	  int x = (1) + 2;    // parenthesized expression
+	} }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := f.Classes[0].Methods[0].Body
+	if _, ok := body[1].(*VarDeclStmt).Init.(*CastExpr); !ok {
+		t.Errorf("(A) o should parse as a cast, got %T", body[1].(*VarDeclStmt).Init)
+	}
+	if _, ok := body[2].(*VarDeclStmt).Init.(*BinaryExpr); !ok {
+		t.Errorf("(1) + 2 should parse as binary, got %T", body[2].(*VarDeclStmt).Init)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"class { }",
+		"class A extends { }",
+		"class A { int }",
+		"class A { void m() { return; }",  // missing brace
+		"class A { void m() { 1 + 2; } }", // expr stmt must be call
+		"class A { void m() { x = ; } }",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func compileOK(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := Compile("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func compileErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	_, err := Compile("test", src)
+	if err == nil {
+		t.Fatalf("expected compile error containing %q", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err, wantSub)
+	}
+}
+
+func TestCompileSemanticErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`class A { }`, "no `static void main()`"},
+		{`class A { static void main() { } } class A { }`, "duplicate type"},
+		{`class A extends B { static void main() { } } class B extends A { }`, "cycle"},
+		{`class A { static void main() { B x = null; } }`, "unknown type B"},
+		{`class A { static void main() { int x = true; } }`, "cannot initialize"},
+		{`class A { static void main() { int x; int x; } }`, "duplicate variable"},
+		{`class A { int f; int f; static void main() { } }`, "duplicate field"},
+		{`class A { static void main() { this.foo(); } }`, "this in a static method"},
+		{`class A { void m() { } static void main() { A a = new A(); a.m(1); } }`, "no method m/1"},
+		{`class A { static void main() { if (1) { } } }`, "must be boolean"},
+		{`class A { int m() { return true; } static void main() { } }`, "cannot return"},
+		{`interface I { void m(); } class A implements I { static void main() { } }`, "does not implement"},
+		{`class B { void m(int x) { } } class A extends B { int m(int x) { return x; } static void main() { } }`,
+			"incompatible signature"},
+		{`class A { static void main() { int x = (int) true; } }`, "cannot cast"},
+		{`class A { static void main() { A a = new A(1); } }`, "no constructor"},
+		{`interface I { } class A { static void main() { I i = new I(); } }`, "cannot instantiate interface"},
+	}
+	for _, tc := range cases {
+		compileErr(t, tc.src, tc.want)
+	}
+}
+
+// TestCompileAndAnalyze compiles a realistic program and checks the
+// analysis results end-to-end: the frontend's lowering must preserve
+// the points-to facts the source implies.
+func TestCompileAndAnalyze(t *testing.T) {
+	prog := compileOK(t, `
+interface Animal { String speak(); }
+
+class Dog implements Animal {
+  String speak() { return "woof"; }
+}
+class Cat implements Animal {
+  String speak() { return "meow"; }
+}
+
+class Kennel {
+  Animal resident;
+  Kennel(Animal a) { this.resident = a; }
+  Animal get() { return this.resident; }
+}
+
+class Main {
+  static Kennel makeKennel(Animal a) { return new Kennel(a); }
+  static void main() {
+    Kennel k1 = makeKennel(new Dog());
+    Kennel k2 = makeKennel(new Cat());
+    Animal a1 = k1.get();
+    Animal a2 = k2.get();
+    String s = a1.speak();
+    Dog d = (Dog) a1;
+    print(s);
+  }
+}`)
+
+	// Find interesting variables by name.
+	var a1, a2 ir.VarID = ir.None, ir.None
+	for v := range prog.Vars {
+		switch {
+		case prog.Vars[v].Name == "a1" && prog.MethodName(prog.Vars[v].Method) == "Main.main":
+			a1 = ir.VarID(v)
+		case prog.Vars[v].Name == "a2" && prog.MethodName(prog.Vars[v].Method) == "Main.main":
+			a2 = ir.VarID(v)
+		}
+	}
+	if a1 == ir.None || a2 == ir.None {
+		t.Fatal("could not find a1/a2 in lowered program")
+	}
+
+	typesOf := func(res *pta.Result, v ir.VarID) map[string]bool {
+		out := map[string]bool{}
+		res.VarHeaps(v).ForEach(func(h int32) {
+			out[prog.TypeName(prog.HeapType(ir.HeapID(h)))] = true
+		})
+		return out
+	}
+
+	// Insensitive: the single Kennel allocation site conflates both
+	// kennels, so a1 sees Dog and Cat.
+	ins, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := typesOf(ins, a1); !got["Dog"] || !got["Cat"] {
+		t.Errorf("insens a1: got %v, want Dog and Cat", got)
+	}
+
+	// 2callH separates the two makeKennel call sites (depth 2 is needed
+	// because the Kennel constructor adds one intervening call site).
+	ch, err := pta.Analyze(prog, "2callH", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := typesOf(ch, a1); !got["Dog"] || got["Cat"] || len(got) != 1 {
+		t.Errorf("2callH a1: got %v, want {Dog}", got)
+	}
+	if got := typesOf(ch, a2); !got["Cat"] || len(got) != 1 {
+		t.Errorf("2callH a2: got %v, want {Cat}", got)
+	}
+}
+
+func TestCompileStaticsAndArrays(t *testing.T) {
+	prog := compileOK(t, `
+class Registry {
+  static Object cache;
+  static void put(Object o) { Registry.cache = o; }
+  static Object get() { return Registry.cache; }
+}
+class Main {
+  static void main() {
+    Registry.put(new Main());
+    Object o = Registry.get();
+    Object[] arr = new Object[2];
+    arr[0] = new Registry();
+    Object e = arr[1];
+    int n = arr.length;
+    print(n);
+  }
+}`)
+	res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(name string) ir.VarID {
+		for v := range prog.Vars {
+			if prog.Vars[v].Name == name && prog.MethodName(prog.Vars[v].Method) == "Main.main" {
+				return ir.VarID(v)
+			}
+		}
+		t.Fatalf("variable %s not found", name)
+		return ir.None
+	}
+	o := find("o")
+	types := map[string]bool{}
+	res.VarHeaps(o).ForEach(func(h int32) {
+		types[prog.TypeName(prog.HeapType(ir.HeapID(h)))] = true
+	})
+	if !types["Main"] || len(types) != 1 {
+		t.Errorf("static flow: o sees %v, want {Main}", types)
+	}
+	e := find("e")
+	etypes := map[string]bool{}
+	res.VarHeaps(e).ForEach(func(h int32) {
+		etypes[prog.TypeName(prog.HeapType(ir.HeapID(h)))] = true
+	})
+	if !etypes["Registry"] || len(etypes) != 1 {
+		t.Errorf("array flow: e sees %v, want {Registry}", etypes)
+	}
+}
+
+func TestCompileInheritanceDispatch(t *testing.T) {
+	prog := compileOK(t, `
+class Base {
+  Object id(Object x) { return x; }
+  Object tag() { return new Base(); }
+}
+class Derived extends Base {
+  Object tag() { return new Derived(); }
+}
+class Main {
+  static void main() {
+    Base b = new Derived();
+    Object t = b.tag();      // dispatches to Derived.tag
+    Object i = b.id(b);      // inherited Base.id
+    print(t);
+  }
+}`)
+	res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range prog.Vars {
+		if prog.Vars[v].Name != "t" || prog.MethodName(prog.Vars[v].Method) != "Main.main" {
+			continue
+		}
+		types := map[string]bool{}
+		res.VarHeaps(ir.VarID(v)).ForEach(func(h int32) {
+			types[prog.TypeName(prog.HeapType(ir.HeapID(h)))] = true
+		})
+		if !types["Derived"] || types["Base"] {
+			t.Errorf("dispatch: t sees %v, want {Derived}", types)
+		}
+	}
+	// Base.tag must be unreachable (b only holds Derived).
+	for m := range prog.Methods {
+		if prog.MethodName(ir.MethodID(m)) == "Base.tag" && res.MethodReachable(ir.MethodID(m)) {
+			t.Error("Base.tag should be unreachable")
+		}
+	}
+}
+
+func TestCompileStringAllocation(t *testing.T) {
+	prog := compileOK(t, `
+class Main {
+  static void main() {
+    String s = "hello";
+    Object o = s;
+    print(o);
+  }
+}`)
+	res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for v := range prog.Vars {
+		if prog.Vars[v].Name == "o" && prog.MethodName(prog.Vars[v].Method) == "Main.main" {
+			res.VarHeaps(ir.VarID(v)).ForEach(func(h int32) {
+				if prog.TypeName(prog.HeapType(ir.HeapID(h))) == "String" {
+					found = true
+				}
+			})
+		}
+	}
+	if !found {
+		t.Error("string literal allocation did not flow to o")
+	}
+}

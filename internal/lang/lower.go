@@ -1,0 +1,723 @@
+package lang
+
+import (
+	"fmt"
+
+	"introspect/internal/ir"
+)
+
+// value is a lowered expression: the IR variable holding it (ir.None
+// for primitives, void, and null) and its semantic type.
+type value struct {
+	v   ir.VarID
+	typ semType
+}
+
+type local struct {
+	v   ir.VarID
+	typ semType
+}
+
+// lowerer lowers one method body.
+type lowerer struct {
+	c      *compiler
+	mi     *methodInfo
+	mb     *ir.MethodBuilder
+	scopes []map[string]local
+	tmpN   int
+	unit   ir.VarID // lazily created dummy var for primitive arguments
+}
+
+func (c *compiler) lowerMethod(mi *methodInfo) {
+	if mi.decl.Body == nil {
+		return
+	}
+	l := &lowerer{c: c, mi: mi, mb: mi.mb, unit: ir.None}
+	l.pushScope()
+	for i, p := range mi.decl.Params {
+		if _, dup := l.scopes[0][p.Name]; dup {
+			c.fail(p.Pos, "duplicate parameter %s", p.Name)
+			continue
+		}
+		l.scopes[0][p.Name] = local{v: mi.mb.Formal(i), typ: mi.params[i]}
+	}
+	l.stmts(mi.decl.Body)
+}
+
+func (l *lowerer) pushScope() { l.scopes = append(l.scopes, map[string]local{}) }
+func (l *lowerer) popScope()  { l.scopes = l.scopes[:len(l.scopes)-1] }
+
+func (l *lowerer) lookupLocal(name string) (local, bool) {
+	for i := len(l.scopes) - 1; i >= 0; i-- {
+		if lo, ok := l.scopes[i][name]; ok {
+			return lo, true
+		}
+	}
+	return local{}, false
+}
+
+func (l *lowerer) tmp(t semType) ir.VarID {
+	l.tmpN++
+	var tid ir.TypeID = ir.None
+	if t.k == tRef {
+		tid = t.cls
+	}
+	return l.mb.NewVar(fmt.Sprintf("t%d", l.tmpN), tid)
+}
+
+func (l *lowerer) unitVar() ir.VarID {
+	if l.unit == ir.None {
+		l.unit = l.mb.NewVar("$unit", ir.None)
+	}
+	return l.unit
+}
+
+// argVar returns an IR variable for an actual argument: the value's
+// variable for references, a never-assigned dummy for primitives.
+func (l *lowerer) argVar(v value) ir.VarID {
+	if v.v != ir.None {
+		return v.v
+	}
+	return l.unitVar()
+}
+
+func (l *lowerer) stmts(ss []Stmt) {
+	l.pushScope()
+	for _, s := range ss {
+		l.stmt(s)
+	}
+	l.popScope()
+}
+
+func (l *lowerer) stmt(s Stmt) {
+	c := l.c
+	switch s := s.(type) {
+	case *VarDeclStmt:
+		typ := c.resolveType(s.Type)
+		if typ.k == tVoid {
+			c.fail(s.Pos, "variable %s has type void", s.Name)
+			return
+		}
+		cur := l.scopes[len(l.scopes)-1]
+		if _, dup := cur[s.Name]; dup {
+			c.fail(s.Pos, "duplicate variable %s", s.Name)
+			return
+		}
+		var tid ir.TypeID = ir.None
+		if typ.k == tRef {
+			tid = typ.cls
+		}
+		v := l.mb.NewVar(s.Name, tid)
+		cur[s.Name] = local{v: v, typ: typ}
+		if s.Init != nil {
+			init := l.expr(s.Init)
+			if !c.assignable(init.typ, typ) {
+				c.fail(s.Pos, "cannot initialize %s (%s) with %s", s.Name, c.typeName(typ), c.typeName(init.typ))
+				return
+			}
+			if typ.isRefLike() && init.v != ir.None {
+				l.mb.Move(v, init.v)
+			}
+		}
+
+	case *AssignStmt:
+		l.assign(s)
+
+	case *IfStmt:
+		cond := l.expr(s.Cond)
+		if cond.typ.k != tBool {
+			c.fail(s.Pos, "if condition must be boolean, got %s", c.typeName(cond.typ))
+		}
+		l.stmts(s.Then)
+		if s.Else != nil {
+			l.stmts(s.Else)
+		}
+
+	case *WhileStmt:
+		cond := l.expr(s.Cond)
+		if cond.typ.k != tBool {
+			c.fail(s.Pos, "while condition must be boolean, got %s", c.typeName(cond.typ))
+		}
+		l.stmts(s.Body)
+
+	case *ReturnStmt:
+		if s.Expr == nil {
+			if l.mi.ret.k != tVoid {
+				c.fail(s.Pos, "missing return value in %s", l.mi.key())
+			}
+			return
+		}
+		if l.mi.ret.k == tVoid {
+			c.fail(s.Pos, "void method %s returns a value", l.mi.key())
+			return
+		}
+		v := l.expr(s.Expr)
+		if !c.assignable(v.typ, l.mi.ret) {
+			c.fail(s.Pos, "cannot return %s from method returning %s",
+				c.typeName(v.typ), c.typeName(l.mi.ret))
+			return
+		}
+		if l.mi.ret.isRefLike() && v.v != ir.None {
+			l.mb.Move(l.mb.Ret(), v.v)
+		}
+
+	case *ExprStmt:
+		l.expr(s.Expr)
+
+	case *PrintStmt:
+		l.expr(s.Expr)
+
+	case *ThrowStmt:
+		v := l.expr(s.Expr)
+		if v.typ.k != tRef && v.typ.k != tNull {
+			c.fail(s.Pos, "cannot throw %s", c.typeName(v.typ))
+			return
+		}
+		if v.v != ir.None {
+			l.mb.Throw(v.v)
+		}
+
+	case *ForStmt:
+		l.pushScope()
+		if s.Init != nil {
+			l.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			if cond := l.expr(s.Cond); cond.typ.k != tBool {
+				c.fail(s.Pos, "for condition must be boolean, got %s", c.typeName(cond.typ))
+			}
+		}
+		l.stmts(s.Body)
+		if s.Post != nil {
+			l.stmt(s.Post)
+		}
+		l.popScope()
+
+	case *TryStmt:
+		l.stmts(s.Body)
+		ct := c.resolveType(s.CatchType)
+		if ct.k != tRef {
+			c.fail(s.Pos, "catch type must be a class or interface, got %s", c.typeName(ct))
+			return
+		}
+		cv := l.mb.Catch(ct.cls, s.CatchName)
+		l.pushScope()
+		l.scopes[len(l.scopes)-1][s.CatchName] = local{v: cv, typ: ct}
+		l.stmts(s.Handler)
+		l.popScope()
+
+	default:
+		panic(fmt.Sprintf("lang: unknown statement %T", s))
+	}
+}
+
+func (l *lowerer) assign(s *AssignStmt) {
+	c := l.c
+	switch lhs := s.LHS.(type) {
+	case *Ident:
+		// Local variable?
+		if lo, ok := l.lookupLocal(lhs.Name); ok {
+			rhs := l.expr(s.RHS)
+			if !c.assignable(rhs.typ, lo.typ) {
+				c.fail(s.Pos, "cannot assign %s to %s (%s)", c.typeName(rhs.typ), lhs.Name, c.typeName(lo.typ))
+				return
+			}
+			if lo.typ.isRefLike() && rhs.v != ir.None {
+				l.mb.Move(lo.v, rhs.v)
+			}
+			return
+		}
+		// Implicit field of this / static field of the current class.
+		l.fieldStore(s.Pos, nil, lhs.Name, s.RHS)
+
+	case *FieldAccess:
+		l.fieldStore(s.Pos, lhs.Recv, lhs.Name, s.RHS)
+
+	case *IndexExpr:
+		arr := l.expr(lhs.Arr)
+		if arr.typ.k != tArray {
+			c.fail(s.Pos, "indexing non-array %s", c.typeName(arr.typ))
+			return
+		}
+		idx := l.expr(lhs.Idx)
+		if idx.typ.k != tInt {
+			c.fail(s.Pos, "array index must be int")
+		}
+		rhs := l.expr(s.RHS)
+		if !c.assignable(rhs.typ, *arr.typ.elem) {
+			c.fail(s.Pos, "cannot store %s into %s", c.typeName(rhs.typ), c.typeName(arr.typ))
+			return
+		}
+		if arr.typ.elem.isRefLike() && rhs.v != ir.None && arr.v != ir.None {
+			l.mb.Store(arr.v, c.b.ArrayElemField(), rhs.v)
+		}
+
+	default:
+		c.fail(s.Pos, "invalid assignment target")
+	}
+}
+
+// resolveFieldTarget resolves the target of a field access: the
+// receiver value (zero for statics), the field, and whether it is
+// static. recv == nil means an unqualified name (field of this or
+// static of the current class).
+func (l *lowerer) resolveFieldTarget(pos Pos, recv Expr, name string) (value, *fieldInfo, bool) {
+	c := l.c
+	if recv == nil {
+		fi := c.lookupField(l.mi.owner, name)
+		if fi == nil {
+			c.fail(pos, "unknown variable or field %s", name)
+			return value{}, nil, false
+		}
+		if fi.static {
+			return value{}, fi, true
+		}
+		if l.mi.static {
+			c.fail(pos, "cannot access instance field %s from a static method", name)
+			return value{}, nil, false
+		}
+		return value{v: l.mb.This(), typ: refType(l.mi.owner.id)}, fi, true
+	}
+	// Class-qualified static field?
+	if id, ok := recv.(*Ident); ok {
+		if _, isLocal := l.lookupLocal(id.Name); !isLocal {
+			if ci := c.classes[id.Name]; ci != nil {
+				fi := c.lookupField(ci, name)
+				if fi == nil || !fi.static {
+					c.fail(pos, "unknown static field %s.%s", id.Name, name)
+					return value{}, nil, false
+				}
+				return value{}, fi, true
+			}
+		}
+	}
+	rv := l.expr(recv)
+	if rv.typ.k == tArray && name == "length" {
+		c.fail(pos, "array length is read-only")
+		return value{}, nil, false
+	}
+	if rv.typ.k != tRef {
+		c.fail(pos, "field access on non-object %s", c.typeName(rv.typ))
+		return value{}, nil, false
+	}
+	ci := c.infoByID(rv.typ.cls)
+	fi := c.lookupField(ci, name)
+	if fi == nil {
+		c.fail(pos, "type %s has no field %s", c.typeName(rv.typ), name)
+		return value{}, nil, false
+	}
+	if fi.static {
+		return value{}, fi, true
+	}
+	return rv, fi, true
+}
+
+func (l *lowerer) fieldStore(pos Pos, recv Expr, name string, rhsExpr Expr) {
+	c := l.c
+	base, fi, ok := l.resolveFieldTarget(pos, recv, name)
+	if !ok {
+		return
+	}
+	rhs := l.expr(rhsExpr)
+	if !c.assignable(rhs.typ, fi.typ) {
+		c.fail(pos, "cannot assign %s to field %s (%s)", c.typeName(rhs.typ), name, c.typeName(fi.typ))
+		return
+	}
+	if !fi.typ.isRefLike() || rhs.v == ir.None {
+		return
+	}
+	if fi.static {
+		l.mb.SStore(fi.id, rhs.v)
+	} else if base.v != ir.None {
+		l.mb.Store(base.v, fi.id, rhs.v)
+	}
+}
+
+// expr lowers an expression.
+func (l *lowerer) expr(e Expr) value {
+	c := l.c
+	switch e := e.(type) {
+	case *IntLit:
+		return value{v: ir.None, typ: intType}
+	case *BoolLit:
+		return value{v: ir.None, typ: boolType}
+	case *NullLit:
+		return value{v: ir.None, typ: nullType}
+	case *StringLit:
+		t := refType(c.stringCls)
+		v := l.tmp(t)
+		l.mb.Alloc(v, c.stringCls, fmt.Sprintf("%q@%s", e.Value, l.mi.key()))
+		return value{v: v, typ: t}
+
+	case *ThisExpr:
+		if l.mi.static {
+			c.fail(e.Pos, "this in a static method")
+			return value{v: ir.None, typ: nullType}
+		}
+		return value{v: l.mb.This(), typ: refType(l.mi.owner.id)}
+
+	case *Ident:
+		if lo, ok := l.lookupLocal(e.Name); ok {
+			return value{v: lo.v, typ: lo.typ}
+		}
+		return l.fieldLoad(e.Pos, nil, e.Name)
+
+	case *FieldAccess:
+		return l.fieldLoad(e.Pos, e.Recv, e.Name)
+
+	case *IndexExpr:
+		arr := l.expr(e.Arr)
+		if arr.typ.k != tArray {
+			c.fail(e.Pos, "indexing non-array %s", c.typeName(arr.typ))
+			return value{v: ir.None, typ: nullType}
+		}
+		if idx := l.expr(e.Idx); idx.typ.k != tInt {
+			c.fail(e.Pos, "array index must be int")
+		}
+		elem := *arr.typ.elem
+		if !elem.isRefLike() || arr.v == ir.None {
+			return value{v: ir.None, typ: elem}
+		}
+		v := l.tmp(elem)
+		l.mb.Load(v, arr.v, c.b.ArrayElemField())
+		return value{v: v, typ: elem}
+
+	case *CallExpr:
+		return l.call(e)
+
+	case *NewExpr:
+		return l.newObject(e)
+
+	case *NewArrayExpr:
+		elem := c.resolveType(e.Elem)
+		if elem.k == tVoid {
+			c.fail(e.Pos, "array of void")
+			return value{v: ir.None, typ: nullType}
+		}
+		if ln := l.expr(e.Len); ln.typ.k != tInt {
+			c.fail(e.Pos, "array length must be int")
+		}
+		t := arrayType(elem)
+		v := l.tmp(t)
+		l.mb.Alloc(v, c.arrayCls, fmt.Sprintf("new %s[]@%s", c.typeName(elem), l.mi.key()))
+		return value{v: v, typ: t}
+
+	case *CastExpr:
+		src := l.expr(e.Expr)
+		dst := c.resolveType(e.Type)
+		if dst.k == tVoid {
+			c.fail(e.Pos, "cast to void")
+			return src
+		}
+		if !c.castable(src.typ, dst) {
+			c.fail(e.Pos, "cannot cast %s to %s", c.typeName(src.typ), c.typeName(dst))
+			return value{v: ir.None, typ: dst}
+		}
+		if !dst.isRefLike() || src.v == ir.None {
+			return value{v: src.v, typ: dst}
+		}
+		castCls := c.arrayCls
+		if dst.k == tRef {
+			castCls = dst.cls
+		}
+		v := l.tmp(dst)
+		l.mb.Cast(v, src.v, castCls)
+		return value{v: v, typ: dst}
+
+	case *UnaryExpr:
+		x := l.expr(e.X)
+		switch e.Op {
+		case NOT:
+			if x.typ.k != tBool {
+				c.fail(e.Pos, "operand of ! must be boolean")
+			}
+			return value{v: ir.None, typ: boolType}
+		default: // MINUS
+			if x.typ.k != tInt {
+				c.fail(e.Pos, "operand of unary - must be int")
+			}
+			return value{v: ir.None, typ: intType}
+		}
+
+	case *InstanceofExpr:
+		x := l.expr(e.X)
+		if !x.typ.isRefLike() {
+			c.fail(e.Pos, "instanceof requires a reference operand, got %s", c.typeName(x.typ))
+		}
+		if t := c.resolveType(e.Type); t.k != tRef && t.k != tArray {
+			c.fail(e.Pos, "instanceof requires a reference type, got %s", c.typeName(t))
+		}
+		return value{v: ir.None, typ: boolType}
+
+	case *SuperCallExpr:
+		return l.superCall(e)
+
+	case *BinaryExpr:
+		x := l.expr(e.X)
+		y := l.expr(e.Y)
+		switch e.Op {
+		case PLUS, MINUS, STAR, SLASH, PERCENT:
+			// String concatenation: s1 + s2 allocates a fresh String,
+			// like Java's StringBuilder-backed +.
+			if e.Op == PLUS && x.typ.k == tRef && x.typ.cls == c.stringCls &&
+				y.typ.k == tRef && y.typ.cls == c.stringCls {
+				t := refType(c.stringCls)
+				v := l.tmp(t)
+				l.mb.Alloc(v, c.stringCls, fmt.Sprintf("concat@%s", l.mi.key()))
+				return value{v: v, typ: t}
+			}
+			if x.typ.k != tInt || y.typ.k != tInt {
+				c.fail(e.Pos, "arithmetic requires int operands")
+			}
+			return value{v: ir.None, typ: intType}
+		case LT, LE, GT, GE:
+			if x.typ.k != tInt || y.typ.k != tInt {
+				c.fail(e.Pos, "comparison requires int operands")
+			}
+			return value{v: ir.None, typ: boolType}
+		case EQ, NE:
+			ok := (x.typ.k == tInt && y.typ.k == tInt) ||
+				(x.typ.k == tBool && y.typ.k == tBool) ||
+				(x.typ.isRefLike() && y.typ.isRefLike())
+			if !ok {
+				c.fail(e.Pos, "cannot compare %s with %s", c.typeName(x.typ), c.typeName(y.typ))
+			}
+			return value{v: ir.None, typ: boolType}
+		default: // ANDAND, OROR
+			if x.typ.k != tBool || y.typ.k != tBool {
+				c.fail(e.Pos, "logical operator requires boolean operands")
+			}
+			return value{v: ir.None, typ: boolType}
+		}
+	}
+	panic(fmt.Sprintf("lang: unknown expression %T", e))
+}
+
+func (l *lowerer) localShadows(e Expr) bool {
+	id, ok := e.(*Ident)
+	if !ok {
+		return false
+	}
+	_, isLocal := l.lookupLocal(id.Name)
+	return isLocal
+}
+
+func (l *lowerer) fieldLoad(pos Pos, recv Expr, name string) value {
+	c := l.c
+	// arr.length special case: when the receiver is an expression (not
+	// a class name), an array receiver yields int.
+	if recv != nil && name == "length" {
+		if id, ok := recv.(*Ident); !ok || l.localShadows(id) || c.classes[exprName(recv)] == nil {
+			rv := l.expr(recv)
+			if rv.typ.k == tArray {
+				return value{v: ir.None, typ: intType}
+			}
+			return l.loadResolved(pos, rv, name)
+		}
+	}
+	base, fi, ok := l.resolveFieldTarget(pos, recv, name)
+	if !ok {
+		return value{v: ir.None, typ: nullType}
+	}
+	return l.loadFrom(base, fi)
+}
+
+func exprName(e Expr) string {
+	if id, ok := e.(*Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func (l *lowerer) loadResolved(pos Pos, rv value, name string) value {
+	c := l.c
+	if rv.typ.k != tRef {
+		c.fail(pos, "field access on non-object %s", c.typeName(rv.typ))
+		return value{v: ir.None, typ: nullType}
+	}
+	fi := c.lookupField(c.infoByID(rv.typ.cls), name)
+	if fi == nil {
+		c.fail(pos, "type %s has no field %s", c.typeName(rv.typ), name)
+		return value{v: ir.None, typ: nullType}
+	}
+	return l.loadFrom(rv, fi)
+}
+
+func (l *lowerer) loadFrom(base value, fi *fieldInfo) value {
+	if !fi.typ.isRefLike() {
+		return value{v: ir.None, typ: fi.typ}
+	}
+	v := l.tmp(fi.typ)
+	if fi.static {
+		l.mb.SLoad(v, fi.id)
+	} else if base.v != ir.None {
+		l.mb.Load(v, base.v, fi.id)
+	}
+	return value{v: v, typ: fi.typ}
+}
+
+// call lowers method invocations of all shapes.
+func (l *lowerer) call(e *CallExpr) value {
+	c := l.c
+	// Lower arguments first (evaluation order).
+	args := make([]value, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = l.expr(a)
+	}
+
+	checkArgs := func(mi *methodInfo) bool {
+		okAll := true
+		for i, a := range args {
+			if !c.assignable(a.typ, mi.params[i]) {
+				c.fail(e.Pos, "argument %d of %s: cannot pass %s as %s",
+					i+1, mi.key(), c.typeName(a.typ), c.typeName(mi.params[i]))
+				okAll = false
+			}
+		}
+		return okAll
+	}
+	argVars := func() []ir.VarID {
+		out := make([]ir.VarID, len(args))
+		for i, a := range args {
+			out[i] = l.argVar(a)
+		}
+		return out
+	}
+	retVar := func(mi *methodInfo) ir.VarID {
+		if mi.ret.isRefLike() {
+			return l.tmp(mi.ret)
+		}
+		return ir.None
+	}
+
+	if e.Recv == nil {
+		// Unqualified: instance method of this, or static of the
+		// current class chain.
+		if mi := c.lookupMethod(l.mi.owner, e.Name, len(e.Args)); mi != nil && !l.mi.static {
+			if !checkArgs(mi) {
+				return value{v: ir.None, typ: mi.ret}
+			}
+			rv := retVar(mi)
+			l.mb.VCall(rv, l.mb.This(), e.Name, argVars()...)
+			return value{v: rv, typ: mi.ret}
+		}
+		if mi := c.lookupStatic(l.mi.owner, e.Name, len(e.Args)); mi != nil {
+			if !checkArgs(mi) {
+				return value{v: ir.None, typ: mi.ret}
+			}
+			rv := retVar(mi)
+			l.mb.Call(rv, mi.mb.ID(), ir.None, argVars()...)
+			return value{v: rv, typ: mi.ret}
+		}
+		c.fail(e.Pos, "unknown method %s/%d", e.Name, len(e.Args))
+		return value{v: ir.None, typ: nullType}
+	}
+
+	// Class-qualified static call?
+	if id, ok := e.Recv.(*Ident); ok {
+		if _, isLocal := l.lookupLocal(id.Name); !isLocal {
+			if ci := c.classes[id.Name]; ci != nil {
+				mi := c.lookupStatic(ci, e.Name, len(e.Args))
+				if mi == nil {
+					c.fail(e.Pos, "unknown static method %s.%s/%d", id.Name, e.Name, len(e.Args))
+					return value{v: ir.None, typ: nullType}
+				}
+				if !checkArgs(mi) {
+					return value{v: ir.None, typ: mi.ret}
+				}
+				rv := retVar(mi)
+				l.mb.Call(rv, mi.mb.ID(), ir.None, argVars()...)
+				return value{v: rv, typ: mi.ret}
+			}
+		}
+	}
+
+	// Instance call on an expression receiver.
+	rv := l.expr(e.Recv)
+	if rv.typ.k != tRef {
+		c.fail(e.Pos, "method call on non-object %s", c.typeName(rv.typ))
+		return value{v: ir.None, typ: nullType}
+	}
+	mi := c.lookupMethod(c.infoByID(rv.typ.cls), e.Name, len(e.Args))
+	if mi == nil {
+		c.fail(e.Pos, "type %s has no method %s/%d", c.typeName(rv.typ), e.Name, len(e.Args))
+		return value{v: ir.None, typ: nullType}
+	}
+	if !checkArgs(mi) {
+		return value{v: ir.None, typ: mi.ret}
+	}
+	out := retVar(mi)
+	if rv.v == ir.None {
+		// Receiver is statically null: the call never dispatches.
+		return value{v: out, typ: mi.ret}
+	}
+	l.mb.VCall(out, rv.v, e.Name, argVars()...)
+	return value{v: out, typ: mi.ret}
+}
+
+func (l *lowerer) newObject(e *NewExpr) value {
+	c := l.c
+	ci := c.classes[e.Name]
+	if ci == nil && e.Name == "String" {
+		ci = c.classes["String"]
+	}
+	if ci == nil {
+		c.fail(e.Pos, "unknown class %s", e.Name)
+		return value{v: ir.None, typ: nullType}
+	}
+	if ci.isIface {
+		c.fail(e.Pos, "cannot instantiate interface %s", ci.name)
+		return value{v: ir.None, typ: nullType}
+	}
+	t := refType(ci.id)
+	v := l.tmp(t)
+	l.mb.Alloc(v, ci.id, "")
+	ctor := ci.ctors[len(e.Args)]
+	if ctor == nil {
+		if len(e.Args) > 0 {
+			c.fail(e.Pos, "class %s has no constructor with %d arguments", ci.name, len(e.Args))
+		}
+		return value{v: v, typ: t}
+	}
+	argVars := make([]ir.VarID, len(e.Args))
+	for i, a := range e.Args {
+		av := l.expr(a)
+		if !c.assignable(av.typ, ctor.params[i]) {
+			c.fail(e.Pos, "constructor argument %d: cannot pass %s as %s",
+				i+1, c.typeName(av.typ), c.typeName(ctor.params[i]))
+		}
+		argVars[i] = l.argVar(av)
+	}
+	l.mb.Call(ir.None, ctor.mb.ID(), v, argVars...)
+	return value{v: v, typ: t}
+}
+
+// superCall lowers "super.m(args)": a direct, non-virtual call to the
+// nearest implementation in the strict superclass chain.
+func (l *lowerer) superCall(e *SuperCallExpr) value {
+	c := l.c
+	if l.mi.static {
+		c.fail(e.Pos, "super call in a static method")
+		return value{v: ir.None, typ: nullType}
+	}
+	target := c.lookupMethod(l.mi.owner.super, e.Name, len(e.Args))
+	if target == nil || target.mb == nil {
+		c.fail(e.Pos, "no concrete superclass implementation of %s/%d", e.Name, len(e.Args))
+		return value{v: ir.None, typ: nullType}
+	}
+	argVars := make([]ir.VarID, len(e.Args))
+	for i, a := range e.Args {
+		av := l.expr(a)
+		if !c.assignable(av.typ, target.params[i]) {
+			c.fail(e.Pos, "argument %d of super.%s: cannot pass %s as %s",
+				i+1, e.Name, c.typeName(av.typ), c.typeName(target.params[i]))
+		}
+		argVars[i] = l.argVar(av)
+	}
+	var ret ir.VarID = ir.None
+	if target.ret.isRefLike() {
+		ret = l.tmp(target.ret)
+	}
+	l.mb.Call(ret, target.mb.ID(), l.mb.This(), argVars...)
+	return value{v: ret, typ: target.ret}
+}

@@ -1,0 +1,641 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent parser for Mini-Java.
+type Parser struct {
+	toks []Token
+	pos  int
+	errs []string
+}
+
+// Parse parses a compilation unit.
+func Parse(src string) (*File, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	f := p.parseFile()
+	if len(p.errs) > 0 {
+		const max = 10
+		errs := p.errs
+		if len(errs) > max {
+			errs = append(errs[:max:max], fmt.Sprintf("... and %d more errors", len(p.errs)-max))
+		}
+		return nil, fmt.Errorf("parse errors:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return f, nil
+}
+
+func (p *Parser) peek() Token    { return p.toks[p.pos] }
+func (p *Parser) at(k Kind) bool { return p.peek().Kind == k }
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) fail(pos Pos, format string, args ...any) {
+	p.errs = append(p.errs, fmt.Sprintf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// expect consumes a token of kind k or reports an error and leaves the
+// position unchanged (error recovery is per-declaration).
+func (p *Parser) expect(k Kind) Token {
+	t := p.peek()
+	if t.Kind == k {
+		return p.next()
+	}
+	p.fail(t.Pos, "expected %s, found %s", k, t.Kind)
+	return Token{Kind: k, Pos: t.Pos}
+}
+
+// sync skips tokens until one of the kinds (or EOF), for error
+// recovery.
+func (p *Parser) sync(kinds ...Kind) {
+	for {
+		t := p.peek()
+		if t.Kind == EOF {
+			return
+		}
+		for _, k := range kinds {
+			if t.Kind == k {
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+func (p *Parser) parseFile() *File {
+	f := &File{}
+	for !p.at(EOF) {
+		switch p.peek().Kind {
+		case KWCLASS:
+			f.Classes = append(f.Classes, p.parseClass())
+		case KWINTERFACE:
+			f.Interfaces = append(f.Interfaces, p.parseInterface())
+		default:
+			p.fail(p.peek().Pos, "expected 'class' or 'interface', found %s", p.peek().Kind)
+			p.sync(KWCLASS, KWINTERFACE)
+		}
+	}
+	return f
+}
+
+func (p *Parser) parseClass() *ClassDecl {
+	start := p.expect(KWCLASS)
+	name := p.expect(IDENT)
+	c := &ClassDecl{Pos: start.Pos, Name: name.Text}
+	if p.at(KWEXTENDS) {
+		p.next()
+		c.Extends = p.expect(IDENT).Text
+	}
+	if p.at(KWIMPLEMENTS) {
+		p.next()
+		c.Implements = append(c.Implements, p.expect(IDENT).Text)
+		for p.at(COMMA) {
+			p.next()
+			c.Implements = append(c.Implements, p.expect(IDENT).Text)
+		}
+	}
+	p.expect(LBRACE)
+	for !p.at(RBRACE) && !p.at(EOF) {
+		before := p.pos
+		p.parseMember(c)
+		if p.pos == before {
+			p.next() // force progress on malformed input
+		}
+	}
+	p.expect(RBRACE)
+	return c
+}
+
+func (p *Parser) parseInterface() *InterfaceDecl {
+	start := p.expect(KWINTERFACE)
+	name := p.expect(IDENT)
+	i := &InterfaceDecl{Pos: start.Pos, Name: name.Text}
+	if p.at(KWEXTENDS) {
+		p.next()
+		i.Extends = append(i.Extends, p.expect(IDENT).Text)
+		for p.at(COMMA) {
+			p.next()
+			i.Extends = append(i.Extends, p.expect(IDENT).Text)
+		}
+	}
+	p.expect(LBRACE)
+	for !p.at(RBRACE) && !p.at(EOF) {
+		before := p.pos
+		pos := p.peek().Pos
+		ret := p.parseType()
+		mname := p.expect(IDENT)
+		m := &MethodDecl{Pos: pos, Ret: ret, Name: mname.Text}
+		m.Params = p.parseParams()
+		p.expect(SEMI)
+		i.Methods = append(i.Methods, m)
+		if p.pos == before {
+			p.next() // force progress on malformed input
+		}
+	}
+	p.expect(RBRACE)
+	return i
+}
+
+// parseMember parses a field, method, or constructor inside a class.
+func (p *Parser) parseMember(c *ClassDecl) {
+	pos := p.peek().Pos
+	static := false
+	if p.at(KWSTATIC) {
+		p.next()
+		static = true
+	}
+	// Constructor: ClassName '(' ...
+	if !static && p.at(IDENT) && p.peek().Text == c.Name && p.toks[p.pos+1].Kind == LPAREN {
+		name := p.next()
+		m := &MethodDecl{Pos: pos, Ctor: true, Name: name.Text,
+			Ret: TypeExpr{Pos: pos, Name: "void"}}
+		m.Params = p.parseParams()
+		m.Body = p.parseBlock()
+		c.Ctors = append(c.Ctors, m)
+		return
+	}
+	typ := p.parseType()
+	name := p.expect(IDENT)
+	if p.at(LPAREN) {
+		m := &MethodDecl{Pos: pos, Static: static, Ret: typ, Name: name.Text}
+		m.Params = p.parseParams()
+		m.Body = p.parseBlock()
+		c.Methods = append(c.Methods, m)
+		return
+	}
+	p.expect(SEMI)
+	c.Fields = append(c.Fields, &FieldDecl{Pos: pos, Static: static, Type: typ, Name: name.Text})
+}
+
+func (p *Parser) parseParams() []Param {
+	p.expect(LPAREN)
+	var out []Param
+	for !p.at(RPAREN) && !p.at(EOF) {
+		before := p.pos
+		if len(out) > 0 {
+			p.expect(COMMA)
+		}
+		pos := p.peek().Pos
+		typ := p.parseType()
+		name := p.expect(IDENT)
+		out = append(out, Param{Type: typ, Name: name.Text, Pos: pos})
+		if p.pos == before {
+			p.next() // force progress on malformed input
+		}
+	}
+	p.expect(RPAREN)
+	return out
+}
+
+// parseType parses "int", "boolean", "String", "void", or a class
+// name, with trailing "[]" dimensions.
+func (p *Parser) parseType() TypeExpr {
+	t := p.peek()
+	var name string
+	switch t.Kind {
+	case KWINT:
+		name = "int"
+	case KWBOOLEAN:
+		name = "boolean"
+	case KWSTRING:
+		name = "String"
+	case KWVOID:
+		name = "void"
+	case IDENT:
+		name = t.Text
+	default:
+		p.fail(t.Pos, "expected a type, found %s", t.Kind)
+		return TypeExpr{Pos: t.Pos, Name: "int"}
+	}
+	p.next()
+	te := TypeExpr{Pos: t.Pos, Name: name}
+	for p.at(LBRACK) && p.toks[p.pos+1].Kind == RBRACK {
+		p.next()
+		p.next()
+		te.Dims++
+	}
+	return te
+}
+
+func (p *Parser) parseBlock() []Stmt {
+	p.expect(LBRACE)
+	var out []Stmt
+	for !p.at(RBRACE) && !p.at(EOF) {
+		before := p.pos
+		out = append(out, p.parseStmt())
+		if p.pos == before {
+			p.next() // force progress on malformed input
+		}
+	}
+	p.expect(RBRACE)
+	return out
+}
+
+// stmtOrBlock parses either a braced block or a single statement.
+func (p *Parser) stmtOrBlock() []Stmt {
+	if p.at(LBRACE) {
+		return p.parseBlock()
+	}
+	return []Stmt{p.parseStmt()}
+}
+
+func (p *Parser) parseStmt() Stmt {
+	t := p.peek()
+	switch t.Kind {
+	case KWIF:
+		p.next()
+		p.expect(LPAREN)
+		cond := p.parseExpr()
+		p.expect(RPAREN)
+		s := &IfStmt{Pos: t.Pos, Cond: cond, Then: p.stmtOrBlock()}
+		if p.at(KWELSE) {
+			p.next()
+			s.Else = p.stmtOrBlock()
+		}
+		return s
+	case KWWHILE:
+		p.next()
+		p.expect(LPAREN)
+		cond := p.parseExpr()
+		p.expect(RPAREN)
+		return &WhileStmt{Pos: t.Pos, Cond: cond, Body: p.stmtOrBlock()}
+	case KWRETURN:
+		p.next()
+		s := &ReturnStmt{Pos: t.Pos}
+		if !p.at(SEMI) {
+			s.Expr = p.parseExpr()
+		}
+		p.expect(SEMI)
+		return s
+	case KWPRINT:
+		p.next()
+		p.expect(LPAREN)
+		e := p.parseExpr()
+		p.expect(RPAREN)
+		p.expect(SEMI)
+		return &PrintStmt{Pos: t.Pos, Expr: e}
+	case KWTHROW:
+		p.next()
+		e := p.parseExpr()
+		p.expect(SEMI)
+		return &ThrowStmt{Pos: t.Pos, Expr: e}
+	case KWFOR:
+		p.next()
+		p.expect(LPAREN)
+		s := &ForStmt{Pos: t.Pos}
+		if !p.at(SEMI) {
+			s.Init = p.parseForClause()
+		}
+		p.expect(SEMI)
+		if !p.at(SEMI) {
+			s.Cond = p.parseExpr()
+		}
+		p.expect(SEMI)
+		if !p.at(RPAREN) {
+			s.Post = p.parseForPost()
+		}
+		p.expect(RPAREN)
+		s.Body = p.stmtOrBlock()
+		return s
+	case KWTRY:
+		p.next()
+		s := &TryStmt{Pos: t.Pos, Body: p.parseBlock()}
+		p.expect(KWCATCH)
+		p.expect(LPAREN)
+		s.CatchType = p.parseType()
+		s.CatchName = p.expect(IDENT).Text
+		p.expect(RPAREN)
+		s.Handler = p.parseBlock()
+		return s
+	case KWINT, KWBOOLEAN, KWSTRING:
+		return p.parseVarDecl()
+	case IDENT:
+		// Could be a declaration ("T x ..."), possibly with array dims
+		// ("T[] x ..."), or an expression statement / assignment.
+		if p.toks[p.pos+1].Kind == IDENT {
+			return p.parseVarDecl()
+		}
+		if p.toks[p.pos+1].Kind == LBRACK && p.toks[p.pos+2].Kind == RBRACK {
+			return p.parseVarDecl()
+		}
+	}
+	return p.parseSimpleStmt()
+}
+
+// parseForClause parses a for-loop init clause: a declaration or an
+// assignment, without the trailing semicolon.
+func (p *Parser) parseForClause() Stmt {
+	pos := p.peek().Pos
+	switch p.peek().Kind {
+	case KWINT, KWBOOLEAN, KWSTRING:
+		return p.parseVarDeclNoSemi()
+	case IDENT:
+		if p.toks[p.pos+1].Kind == IDENT {
+			return p.parseVarDeclNoSemi()
+		}
+	}
+	e := p.parseExpr()
+	if p.at(ASSIGN) {
+		p.next()
+		rhs := p.parseExpr()
+		return &AssignStmt{Pos: pos, LHS: e, RHS: rhs}
+	}
+	return &ExprStmt{Pos: pos, Expr: e}
+}
+
+// parseForPost parses a for-loop post clause: assignment or call.
+func (p *Parser) parseForPost() Stmt {
+	pos := p.peek().Pos
+	e := p.parseExpr()
+	if p.at(ASSIGN) {
+		p.next()
+		rhs := p.parseExpr()
+		return &AssignStmt{Pos: pos, LHS: e, RHS: rhs}
+	}
+	if _, ok := e.(*CallExpr); !ok {
+		p.fail(pos, "for-loop post clause must be an assignment or a call")
+	}
+	return &ExprStmt{Pos: pos, Expr: e}
+}
+
+func (p *Parser) parseVarDeclNoSemi() Stmt {
+	pos := p.peek().Pos
+	typ := p.parseType()
+	name := p.expect(IDENT)
+	s := &VarDeclStmt{Pos: pos, Type: typ, Name: name.Text}
+	if p.at(ASSIGN) {
+		p.next()
+		s.Init = p.parseExpr()
+	}
+	return s
+}
+
+func (p *Parser) parseVarDecl() Stmt {
+	pos := p.peek().Pos
+	typ := p.parseType()
+	name := p.expect(IDENT)
+	s := &VarDeclStmt{Pos: pos, Type: typ, Name: name.Text}
+	if p.at(ASSIGN) {
+		p.next()
+		s.Init = p.parseExpr()
+	}
+	p.expect(SEMI)
+	return s
+}
+
+// parseSimpleStmt parses an assignment or expression statement.
+func (p *Parser) parseSimpleStmt() Stmt {
+	pos := p.peek().Pos
+	e := p.parseExpr()
+	if p.at(ASSIGN) {
+		p.next()
+		rhs := p.parseExpr()
+		p.expect(SEMI)
+		switch e.(type) {
+		case *Ident, *FieldAccess, *IndexExpr:
+		default:
+			p.fail(pos, "invalid assignment target")
+		}
+		return &AssignStmt{Pos: pos, LHS: e, RHS: rhs}
+	}
+	p.expect(SEMI)
+	switch e.(type) {
+	case *CallExpr, *SuperCallExpr:
+	default:
+		p.fail(pos, "expression statement must be a call")
+	}
+	return &ExprStmt{Pos: pos, Expr: e}
+}
+
+// Expression parsing, precedence climbing:
+//
+//	||  &&  == !=  < <= > >=  + -  * / %  unary  postfix  primary
+func (p *Parser) parseExpr() Expr { return p.parseBinary(0) }
+
+var precTable = []([]Kind){
+	{OROR},
+	{ANDAND},
+	{EQ, NE},
+	{LT, LE, GT, GE},
+	{PLUS, MINUS},
+	{STAR, SLASH, PERCENT},
+}
+
+func (p *Parser) parseBinary(level int) Expr {
+	if level >= len(precTable) {
+		return p.parseUnary()
+	}
+	x := p.parseBinary(level + 1)
+	for {
+		t := p.peek()
+		// instanceof binds at relational precedence, as in Java.
+		if level == 3 && t.Kind == KWINSTANCEOF {
+			p.next()
+			typ := p.parseType()
+			x = &InstanceofExpr{Pos: t.Pos, X: x, Type: typ}
+			continue
+		}
+		matched := false
+		for _, k := range precTable[level] {
+			if t.Kind == k {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x
+		}
+		p.next()
+		y := p.parseBinary(level + 1)
+		x = &BinaryExpr{Pos: t.Pos, Op: t.Kind, X: x, Y: y}
+	}
+}
+
+func (p *Parser) parseUnary() Expr {
+	t := p.peek()
+	switch t.Kind {
+	case NOT, MINUS:
+		p.next()
+		return &UnaryExpr{Pos: t.Pos, Op: t.Kind, X: p.parseUnary()}
+	case LPAREN:
+		// Disambiguate a cast "(T) expr" / "(T[]) expr" from a
+		// parenthesized expression. A cast requires a type name inside
+		// the parens followed by ')' and the start of a unary
+		// expression.
+		if p.isCast() {
+			p.next()
+			typ := p.parseType()
+			p.expect(RPAREN)
+			return &CastExpr{Pos: t.Pos, Type: typ, Expr: p.parseUnary()}
+		}
+	}
+	return p.parsePostfix()
+}
+
+// isCast looks ahead to distinguish "(T) x" from "(expr)".
+func (p *Parser) isCast() bool {
+	i := p.pos + 1
+	switch p.toks[i].Kind {
+	case KWINT, KWBOOLEAN, KWSTRING:
+	case IDENT:
+	default:
+		return false
+	}
+	i++
+	for p.toks[i].Kind == LBRACK && p.toks[i+1].Kind == RBRACK {
+		i += 2
+	}
+	if p.toks[i].Kind != RPAREN {
+		return false
+	}
+	// The token after ')' must start a unary expression for this to be
+	// a cast; "(x) + y" should parse as a parenthesized expression.
+	switch p.toks[i+1].Kind {
+	case IDENT, INT, STRING, KWTHIS, KWNULL, KWTRUE, KWFALSE, KWNEW, LPAREN, NOT:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parsePostfix() Expr {
+	e := p.parsePrimary()
+	for {
+		switch p.peek().Kind {
+		case DOT:
+			p.next()
+			name := p.expect(IDENT)
+			if p.at(LPAREN) {
+				args := p.parseArgs()
+				e = &CallExpr{Pos: name.Pos, Recv: e, Name: name.Text, Args: args}
+			} else {
+				e = &FieldAccess{Pos: name.Pos, Recv: e, Name: name.Text}
+			}
+		case LBRACK:
+			pos := p.next().Pos
+			idx := p.parseExpr()
+			p.expect(RBRACK)
+			e = &IndexExpr{Pos: pos, Arr: e, Idx: idx}
+		default:
+			return e
+		}
+	}
+}
+
+func (p *Parser) parseArgs() []Expr {
+	p.expect(LPAREN)
+	var out []Expr
+	for !p.at(RPAREN) && !p.at(EOF) {
+		before := p.pos
+		if len(out) > 0 {
+			p.expect(COMMA)
+		}
+		out = append(out, p.parseExpr())
+		if p.pos == before {
+			p.next() // force progress on malformed input
+		}
+	}
+	p.expect(RPAREN)
+	return out
+}
+
+func (p *Parser) parsePrimary() Expr {
+	t := p.peek()
+	switch t.Kind {
+	case INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			p.fail(t.Pos, "invalid integer literal %q", t.Text)
+		}
+		return &IntLit{Pos: t.Pos, Value: v}
+	case STRING:
+		p.next()
+		return &StringLit{Pos: t.Pos, Value: t.Text}
+	case KWTRUE:
+		p.next()
+		return &BoolLit{Pos: t.Pos, Value: true}
+	case KWFALSE:
+		p.next()
+		return &BoolLit{Pos: t.Pos, Value: false}
+	case KWNULL:
+		p.next()
+		return &NullLit{Pos: t.Pos}
+	case KWTHIS:
+		p.next()
+		return &ThisExpr{Pos: t.Pos}
+	case KWSUPER:
+		p.next()
+		p.expect(DOT)
+		name := p.expect(IDENT)
+		if !p.at(LPAREN) {
+			p.fail(t.Pos, "super is only supported for method calls (super.m(...))")
+			return &NullLit{Pos: t.Pos}
+		}
+		args := p.parseArgs()
+		return &SuperCallExpr{Pos: t.Pos, Name: name.Text, Args: args}
+	case KWNEW:
+		p.next()
+		typ := p.parseNewType()
+		if p.at(LBRACK) {
+			p.next()
+			length := p.parseExpr()
+			p.expect(RBRACK)
+			return &NewArrayExpr{Pos: t.Pos, Elem: typ, Len: length}
+		}
+		if typ.Name == "int" || typ.Name == "boolean" {
+			p.fail(t.Pos, "cannot instantiate primitive type %s", typ.Name)
+		}
+		args := p.parseArgs()
+		return &NewExpr{Pos: t.Pos, Name: typ.Name, Args: args}
+	case IDENT:
+		p.next()
+		if p.at(LPAREN) {
+			args := p.parseArgs()
+			return &CallExpr{Pos: t.Pos, Name: t.Text, Args: args}
+		}
+		return &Ident{Pos: t.Pos, Name: t.Text}
+	case LPAREN:
+		p.next()
+		e := p.parseExpr()
+		p.expect(RPAREN)
+		return e
+	}
+	p.fail(t.Pos, "expected an expression, found %s", t.Kind)
+	p.next()
+	return &NullLit{Pos: t.Pos}
+}
+
+// parseNewType parses the type after `new` WITHOUT consuming array
+// brackets (those belong to the array-length syntax).
+func (p *Parser) parseNewType() TypeExpr {
+	t := p.peek()
+	var name string
+	switch t.Kind {
+	case KWINT:
+		name = "int"
+	case KWBOOLEAN:
+		name = "boolean"
+	case KWSTRING:
+		name = "String"
+	case IDENT:
+		name = t.Text
+	default:
+		p.fail(t.Pos, "expected a type after 'new', found %s", t.Kind)
+		return TypeExpr{Pos: t.Pos, Name: "Object"}
+	}
+	p.next()
+	return TypeExpr{Pos: t.Pos, Name: name}
+}

@@ -1,0 +1,335 @@
+// Package lang implements a Mini-Java frontend: a lexer, recursive-
+// descent parser, semantic analyzer, and lowering pass producing the
+// intermediate representation of internal/ir.
+//
+// The language is the Java subset the paper's input language models:
+// classes with single inheritance, interfaces, instance and static
+// fields and methods, constructors, virtual dispatch, reference casts,
+// one-dimensional arrays, strings, and the usual statements and
+// expressions. Primitive (int/boolean) data flow is type-checked but —
+// as in any points-to analysis — erased during lowering; only
+// reference flow reaches the IR.
+package lang
+
+import "fmt"
+
+// Kind is a lexical token kind.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	STRING
+
+	// punctuation
+	LBRACE
+	RBRACE
+	LPAREN
+	RPAREN
+	LBRACK
+	RBRACK
+	SEMI
+	COMMA
+	DOT
+	ASSIGN
+
+	// operators
+	PLUS
+	MINUS
+	STAR
+	SLASH
+	PERCENT
+	NOT
+	LT
+	LE
+	GT
+	GE
+	EQ
+	NE
+	ANDAND
+	OROR
+
+	// keywords
+	KWCLASS
+	KWINTERFACE
+	KWEXTENDS
+	KWIMPLEMENTS
+	KWSTATIC
+	KWVOID
+	KWINT
+	KWBOOLEAN
+	KWSTRING
+	KWIF
+	KWELSE
+	KWWHILE
+	KWRETURN
+	KWNEW
+	KWTHIS
+	KWNULL
+	KWTRUE
+	KWFALSE
+	KWPRINT
+	KWTHROW
+	KWTRY
+	KWCATCH
+	KWFOR
+	KWINSTANCEOF
+	KWSUPER
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", INT: "int literal", STRING: "string literal",
+	LBRACE: "'{'", RBRACE: "'}'", LPAREN: "'('", RPAREN: "')'", LBRACK: "'['", RBRACK: "']'",
+	SEMI: "';'", COMMA: "','", DOT: "'.'", ASSIGN: "'='",
+	PLUS: "'+'", MINUS: "'-'", STAR: "'*'", SLASH: "'/'", PERCENT: "'%'", NOT: "'!'",
+	LT: "'<'", LE: "'<='", GT: "'>'", GE: "'>='", EQ: "'=='", NE: "'!='",
+	ANDAND: "'&&'", OROR: "'||'",
+	KWCLASS: "'class'", KWINTERFACE: "'interface'", KWEXTENDS: "'extends'",
+	KWIMPLEMENTS: "'implements'", KWSTATIC: "'static'", KWVOID: "'void'",
+	KWINT: "'int'", KWBOOLEAN: "'boolean'", KWSTRING: "'String'",
+	KWIF: "'if'", KWELSE: "'else'", KWWHILE: "'while'", KWRETURN: "'return'",
+	KWNEW: "'new'", KWTHIS: "'this'", KWNULL: "'null'", KWTRUE: "'true'",
+	KWFALSE: "'false'", KWPRINT: "'print'",
+	KWTHROW: "'throw'", KWTRY: "'try'", KWCATCH: "'catch'",
+	KWFOR: "'for'", KWINSTANCEOF: "'instanceof'", KWSUPER: "'super'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", k)
+}
+
+var keywords = map[string]Kind{
+	"class": KWCLASS, "interface": KWINTERFACE, "extends": KWEXTENDS,
+	"implements": KWIMPLEMENTS, "static": KWSTATIC, "void": KWVOID,
+	"int": KWINT, "boolean": KWBOOLEAN, "String": KWSTRING,
+	"if": KWIF, "else": KWELSE, "while": KWWHILE, "return": KWRETURN,
+	"new": KWNEW, "this": KWTHIS, "null": KWNULL, "true": KWTRUE,
+	"false": KWFALSE, "print": KWPRINT,
+	"throw": KWTHROW, "try": KWTRY, "catch": KWCATCH,
+	"for": KWFOR, "instanceof": KWINSTANCEOF, "super": KWSUPER,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // identifier name or literal text
+	Pos  Pos
+}
+
+// Lexer tokenizes Mini-Java source.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	err  error
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Err returns the first lexical error, if any.
+func (l *Lexer) Err() error { return l.err }
+
+func (l *Lexer) fail(p Pos, format string, args ...any) {
+	if l.err == nil {
+		l.err = fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...))
+	}
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) nextByte() byte {
+	c := l.peekByte()
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+func isDigit(c byte) bool     { return '0' <= c && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() Token {
+	for {
+		// Skip whitespace.
+		for {
+			c := l.peekByte()
+			if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+				l.nextByte()
+				continue
+			}
+			break
+		}
+		// Comments.
+		if l.peekByte() == '/' && l.off+1 < len(l.src) {
+			switch l.src[l.off+1] {
+			case '/':
+				for l.peekByte() != 0 && l.peekByte() != '\n' {
+					l.nextByte()
+				}
+				continue
+			case '*':
+				p := l.pos()
+				l.nextByte()
+				l.nextByte()
+				closed := false
+				for l.peekByte() != 0 {
+					if l.nextByte() == '*' && l.peekByte() == '/' {
+						l.nextByte()
+						closed = true
+						break
+					}
+				}
+				if !closed {
+					l.fail(p, "unterminated block comment")
+				}
+				continue
+			}
+		}
+		break
+	}
+
+	p := l.pos()
+	c := l.peekByte()
+	switch {
+	case c == 0:
+		return Token{Kind: EOF, Pos: p}
+	case isIdentStart(c):
+		start := l.off
+		for isIdentPart(l.peekByte()) {
+			l.nextByte()
+		}
+		text := l.src[start:l.off]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: p}
+		}
+		return Token{Kind: IDENT, Text: text, Pos: p}
+	case isDigit(c):
+		start := l.off
+		for isDigit(l.peekByte()) {
+			l.nextByte()
+		}
+		return Token{Kind: INT, Text: l.src[start:l.off], Pos: p}
+	case c == '"':
+		l.nextByte()
+		start := l.off
+		for {
+			c := l.peekByte()
+			if c == 0 || c == '\n' {
+				l.fail(p, "unterminated string literal")
+				return Token{Kind: STRING, Text: l.src[start:l.off], Pos: p}
+			}
+			if c == '"' {
+				text := l.src[start:l.off]
+				l.nextByte()
+				return Token{Kind: STRING, Text: text, Pos: p}
+			}
+			l.nextByte()
+		}
+	}
+
+	l.nextByte()
+	mk := func(k Kind) Token { return Token{Kind: k, Text: string(c), Pos: p} }
+	two := func(next byte, k2, k1 Kind) Token {
+		if l.peekByte() == next {
+			l.nextByte()
+			return Token{Kind: k2, Text: string(c) + string(next), Pos: p}
+		}
+		return mk(k1)
+	}
+	switch c {
+	case '{':
+		return mk(LBRACE)
+	case '}':
+		return mk(RBRACE)
+	case '(':
+		return mk(LPAREN)
+	case ')':
+		return mk(RPAREN)
+	case '[':
+		return mk(LBRACK)
+	case ']':
+		return mk(RBRACK)
+	case ';':
+		return mk(SEMI)
+	case ',':
+		return mk(COMMA)
+	case '.':
+		return mk(DOT)
+	case '+':
+		return mk(PLUS)
+	case '-':
+		return mk(MINUS)
+	case '*':
+		return mk(STAR)
+	case '/':
+		return mk(SLASH)
+	case '%':
+		return mk(PERCENT)
+	case '=':
+		return two('=', EQ, ASSIGN)
+	case '!':
+		return two('=', NE, NOT)
+	case '<':
+		return two('=', LE, LT)
+	case '>':
+		return two('=', GE, GT)
+	case '&':
+		if l.peekByte() == '&' {
+			l.nextByte()
+			return Token{Kind: ANDAND, Text: "&&", Pos: p}
+		}
+	case '|':
+		if l.peekByte() == '|' {
+			l.nextByte()
+			return Token{Kind: OROR, Text: "||", Pos: p}
+		}
+	}
+	l.fail(p, "unexpected character %q", string(c))
+	return Token{Kind: EOF, Pos: p}
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+// Tokenize lexes the whole input.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Kind == EOF {
+			break
+		}
+	}
+	return out, l.Err()
+}

@@ -1,0 +1,122 @@
+package lang
+
+import (
+	"introspect/internal/ir"
+)
+
+// tkind classifies semantic types.
+type tkind uint8
+
+const (
+	tInt tkind = iota
+	tBool
+	tVoid
+	tNull  // the type of the null literal
+	tRef   // class or interface reference
+	tArray // one- or multi-dimensional array
+)
+
+// semType is a resolved type. Ref types carry their ir class id; array
+// types carry their element type (the runtime class of every array is
+// the builtin Array class).
+type semType struct {
+	k    tkind
+	cls  ir.TypeID // for tRef
+	elem *semType  // for tArray
+}
+
+var (
+	intType  = semType{k: tInt}
+	boolType = semType{k: tBool}
+	voidType = semType{k: tVoid}
+	nullType = semType{k: tNull}
+)
+
+func refType(cls ir.TypeID) semType  { return semType{k: tRef, cls: cls} }
+func arrayType(elem semType) semType { return semType{k: tArray, elem: &elem} }
+
+// isRefLike reports whether values of the type are heap references
+// (and therefore participate in points-to analysis).
+func (t semType) isRefLike() bool { return t.k == tRef || t.k == tArray || t.k == tNull }
+
+func (t semType) equal(o semType) bool {
+	if t.k != o.k {
+		return false
+	}
+	switch t.k {
+	case tRef:
+		return t.cls == o.cls
+	case tArray:
+		return t.elem.equal(*o.elem)
+	}
+	return true
+}
+
+// name renders the type for error messages.
+func (c *compiler) typeName(t semType) string {
+	switch t.k {
+	case tInt:
+		return "int"
+	case tBool:
+		return "boolean"
+	case tVoid:
+		return "void"
+	case tNull:
+		return "null"
+	case tRef:
+		return c.clsName(t.cls)
+	case tArray:
+		return c.typeName(*t.elem) + "[]"
+	}
+	return "?"
+}
+
+// assignable reports whether a value of type src may be assigned to a
+// target of type dst.
+func (c *compiler) assignable(src, dst semType) bool {
+	switch dst.k {
+	case tInt, tBool:
+		return src.k == dst.k
+	case tRef:
+		if src.k == tNull {
+			return true
+		}
+		if src.k == tArray {
+			// Arrays are assignable to Object only.
+			return dst.cls == c.objectCls
+		}
+		return src.k == tRef && c.subtype(src.cls, dst.cls)
+	case tArray:
+		if src.k == tNull {
+			return true
+		}
+		return src.k == tArray && src.elem.equal(*dst.elem)
+	}
+	return false
+}
+
+// castable reports whether an explicit cast from src to dst is legal
+// (up- or downcast along the hierarchy, or any interface involvement).
+func (c *compiler) castable(src, dst semType) bool {
+	if dst.k == tInt || dst.k == tBool {
+		return src.k == dst.k
+	}
+	if !src.isRefLike() {
+		return false
+	}
+	if src.k == tNull {
+		return true
+	}
+	if dst.k == tArray {
+		return src.k == tArray || (src.k == tRef && src.cls == c.objectCls)
+	}
+	if src.k == tArray {
+		return dst.k == tRef && dst.cls == c.objectCls
+	}
+	// Ref-to-ref: allow up, down, and cross-casts through interfaces;
+	// reject only provably unrelated class-to-class casts.
+	if c.isInterface(src.cls) || c.isInterface(dst.cls) {
+		return true
+	}
+	return c.subtype(src.cls, dst.cls) || c.subtype(dst.cls, src.cls)
+}

@@ -1,0 +1,63 @@
+package pta
+
+import (
+	"testing"
+
+	"introspect/internal/randprog"
+	"introspect/internal/suite"
+)
+
+// Solver micro-benchmarks: one per context flavor over a fixed mid-size
+// subject, plus constraint-graph primitives over random programs.
+
+func benchSolve(b *testing.B, bench, analysis string) {
+	b.Helper()
+	prog := suite.MustLoad(bench)
+	b.ResetTimer()
+	var work int64
+	for i := 0; i < b.N; i++ {
+		res, err := Analyze(prog, analysis, Options{Budget: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TimedOut {
+			b.Fatal("unexpected timeout")
+		}
+		work = res.Work
+	}
+	b.ReportMetric(float64(work), "work")
+}
+
+func BenchmarkSolveInsens(b *testing.B) { benchSolve(b, "lusearch", "insens") }
+func BenchmarkSolve2objH(b *testing.B)  { benchSolve(b, "lusearch", "2objH") }
+func BenchmarkSolve2typeH(b *testing.B) { benchSolve(b, "lusearch", "2typeH") }
+func BenchmarkSolve2callH(b *testing.B) { benchSolve(b, "lusearch", "2callH") }
+func BenchmarkSolve2hybH(b *testing.B)  { benchSolve(b, "lusearch", "2hybH") }
+func BenchmarkSolve3objH(b *testing.B)  { benchSolve(b, "lusearch", "3objH") }
+
+// BenchmarkSolveRandom exercises the solver over a batch of random
+// programs — the profile differs from the suite (denser dispatch,
+// smaller methods).
+func BenchmarkSolveRandom(b *testing.B) {
+	progs := make([]int64, 8)
+	for i := range progs {
+		progs[i] = int64(i + 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog := randprog.Generate(progs[i%len(progs)], randprog.Default())
+		if _, err := Analyze(prog, "2objH", Options{Budget: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContextTable measures hash-consing throughput.
+func BenchmarkContextTable(b *testing.B) {
+	tab := NewTable()
+	for i := 0; i < b.N; i++ {
+		c := tab.Cons(int32(i%1024), EmptyCtx, 2)
+		c = tab.Cons(int32((i*7)%1024), c, 2)
+		_ = tab.Prefix(c, 1)
+	}
+}

@@ -1,0 +1,149 @@
+// Package pta implements the context-sensitive, flow-insensitive,
+// field-sensitive points-to analysis with on-the-fly call-graph
+// construction that the PLDI 2014 paper "Introspective Analysis:
+// Context-Sensitivity, Across the Board" builds on.
+//
+// The analysis is the paper's Figure 3 rule set, implemented as a
+// worklist-based subset-constraint solver. What kind of context the
+// analysis uses is entirely hidden behind the Policy interface, whose
+// Record and Merge methods mirror the paper's RECORD and MERGE context
+// constructors. Introspective context-sensitivity is a Policy that
+// dispatches between a "deep" and a "cheap" policy per program element
+// (see NewIntrospective), exactly like the paper's duplicated
+// RECORDREFINED/MERGEREFINED rules.
+package pta
+
+import "fmt"
+
+// Ctx is an interned calling context. Ctx 0 is the empty context, which
+// a context-insensitive analysis uses everywhere (the paper's "*").
+type Ctx int32
+
+// HCtx is an interned heap context. HCtx 0 is the empty heap context.
+type HCtx int32
+
+// EmptyCtx and EmptyHCtx are the contexts of a context-insensitive
+// analysis.
+const (
+	EmptyCtx  Ctx  = 0
+	EmptyHCtx HCtx = 0
+)
+
+// maxDepth is the maximum supported context depth (elements per context).
+const maxDepth = 4
+
+// ctxKey is the structural identity of a context: up to maxDepth
+// elements, most recent first.
+type ctxKey struct {
+	elems [maxDepth]int32
+	n     uint8
+}
+
+// Table hash-conses contexts. Calling contexts and heap contexts share
+// one table; both are sequences of context elements. Context elements
+// are tagged ids (see elemInvo etc.) so that elements of different kinds
+// never collide.
+type Table struct {
+	keys  []ctxKey
+	index map[ctxKey]Ctx
+}
+
+// NewTable returns a table containing only the empty context (id 0).
+func NewTable() *Table {
+	t := &Table{index: make(map[ctxKey]Ctx)}
+	t.keys = append(t.keys, ctxKey{})
+	t.index[ctxKey{}] = 0
+	return t
+}
+
+// Len returns the number of distinct contexts created so far.
+func (t *Table) Len() int { return len(t.keys) }
+
+func (t *Table) intern(k ctxKey) Ctx {
+	if id, ok := t.index[k]; ok {
+		return id
+	}
+	id := Ctx(len(t.keys))
+	t.keys = append(t.keys, k)
+	t.index[k] = id
+	return id
+}
+
+// Cons pushes element e onto the front of c and truncates to depth k.
+// With k == 0 it returns the empty context.
+func (t *Table) Cons(e int32, c Ctx, k int) Ctx {
+	if k <= 0 {
+		return EmptyCtx
+	}
+	if k > maxDepth {
+		k = maxDepth
+	}
+	old := t.keys[c]
+	var nk ctxKey
+	nk.elems[0] = e
+	n := 1
+	for i := 0; i < int(old.n) && n < k; i++ {
+		nk.elems[n] = old.elems[i]
+		n++
+	}
+	nk.n = uint8(n)
+	return t.intern(nk)
+}
+
+// Prefix returns the context holding the first (most recent) k elements
+// of c.
+func (t *Table) Prefix(c Ctx, k int) Ctx {
+	if k <= 0 {
+		return EmptyCtx
+	}
+	old := t.keys[c]
+	if int(old.n) <= k {
+		return c
+	}
+	var nk ctxKey
+	for i := 0; i < k; i++ {
+		nk.elems[i] = old.elems[i]
+	}
+	nk.n = uint8(k)
+	return t.intern(nk)
+}
+
+// Elems returns the elements of c, most recent first.
+func (t *Table) Elems(c Ctx) []int32 {
+	k := t.keys[c]
+	out := make([]int32, k.n)
+	copy(out, k.elems[:k.n])
+	return out
+}
+
+// Depth returns the number of elements in c.
+func (t *Table) Depth(c Ctx) int { return int(t.keys[c].n) }
+
+// Context elements are int32 ids tagged with their kind in the top bits
+// so that, e.g., invocation site 7 and allocation site 7 are distinct
+// elements even if an analysis mixed flavors.
+const (
+	elemKindShift = 28
+	elemKindInvo  = 1 << elemKindShift
+	elemKindHeap  = 2 << elemKindShift
+	elemKindType  = 3 << elemKindShift
+	elemPayload   = (1 << elemKindShift) - 1
+)
+
+func elemInvo(i int32) int32 { return elemKindInvo | i }
+func elemHeap(h int32) int32 { return elemKindHeap | h }
+func elemType(t int32) int32 { return elemKindType | t }
+
+// ElemString formats a context element for diagnostics.
+func ElemString(e int32) string {
+	id := e & elemPayload
+	switch e &^ elemPayload {
+	case elemKindInvo:
+		return fmt.Sprintf("invo:%d", id)
+	case elemKindHeap:
+		return fmt.Sprintf("heap:%d", id)
+	case elemKindType:
+		return fmt.Sprintf("type:%d", id)
+	}
+	return fmt.Sprintf("elem:%d", e)
+}

@@ -1,0 +1,255 @@
+package pta
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"introspect/internal/ir"
+	"introspect/internal/suite"
+)
+
+// suiteBlowupProgram returns a subject whose full 2objH run vastly
+// exceeds a 30ms wall-clock deadline on any machine this runs on.
+func suiteBlowupProgram(t *testing.T) *ir.Program {
+	t.Helper()
+	return suite.MustLoad("jython")
+}
+
+func TestTableBasics(t *testing.T) {
+	tab := NewTable()
+	if tab.Len() != 1 {
+		t.Fatalf("new table has %d contexts, want 1 (empty)", tab.Len())
+	}
+	c1 := tab.Cons(10, EmptyCtx, 2)
+	c2 := tab.Cons(20, c1, 2)
+	c3 := tab.Cons(30, c2, 2)
+	if got := tab.Elems(c2); len(got) != 2 || got[0] != 20 || got[1] != 10 {
+		t.Errorf("Elems(c2) = %v, want [20 10]", got)
+	}
+	// Truncation at depth 2: c3 = [30 20].
+	if got := tab.Elems(c3); len(got) != 2 || got[0] != 30 || got[1] != 20 {
+		t.Errorf("Elems(c3) = %v, want [30 20]", got)
+	}
+	if tab.Depth(c3) != 2 || tab.Depth(EmptyCtx) != 0 {
+		t.Error("Depth wrong")
+	}
+}
+
+func TestTableHashConsing(t *testing.T) {
+	tab := NewTable()
+	a := tab.Cons(1, tab.Cons(2, EmptyCtx, 2), 2)
+	b := tab.Cons(1, tab.Cons(2, EmptyCtx, 2), 2)
+	if a != b {
+		t.Error("identical contexts should be interned to one id")
+	}
+	if tab.Cons(9, EmptyCtx, 0) != EmptyCtx {
+		t.Error("Cons with k=0 should give the empty context")
+	}
+}
+
+func TestTablePrefix(t *testing.T) {
+	tab := NewTable()
+	c := tab.Cons(1, tab.Cons(2, tab.Cons(3, EmptyCtx, 3), 3), 3)
+	p1 := tab.Prefix(c, 1)
+	if got := tab.Elems(p1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Prefix 1 = %v, want [1]", got)
+	}
+	if tab.Prefix(c, 5) != c {
+		t.Error("Prefix beyond depth should be identity")
+	}
+	if tab.Prefix(c, 0) != EmptyCtx {
+		t.Error("Prefix 0 should be empty")
+	}
+}
+
+// TestQuickConsPrefixLaws property-tests the algebra the policies rely
+// on: Prefix(Cons(e, c, k), 1) = [e]; Cons is deterministic; Elems
+// round-trips.
+func TestQuickConsPrefixLaws(t *testing.T) {
+	tab := NewTable()
+	f := func(es []int32, k8 uint8) bool {
+		k := int(k8%3) + 1
+		c := EmptyCtx
+		for _, e := range es {
+			c = tab.Cons(e, c, k)
+			if tab.Depth(c) > k {
+				return false
+			}
+			got := tab.Elems(c)
+			if got[0] != e {
+				return false
+			}
+			p := tab.Prefix(c, 1)
+			pe := tab.Elems(p)
+			if len(pe) != 1 || pe[0] != e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		name string
+		want Spec
+	}{
+		{"insens", Spec{Flavor: Insensitive}},
+		{"ci", Spec{Flavor: Insensitive}},
+		{"1call", Spec{Flavor: CallSite, K: 1}},
+		{"2callH", Spec{Flavor: CallSite, K: 2, HeapK: 1}},
+		{"2objH", Spec{Flavor: Object, K: 2, HeapK: 1}},
+		{"3objH", Spec{Flavor: Object, K: 3, HeapK: 1}},
+		{"2typeH", Spec{Flavor: TypeSens, K: 2, HeapK: 1}},
+		{"1obj", Spec{Flavor: Object, K: 1}},
+		{"2cfa", Spec{Flavor: CallSite, K: 2}},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.name)
+		if err != nil {
+			t.Errorf("ParseSpec(%s): %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSpec(%s) = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"2frob", "objH", "0call", "9call", "xx"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%s): expected error", bad)
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	cases := map[string]Spec{
+		"insens": {Flavor: Insensitive},
+		"2objH":  {Flavor: Object, K: 2, HeapK: 1},
+		"1call":  {Flavor: CallSite, K: 1},
+		"2typeH": {Flavor: TypeSens, K: 2, HeapK: 1},
+	}
+	for want, spec := range cases {
+		if got := spec.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", spec, got, want)
+		}
+	}
+}
+
+func TestElemString(t *testing.T) {
+	for _, tc := range []struct {
+		e    int32
+		want string
+	}{
+		{elemInvo(7), "invo:7"},
+		{elemHeap(9), "heap:9"},
+		{elemType(3), "type:3"},
+	} {
+		if got := ElemString(tc.e); got != tc.want {
+			t.Errorf("ElemString = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestElemTagsDistinct(t *testing.T) {
+	if elemInvo(5) == elemHeap(5) || elemHeap(5) == elemType(5) {
+		t.Error("tagged elements of different kinds must differ")
+	}
+}
+
+// TestIntrospectivePolicyDispatch checks that the refined policy
+// dispatches constructors per program element.
+func TestIntrospectivePolicyDispatch(t *testing.T) {
+	b := ir.NewBuilder("p")
+	cls := b.AddClass("A", ir.None, nil)
+	main := b.AddStaticMethod(cls, "main", 0, true)
+	v := main.NewVar("v", cls)
+	h0 := main.Alloc(v, cls, "h0")
+	h1 := main.Alloc(v, cls, "h1")
+	invo := main.VCall(ir.None, v, "m")
+	b.AddEntry(main.ID())
+	prog := b.MustFinish()
+
+	tab := NewTable()
+	deep := NewPolicy(Spec{Flavor: Object, K: 2, HeapK: 1}, prog, tab)
+	cheap := NewPolicy(Spec{Flavor: Insensitive}, prog, tab)
+	ref := &Refinement{}
+	ref.Heaps.Add(int32(h1))
+	ref.Invos.Add(int32(invo))
+	pol := NewIntrospective(deep, cheap, ref, "test-intro")
+
+	someCtx := tab.Cons(elemHeap(int32(h0)), EmptyCtx, 2)
+	// h0 is refined: deep heap context.
+	if got := pol.Record(h0, someCtx); got == EmptyHCtx {
+		t.Error("refined heap should get a deep heap context")
+	}
+	// h1 is excluded: insensitive heap context.
+	if got := pol.Record(h1, someCtx); got != EmptyHCtx {
+		t.Error("excluded heap should get the empty heap context")
+	}
+	// The excluded invo gets the cheap (empty) calling context.
+	if got := pol.Merge(h0, EmptyHCtx, invo, 0, someCtx); got != EmptyCtx {
+		t.Error("excluded call site should get the empty context")
+	}
+	if pol.Name() != "test-intro" {
+		t.Error("Name wrong")
+	}
+
+	// Method-based exclusion.
+	ref2 := &Refinement{}
+	ref2.Methods.Add(0)
+	pol2 := NewIntrospective(deep, cheap, ref2, "")
+	if got := pol2.Merge(h0, EmptyHCtx, invo, 0, someCtx); got != EmptyCtx {
+		t.Error("excluded target method should get the empty context")
+	}
+	if got := pol2.Merge(h0, EmptyHCtx, invo, 1, someCtx); got == EmptyCtx {
+		t.Error("non-excluded call should get a deep context")
+	}
+	if pol2.Name() == "" {
+		t.Error("default name should be derived")
+	}
+}
+
+func TestMergeStaticFlavors(t *testing.T) {
+	b := ir.NewBuilder("p")
+	cls := b.AddClass("A", ir.None, nil)
+	main := b.AddStaticMethod(cls, "main", 0, true)
+	v := main.NewVar("v", cls)
+	main.Alloc(v, cls, "h")
+	b.AddEntry(main.ID())
+	prog := b.MustFinish()
+
+	tab := NewTable()
+	caller := tab.Cons(elemInvo(3), EmptyCtx, 2)
+
+	call := NewPolicy(Spec{Flavor: CallSite, K: 2, HeapK: 1}, prog, tab)
+	if got := call.MergeStatic(5, 0, caller); tab.Depth(got) != 2 || tab.Elems(got)[0] != elemInvo(5) {
+		t.Error("call-site MergeStatic should push the invocation site")
+	}
+	obj := NewPolicy(Spec{Flavor: Object, K: 2, HeapK: 1}, prog, tab)
+	if got := obj.MergeStatic(5, 0, caller); got != caller {
+		t.Error("object-sensitive MergeStatic should pass the caller context through")
+	}
+	ins := NewPolicy(Spec{Flavor: Insensitive}, prog, tab)
+	if got := ins.MergeStatic(5, 0, caller); got != EmptyCtx {
+		t.Error("insensitive MergeStatic should return the empty context")
+	}
+}
+
+// TestWallClockDeadline: the Options.Deadline escape hatch flags a
+// timeout even when the work budget is unlimited.
+func TestWallClockDeadline(t *testing.T) {
+	prog, _, _ := buildIdentity(t)
+	_ = prog
+	big := suiteBlowupProgram(t)
+	res, err := Analyze(big, "2objH", Options{Budget: -1, Deadline: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Skip("machine solved the subject inside the deadline; nothing to assert")
+	}
+}

@@ -1,0 +1,116 @@
+package pta
+
+import (
+	"testing"
+
+	"introspect/internal/ir"
+	"introspect/internal/randprog"
+)
+
+// buildStaticFactoryChain: the shared-allocation-site factory reached
+// only through STATIC calls from main. Pure object-sensitivity is
+// blind here (static calls propagate main's empty context), while
+// hybrid object-sensitivity pushes the static call sites and recovers
+// the separation — the motivating case of the paper's reference [12].
+func buildStaticFactoryChain(t *testing.T) (*ir.Program, ir.VarID, ir.HeapID) {
+	t.Helper()
+	b := ir.NewBuilder("hybrid")
+	box := b.AddClass("Box", ir.None, nil)
+	f := b.AddField(box, "f")
+	set := b.AddMethod(box, "set", "set", 1, true)
+	set.Store(set.This(), f, set.Formal(0))
+	get := b.AddMethod(box, "get", "get", 0, false)
+	get.Load(get.Ret(), get.This(), f)
+
+	util := b.AddClass("Util", ir.None, nil)
+	mk := b.AddStaticMethod(util, "mkBox", 0, false)
+	bx := mk.NewVar("bx", box)
+	mk.Alloc(bx, box, "hbox")
+	mk.Move(mk.Ret(), bx)
+
+	mainCls := b.AddClass("Main", ir.None, nil)
+	main := b.AddStaticMethod(mainCls, "main", 0, true)
+	b1 := main.NewVar("b1", box)
+	b2 := main.NewVar("b2", box)
+	main.Call(b1, mk.ID(), ir.None) // two distinct static call sites
+	main.Call(b2, mk.ID(), ir.None)
+	o1 := main.NewVar("o1", ir.None)
+	o2 := main.NewVar("o2", ir.None)
+	h1 := main.Alloc(o1, b.TypeByName("Object"), "h1")
+	main.Alloc(o2, b.TypeByName("Object"), "h2")
+	main.VCall(ir.None, b1, "set", o1)
+	main.VCall(ir.None, b2, "set", o2)
+	g1 := main.NewVar("g1", ir.None)
+	main.VCall(g1, b1, "get")
+	b.AddEntry(main.ID())
+	prog, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, g1, h1
+}
+
+func TestHybridRecoversStaticCallPrecision(t *testing.T) {
+	prog, g1, h1 := buildStaticFactoryChain(t)
+
+	// 2objH: static calls propagate main's empty context, so both
+	// boxes share one heap context and the fields conflate.
+	obj := analyze(t, prog, "2objH")
+	if got := heapSet(t, obj, g1); len(got) != 2 {
+		t.Errorf("2objH g1: got %v, want 2 heaps (conflated through static factory)", got)
+	}
+
+	// 2hybH: the static call sites become context elements, the two
+	// factory invocations get distinct contexts, and the boxes'
+	// heap contexts separate.
+	hyb := analyze(t, prog, "2hybH")
+	got := heapSet(t, hyb, g1)
+	if len(got) != 1 || !got[h1] {
+		t.Errorf("2hybH g1: got %v, want {h1}", got)
+	}
+}
+
+func TestHybridSpec(t *testing.T) {
+	spec, err := ParseSpec("2hybH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Flavor != Hybrid || spec.K != 2 || spec.HeapK != 1 {
+		t.Errorf("ParseSpec(2hybH) = %+v", spec)
+	}
+	if spec.String() != "2hybH" {
+		t.Errorf("round-trip: %s", spec.String())
+	}
+	if Hybrid.String() != "hyb" {
+		t.Errorf("Flavor string: %s", Hybrid.String())
+	}
+}
+
+// TestHybridRefinesInsensitive extends the soundness-shape property to
+// the hybrid flavor over random programs.
+func TestHybridRefinesInsensitive(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		prog := randprog.Generate(seed, randprog.Default())
+		ins, err := Analyze(prog, "insens", Options{Budget: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hyb, err := Analyze(prog, "2hybH", Options{Budget: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRefines(t, "2hybH", prog, hyb, ins)
+	}
+}
+
+// TestHybridKeepsObjectPrecision: on the virtual-dispatch example
+// where object-sensitivity shines, hybrid matches it (hybrid only
+// *adds* call-site elements at static calls).
+func TestHybridKeepsObjectPrecision(t *testing.T) {
+	prog, vars, heaps := buildWrapped(t)
+	res := analyze(t, prog, "1hyb")
+	g1 := heapSet(t, res, vars["g1"])
+	if len(g1) != 1 || !g1[heaps["h1"]] {
+		t.Errorf("1hyb g1: got %v, want {h1}", g1)
+	}
+}

@@ -1,0 +1,524 @@
+package pta
+
+import (
+	"time"
+
+	"introspect/internal/bits"
+	"introspect/internal/ir"
+)
+
+// Options controls resource limits of a solver run.
+//
+// The paper reports analyses that "do not terminate" within a 90-minute
+// timeout; we reproduce that behavior with a deterministic work budget
+// (plus an optional wall-clock deadline), so that "timed out" results
+// are stable across machines.
+type Options struct {
+	// Budget is the maximum number of abstract work units (constraint
+	// propagation steps) before the run is abandoned. 0 means
+	// DefaultBudget; negative means unlimited.
+	Budget int64
+	// Deadline is an optional wall-clock limit. 0 means none.
+	Deadline time.Duration
+}
+
+// DefaultBudget is the work-unit budget standing in for the paper's
+// 90-minute timeout.
+const DefaultBudget int64 = 150_000_000
+
+func (o Options) budget() int64 {
+	switch {
+	case o.Budget == 0:
+		return DefaultBudget
+	case o.Budget < 0:
+		return 1 << 62
+	default:
+		return o.Budget
+	}
+}
+
+type nodeKind uint8
+
+const (
+	varNode    nodeKind = iota // (variable, calling context)
+	fieldNode                  // (context-qualified heap object, field)
+	staticNode                 // static field (context-insensitive)
+)
+
+// edge is a subset constraint src ⊆ dst, optionally filtered by a cast
+// target type: only objects whose dynamic type is a subtype of filter
+// flow across a filtered edge.
+type edge struct {
+	dst    int32
+	filter ir.TypeID // ir.None = unfiltered
+}
+
+type loadUse struct {
+	field ir.FieldID
+	dst   int32 // destination var node
+}
+
+type storeUse struct {
+	field ir.FieldID
+	src   int32 // source var node
+}
+
+type callUse struct {
+	call *ir.Call
+}
+
+type cgKey struct {
+	invo      ir.InvoID
+	callerCtx Ctx
+	meth      ir.MethodID
+	calleeCtx Ctx
+}
+
+type solver struct {
+	prog *ir.Program
+	pol  Policy
+	tab  *Table
+
+	// Context-qualified heap objects, interned to dense ids ("hc ids").
+	hcIdx  map[uint64]int32
+	hcHeap []ir.HeapID
+	hcCtx  []HCtx
+
+	// Constraint-graph nodes.
+	nodeIdx   map[uint64]int32
+	kind      []nodeKind
+	nodeA     []int32 // var id | hc id | field id
+	nodeB     []int32 // ctx     | field | 0
+	pt        []bits.Set
+	delta     [][]int32
+	succs     [][]edge
+	loadUses  [][]loadUse
+	storeUses [][]storeUse
+	callUses  [][]callUse
+	inWL      []bool
+	wl        []int32
+
+	// Reachable (method, context) pairs.
+	mcIdx     map[uint64]int32
+	mcMeth    []ir.MethodID
+	mcCtx     []Ctx
+	pendingMC []int32
+
+	// Call graph.
+	cgSeen      map[cgKey]struct{}
+	invoTargets []map[ir.MethodID]struct{}
+
+	reachMeths bits.Set // distinct reachable methods
+
+	work     int64
+	budget   int64
+	deadline time.Time
+	hasDL    bool
+	timedOut bool
+	popCount int
+
+	// finalize() products
+	varNodes map[ir.VarID][]int32
+}
+
+// Solve runs the analysis over prog with the given context policy,
+// creating contexts in tab.
+func Solve(prog *ir.Program, pol Policy, tab *Table, opts Options) *Result {
+	s := &solver{
+		prog:        prog,
+		pol:         pol,
+		tab:         tab,
+		hcIdx:       make(map[uint64]int32),
+		nodeIdx:     make(map[uint64]int32),
+		mcIdx:       make(map[uint64]int32),
+		cgSeen:      make(map[cgKey]struct{}),
+		invoTargets: make([]map[ir.MethodID]struct{}, prog.NumInvos()),
+		budget:      opts.budget(),
+	}
+	if opts.Deadline > 0 {
+		s.deadline = time.Now().Add(opts.Deadline)
+		s.hasDL = true
+	}
+	start := time.Now()
+	s.run()
+	s.finalize()
+	return &Result{
+		Prog:     prog,
+		Analysis: pol.Name(),
+		TimedOut: s.timedOut,
+		Work:     s.work,
+		Elapsed:  time.Since(start),
+		s:        s,
+	}
+}
+
+// Analyze is a convenience wrapper: parse the analysis name, build the
+// policy, and solve.
+func Analyze(prog *ir.Program, analysis string, opts Options) (*Result, error) {
+	spec, err := ParseSpec(analysis)
+	if err != nil {
+		return nil, err
+	}
+	tab := NewTable()
+	return Solve(prog, NewPolicy(spec, prog, tab), tab, opts), nil
+}
+
+// --- interning ---
+
+func (s *solver) internHC(h ir.HeapID, hc HCtx) int32 {
+	key := uint64(uint32(h))<<32 | uint64(uint32(hc))
+	if id, ok := s.hcIdx[key]; ok {
+		return id
+	}
+	id := int32(len(s.hcHeap))
+	s.hcHeap = append(s.hcHeap, h)
+	s.hcCtx = append(s.hcCtx, hc)
+	s.hcIdx[key] = id
+	return id
+}
+
+func nodeKey(k nodeKind, a, b int32) uint64 {
+	return uint64(k)<<62 | uint64(uint32(a))<<31 | uint64(uint32(b))
+}
+
+func (s *solver) node(k nodeKind, a, b int32) int32 {
+	key := nodeKey(k, a, b)
+	if id, ok := s.nodeIdx[key]; ok {
+		return id
+	}
+	id := int32(len(s.kind))
+	s.nodeIdx[key] = id
+	s.kind = append(s.kind, k)
+	s.nodeA = append(s.nodeA, a)
+	s.nodeB = append(s.nodeB, b)
+	s.pt = append(s.pt, bits.Set{})
+	s.delta = append(s.delta, nil)
+	s.succs = append(s.succs, nil)
+	s.loadUses = append(s.loadUses, nil)
+	s.storeUses = append(s.storeUses, nil)
+	s.callUses = append(s.callUses, nil)
+	s.inWL = append(s.inWL, false)
+	return id
+}
+
+func (s *solver) varNodeID(v ir.VarID, ctx Ctx) int32 {
+	return s.node(varNode, int32(v), int32(ctx))
+}
+
+func (s *solver) fieldNodeID(hc int32, f ir.FieldID) int32 {
+	return s.node(fieldNode, hc, int32(f))
+}
+
+func (s *solver) staticNodeID(f ir.FieldID) int32 {
+	return s.node(staticNode, int32(f), 0)
+}
+
+// --- constraint construction ---
+
+func (s *solver) push(n int32) {
+	if !s.inWL[n] {
+		s.inWL[n] = true
+		s.wl = append(s.wl, n)
+	}
+}
+
+// addTo inserts a context-qualified heap object into a node's points-to
+// set, scheduling propagation if it is new.
+func (s *solver) addTo(n, hc int32) {
+	if s.pt[n].Add(hc) {
+		if debugAdd != nil {
+			debugAdd(s, n, hc)
+		}
+		s.delta[n] = append(s.delta[n], hc)
+		s.push(n)
+		s.work++
+	}
+}
+
+func (s *solver) passesFilter(hc int32, filter ir.TypeID) bool {
+	if filter == ir.None {
+		return true
+	}
+	return s.prog.SubtypeOf(s.prog.HeapType(s.hcHeap[hc]), filter)
+}
+
+// addEdge installs the subset constraint src ⊆ dst (modulo filter) and
+// propagates src's current points-to set.
+func (s *solver) addEdge(src, dst int32, filter ir.TypeID) {
+	s.succs[src] = append(s.succs[src], edge{dst: dst, filter: filter})
+	s.pt[src].ForEach(func(hc int32) {
+		s.work++
+		if s.passesFilter(hc, filter) {
+			s.addTo(dst, hc)
+		}
+	})
+}
+
+// reach marks (m, ctx) reachable, queueing the method body for
+// constraint generation if the pair is new.
+func (s *solver) reach(m ir.MethodID, ctx Ctx) {
+	key := uint64(uint32(m))<<32 | uint64(uint32(ctx))
+	if _, ok := s.mcIdx[key]; ok {
+		return
+	}
+	id := int32(len(s.mcMeth))
+	s.mcIdx[key] = id
+	s.mcMeth = append(s.mcMeth, m)
+	s.mcCtx = append(s.mcCtx, ctx)
+	s.pendingMC = append(s.pendingMC, id)
+	s.reachMeths.Add(int32(m))
+}
+
+// processMethod generates the constraints for one (method, context).
+func (s *solver) processMethod(mc int32) {
+	mi := s.mcMeth[mc]
+	ctx := s.mcCtx[mc]
+	m := &s.prog.Methods[mi]
+	s.work += int64(len(m.Allocs) + len(m.Moves) + len(m.Loads) + len(m.Stores) +
+		len(m.Calls) + len(m.Casts) + len(m.SLoads) + len(m.SStores))
+
+	for _, a := range m.Allocs {
+		hctx := s.pol.Record(a.Heap, ctx)
+		hc := s.internHC(a.Heap, hctx)
+		s.addTo(s.varNodeID(a.Var, ctx), hc)
+	}
+	for _, mv := range m.Moves {
+		s.addEdge(s.varNodeID(mv.From, ctx), s.varNodeID(mv.To, ctx), ir.None)
+	}
+	for _, c := range m.Casts {
+		s.addEdge(s.varNodeID(c.From, ctx), s.varNodeID(c.To, ctx), c.Type)
+	}
+	for _, l := range m.Loads {
+		base := s.varNodeID(l.Base, ctx)
+		dst := s.varNodeID(l.To, ctx)
+		s.loadUses[base] = append(s.loadUses[base], loadUse{field: l.Field, dst: dst})
+		// Apply to already-known receivers.
+		s.pt[base].ForEach(func(hc int32) {
+			s.work++
+			s.addEdge(s.fieldNodeID(hc, l.Field), dst, ir.None)
+		})
+	}
+	for _, st := range m.Stores {
+		base := s.varNodeID(st.Base, ctx)
+		src := s.varNodeID(st.From, ctx)
+		s.storeUses[base] = append(s.storeUses[base], storeUse{field: st.Field, src: src})
+		s.pt[base].ForEach(func(hc int32) {
+			s.work++
+			s.addEdge(src, s.fieldNodeID(hc, st.Field), ir.None)
+		})
+	}
+	for _, l := range m.SLoads {
+		s.addEdge(s.staticNodeID(l.Field), s.varNodeID(l.To, ctx), ir.None)
+	}
+	for _, st := range m.SStores {
+		s.addEdge(s.varNodeID(st.From, ctx), s.staticNodeID(st.Field), ir.None)
+	}
+	for _, th := range m.Throws {
+		from := s.varNodeID(th.From, ctx)
+		// Thrown objects escape the method...
+		s.addEdge(from, s.varNodeID(m.Exc, ctx), ir.None)
+		// ...and reach the method's type-matching catch clauses.
+		for _, ca := range m.Catches {
+			s.addEdge(from, s.varNodeID(ca.Var, ctx), ca.Type)
+		}
+	}
+	for ci := range m.Calls {
+		c := &m.Calls[ci]
+		if c.Kind == ir.Direct && c.Base == ir.None {
+			// Static call: the callee context is built without a
+			// receiver object.
+			calleeCtx := s.pol.MergeStatic(c.Invo, c.Target, ctx)
+			s.reach(c.Target, calleeCtx)
+			s.linkCall(c, ctx, c.Target, calleeCtx)
+			continue
+		}
+		// Receiver-based call (virtual dispatch or direct instance
+		// call): resolved per receiver object as its points-to set grows.
+		base := s.varNodeID(c.Base, ctx)
+		s.callUses[base] = append(s.callUses[base], callUse{call: c})
+		s.pt[base].ForEach(func(hc int32) {
+			s.work++
+			s.dispatch(c, ctx, hc)
+		})
+	}
+}
+
+// dispatch handles one receiver object arriving at one call site.
+func (s *solver) dispatch(c *ir.Call, callerCtx Ctx, hc int32) {
+	heap := s.hcHeap[hc]
+	var toMeth ir.MethodID
+	if c.Kind == ir.Virtual {
+		toMeth = s.prog.Lookup(s.prog.HeapType(heap), c.Sig)
+		if toMeth == ir.None {
+			return
+		}
+	} else {
+		toMeth = c.Target
+	}
+	calleeCtx := s.pol.Merge(heap, s.hcCtx[hc], c.Invo, toMeth, callerCtx)
+	s.reach(toMeth, calleeCtx)
+	// Bind this to exactly this receiver object (the VARPOINTSTO(this,
+	// calleeCtx, heap, hctx) conclusion of the paper's VCALL rule).
+	tm := &s.prog.Methods[toMeth]
+	if tm.This != ir.None {
+		s.addTo(s.varNodeID(tm.This, calleeCtx), hc)
+	}
+	s.linkCall(c, callerCtx, toMeth, calleeCtx)
+}
+
+// linkCall installs the interprocedural assignments for a call-graph
+// edge, once per (invo, callerCtx, meth, calleeCtx).
+func (s *solver) linkCall(c *ir.Call, callerCtx Ctx, toMeth ir.MethodID, calleeCtx Ctx) {
+	key := cgKey{invo: c.Invo, callerCtx: callerCtx, meth: toMeth, calleeCtx: calleeCtx}
+	if _, ok := s.cgSeen[key]; ok {
+		return
+	}
+	s.cgSeen[key] = struct{}{}
+	if debugLink != nil {
+		debugLink(s, c, callerCtx, toMeth, calleeCtx)
+	}
+	if s.invoTargets[c.Invo] == nil {
+		s.invoTargets[c.Invo] = make(map[ir.MethodID]struct{})
+	}
+	s.invoTargets[c.Invo][toMeth] = struct{}{}
+
+	tm := &s.prog.Methods[toMeth]
+	n := len(c.Args)
+	if n > len(tm.Formals) {
+		n = len(tm.Formals)
+	}
+	for i := 0; i < n; i++ {
+		s.addEdge(s.varNodeID(c.Args[i], callerCtx), s.varNodeID(tm.Formals[i], calleeCtx), ir.None)
+	}
+	if c.Ret != ir.None && tm.Ret != ir.None {
+		s.addEdge(s.varNodeID(tm.Ret, calleeCtx), s.varNodeID(c.Ret, callerCtx), ir.None)
+	}
+	// Exceptions escaping the callee propagate to the caller's Exc and
+	// to its type-matching catch clauses.
+	caller := &s.prog.Methods[s.prog.Invos[c.Invo].Method]
+	calleeExc := s.varNodeID(tm.Exc, calleeCtx)
+	s.addEdge(calleeExc, s.varNodeID(caller.Exc, callerCtx), ir.None)
+	for _, ca := range caller.Catches {
+		s.addEdge(calleeExc, s.varNodeID(ca.Var, callerCtx), ca.Type)
+	}
+}
+
+// --- propagation ---
+
+func (s *solver) overBudget() bool {
+	if s.work > s.budget {
+		s.timedOut = true
+		return true
+	}
+	s.popCount++
+	if s.hasDL && s.popCount&255 == 0 && time.Now().After(s.deadline) {
+		s.timedOut = true
+		return true
+	}
+	return false
+}
+
+func (s *solver) run() {
+	for _, e := range s.prog.Entries {
+		s.reach(e, EmptyCtx)
+	}
+	for {
+		if s.overBudget() {
+			return
+		}
+		if n := len(s.pendingMC); n > 0 {
+			mc := s.pendingMC[n-1]
+			s.pendingMC = s.pendingMC[:n-1]
+			s.processMethod(mc)
+			continue
+		}
+		if n := len(s.wl); n > 0 {
+			id := s.wl[n-1]
+			s.wl = s.wl[:n-1]
+			s.inWL[id] = false
+			s.processNode(id)
+			continue
+		}
+		return
+	}
+}
+
+func (s *solver) processNode(n int32) {
+	d := s.delta[n]
+	s.delta[n] = nil
+	if len(d) == 0 {
+		return
+	}
+	for _, e := range s.succs[n] {
+		for _, hc := range d {
+			s.work++
+			if s.passesFilter(hc, e.filter) {
+				s.addTo(e.dst, hc)
+			}
+		}
+	}
+	if s.kind[n] != varNode {
+		return
+	}
+	ctx := Ctx(s.nodeB[n])
+	for _, u := range s.loadUses[n] {
+		for _, hc := range d {
+			s.work++
+			s.addEdge(s.fieldNodeID(hc, u.field), u.dst, ir.None)
+		}
+	}
+	for _, u := range s.storeUses[n] {
+		for _, hc := range d {
+			s.work++
+			s.addEdge(u.src, s.fieldNodeID(hc, u.field), ir.None)
+		}
+	}
+	for _, u := range s.callUses[n] {
+		for _, hc := range d {
+			s.work++
+			s.dispatch(u.call, ctx, hc)
+		}
+	}
+}
+
+func (s *solver) finalize() {
+	s.varNodes = make(map[ir.VarID][]int32)
+	for n := range s.kind {
+		if s.kind[n] == varNode {
+			v := ir.VarID(s.nodeA[n])
+			s.varNodes[v] = append(s.varNodes[v], int32(n))
+		}
+	}
+}
+
+// debugLink, when non-nil, observes every new call-graph edge; used by
+// solver debugging tests.
+var debugLink func(s *solver, c *ir.Call, callerCtx Ctx, toMeth ir.MethodID, calleeCtx Ctx)
+
+// debugAdd, when non-nil, observes every new points-to fact; used by
+// solver debugging tests.
+var debugAdd func(s *solver, n, hc int32)
+
+// debugNode formats a node for debugging tests.
+func (s *solver) debugNode(n int32) string {
+	switch s.kind[n] {
+	case varNode:
+		return s.prog.VarName(ir.VarID(s.nodeA[n])) + "@ctx" + itoa(s.nodeB[n])
+	case fieldNode:
+		return "fld(" + s.prog.HeapName(s.hcHeap[s.nodeA[n]]) + "." + s.prog.Fields[s.nodeB[n]].Name + ")"
+	default:
+		return "static(" + s.prog.Fields[s.nodeA[n]].Name + ")"
+	}
+}
+
+func itoa(i int32) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,142 @@
+// Package randprog generates small random IR programs for
+// differential and property-based testing: the native solver against
+// the Datalog implementation, and context-sensitive results against
+// their context-insensitive upper bound.
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"introspect/internal/ir"
+)
+
+// Options sizes the generated program.
+type Options struct {
+	Classes      int // class count (≥ 2)
+	MethodsPer   int // instance methods per class
+	InsnsPer     int // random instructions per method body
+	VarsPer      int // scratch variables per method
+	StaticFields int
+}
+
+// Default returns options producing a program small enough for the
+// Datalog engine but rich enough to exercise every instruction kind.
+func Default() Options {
+	return Options{Classes: 4, MethodsPer: 2, InsnsPer: 8, VarsPer: 4, StaticFields: 2}
+}
+
+// Generate builds a random program from a seed. The same seed always
+// yields the same program.
+func Generate(seed int64, o Options) *ir.Program {
+	r := rand.New(rand.NewSource(seed))
+	if o.Classes < 2 {
+		o.Classes = 2
+	}
+	b := ir.NewBuilder(fmt.Sprintf("rand%d", seed))
+
+	// Random single-inheritance hierarchy with one field per class.
+	classes := make([]ir.TypeID, o.Classes)
+	fields := make([]ir.FieldID, o.Classes)
+	for i := range classes {
+		super := ir.TypeID(ir.None)
+		if i > 0 && r.Intn(2) == 0 {
+			super = classes[r.Intn(i)]
+		}
+		classes[i] = b.AddClass(fmt.Sprintf("C%d", i), super, nil)
+		fields[i] = b.AddField(classes[i], fmt.Sprintf("f%d", i))
+	}
+	var sfields []ir.FieldID
+	for i := 0; i < o.StaticFields; i++ {
+		sfields = append(sfields, b.AddField(classes[0], fmt.Sprintf("sf%d", i)))
+	}
+
+	// Shared dispatch signatures m0..m{MethodsPer-1}; each class
+	// defines a random subset (inheriting the rest).
+	type methodRef struct {
+		mb  *ir.MethodBuilder
+		cls int
+	}
+	var methods []methodRef
+	var statics []methodRef
+	for ci, cls := range classes {
+		for mi := 0; mi < o.MethodsPer; mi++ {
+			if ci > 0 && r.Intn(3) == 0 {
+				continue // inherit
+			}
+			mb := b.AddMethod(cls, fmt.Sprintf("m%d", mi), fmt.Sprintf("m%d", mi), 1, false)
+			methods = append(methods, methodRef{mb: mb, cls: ci})
+		}
+		if r.Intn(2) == 0 {
+			mb := b.AddStaticMethod(cls, fmt.Sprintf("s%d", ci), 1, false)
+			statics = append(statics, methodRef{mb: mb, cls: ci})
+		}
+	}
+
+	mainCls := b.AddClass("MainC", ir.None, nil)
+	main := b.AddStaticMethod(mainCls, "main", 0, true)
+
+	// Fill each body with random instructions over a var pool.
+	fill := func(mr methodRef, isMain bool) {
+		mb := mr.mb
+		pool := []ir.VarID{}
+		if !isMain {
+			if mb.This() != ir.None {
+				pool = append(pool, mb.This())
+			}
+			pool = append(pool, mb.Formal(0), mb.Ret())
+		}
+		for i := 0; i < o.VarsPer; i++ {
+			pool = append(pool, mb.NewVar(fmt.Sprintf("v%d", i), ir.None))
+		}
+		pick := func() ir.VarID { return pool[r.Intn(len(pool))] }
+		pickCls := func() int { return r.Intn(len(classes)) }
+		n := o.InsnsPer
+		if isMain {
+			n *= 2
+			// Seed allocations so something flows.
+			for i := 0; i < 3; i++ {
+				mb.Alloc(pick(), classes[pickCls()], "")
+			}
+		}
+		for i := 0; i < n; i++ {
+			switch r.Intn(9) {
+			case 0:
+				mb.Alloc(pick(), classes[pickCls()], "")
+			case 1:
+				mb.Move(pick(), pick())
+			case 2:
+				mb.Load(pick(), pick(), fields[pickCls()])
+			case 3:
+				mb.Store(pick(), fields[pickCls()], pick())
+			case 4:
+				mb.Cast(pick(), pick(), classes[pickCls()])
+			case 5:
+				mb.VCall(pick(), pick(), fmt.Sprintf("m%d", r.Intn(o.MethodsPer)), pick())
+			case 6:
+				if len(statics) > 0 {
+					s := statics[r.Intn(len(statics))]
+					mb.Call(pick(), s.mb.ID(), ir.None, pick())
+				}
+			case 7:
+				if len(sfields) > 0 {
+					mb.SStore(sfields[r.Intn(len(sfields))], pick())
+				}
+			default:
+				if len(sfields) > 0 {
+					mb.SLoad(pick(), sfields[r.Intn(len(sfields))])
+				}
+			}
+		}
+	}
+	for _, mr := range methods {
+		fill(mr, false)
+	}
+	for _, mr := range statics {
+		fill(mr, false)
+	}
+	fill(methodRef{mb: main}, true)
+
+	b.AddEntry(main.ID())
+	return b.MustFinish()
+}

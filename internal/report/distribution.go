@@ -1,0 +1,77 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"introspect/internal/ir"
+	"introspect/internal/pta"
+)
+
+// Distribution summarizes points-to set sizes — the quantity the
+// paper's introduction ties to analysis cost ("smaller points-to sets
+// lead to less work") and the classic average-var-points-to metric of
+// the points-to literature.
+type Distribution struct {
+	Analysis string
+	// Vars is the number of variables with non-empty (projected)
+	// points-to sets.
+	Vars int
+	// AvgVarPointsTo is the mean context-insensitively-projected
+	// points-to set size over those variables.
+	AvgVarPointsTo float64
+	// MaxVarPointsTo is the largest projected set.
+	MaxVarPointsTo int
+	// Buckets histograms set sizes: [1], [2,3], [4,7], [8,15], ... by
+	// powers of two; Buckets[i] counts vars with |pt| in
+	// [2^i, 2^(i+1)-1].
+	Buckets []int
+}
+
+// MeasureDistribution computes the points-to size distribution of a
+// result.
+func MeasureDistribution(res *pta.Result) Distribution {
+	prog := res.Prog
+	d := Distribution{Analysis: res.Analysis}
+	total := 0
+	for v := 0; v < prog.NumVars(); v++ {
+		n := res.VarHeaps(ir.VarID(v)).Len()
+		if n == 0 {
+			continue
+		}
+		d.Vars++
+		total += n
+		if n > d.MaxVarPointsTo {
+			d.MaxVarPointsTo = n
+		}
+		b := 0
+		for x := n; x > 1; x >>= 1 {
+			b++
+		}
+		for len(d.Buckets) <= b {
+			d.Buckets = append(d.Buckets, 0)
+		}
+		d.Buckets[b]++
+	}
+	if d.Vars > 0 {
+		d.AvgVarPointsTo = float64(total) / float64(d.Vars)
+	}
+	return d
+}
+
+// String renders the distribution compactly.
+func (d Distribution) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %d pointer vars, avg |pt| %.2f, max %d\n",
+		d.Analysis, d.Vars, d.AvgVarPointsTo, d.MaxVarPointsTo)
+	lo := 1
+	for i, n := range d.Buckets {
+		hi := lo*2 - 1
+		if n > 0 {
+			fmt.Fprintf(&sb, "  |pt| %d..%d: %d vars\n", lo, hi, n)
+		}
+		lo = hi + 1
+		_ = i
+	}
+	return sb.String()
+}

@@ -1,0 +1,157 @@
+// Package report computes the precision metrics the paper uses to
+// compare analyses (Figures 5-7), and formats result tables.
+//
+// The paper's three precision metrics, where lower is better:
+//
+//   - virtual call sites that cannot be devirtualized (resolved to two
+//     or more target methods);
+//   - reachable methods (an imprecise analysis inflates the call graph);
+//   - reachable cast instructions that may fail (the points-to set of
+//     the cast operand contains an object incompatible with the target
+//     type).
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"introspect/internal/ir"
+	"introspect/internal/pta"
+)
+
+// Precision holds the paper's three precision metrics for one analysis
+// run, plus the run's cost figures.
+type Precision struct {
+	Analysis string
+	TimedOut bool
+
+	// PolyVCalls is the number of reachable virtual call sites resolved
+	// to more than one target ("calls that cannot be devirtualized").
+	PolyVCalls int
+	// ReachableMethods is the number of distinct reachable methods.
+	ReachableMethods int
+	// MayFailCasts is the number of reachable cast instructions whose
+	// operand may hold an incompatible object.
+	MayFailCasts int
+
+	// VarPTSize is the context-qualified VarPointsTo size (cost proxy).
+	VarPTSize int64
+	// Work is the solver work performed (the deterministic time proxy).
+	Work int64
+	// ElapsedMS is wall-clock milliseconds.
+	ElapsedMS int64
+}
+
+// Measure computes the precision metrics of a result. For timed-out
+// results the numbers are still computed but flagged: the paper leaves
+// such bars out of its precision charts.
+func Measure(res *pta.Result) Precision {
+	prog := res.Prog
+	p := Precision{
+		Analysis:         res.Analysis,
+		TimedOut:         res.TimedOut,
+		ReachableMethods: res.NumReachableMethods(),
+		VarPTSize:        res.VarPTSize(),
+		Work:             res.Work,
+		ElapsedMS:        res.Elapsed.Milliseconds(),
+	}
+	for mi := range prog.Methods {
+		m := &prog.Methods[mi]
+		if !res.MethodReachable(ir.MethodID(mi)) {
+			continue
+		}
+		for ci := range m.Calls {
+			c := &m.Calls[ci]
+			if c.Kind == ir.Virtual && res.NumInvoTargets(c.Invo) > 1 {
+				p.PolyVCalls++
+			}
+		}
+		for _, c := range m.Casts {
+			if castMayFail(res, c) {
+				p.MayFailCasts++
+			}
+		}
+	}
+	return p
+}
+
+func castMayFail(res *pta.Result, c ir.Cast) bool {
+	prog := res.Prog
+	fail := false
+	res.VarHeaps(c.From).ForEach(func(h int32) {
+		if !prog.SubtypeOf(prog.HeapType(ir.HeapID(h)), c.Type) {
+			fail = true
+		}
+	})
+	return fail
+}
+
+// UncaughtExceptions returns the allocation sites of exceptions that
+// may escape the program's entry methods uncaught, as a sorted list of
+// heap names with their types.
+func UncaughtExceptions(res *pta.Result) []string {
+	prog := res.Prog
+	var out []string
+	seen := map[ir.HeapID]bool{}
+	for _, e := range prog.Entries {
+		res.VarHeaps(prog.Methods[e].Exc).ForEach(func(h int32) {
+			hid := ir.HeapID(h)
+			if seen[hid] {
+				return
+			}
+			seen[hid] = true
+			out = append(out, fmt.Sprintf("%s (%s)", prog.HeapName(hid),
+				prog.TypeName(prog.HeapType(hid))))
+		})
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PolySites returns readable names of the polymorphic virtual call
+// sites of a result, for diagnosing precision differences.
+func PolySites(res *pta.Result) []string {
+	prog := res.Prog
+	var out []string
+	for mi := range prog.Methods {
+		m := &prog.Methods[mi]
+		if !res.MethodReachable(ir.MethodID(mi)) {
+			continue
+		}
+		for ci := range m.Calls {
+			c := &m.Calls[ci]
+			if c.Kind == ir.Virtual && res.NumInvoTargets(c.Invo) > 1 {
+				out = append(out, fmt.Sprintf("%s (%d targets)",
+					prog.InvoName(c.Invo), res.NumInvoTargets(c.Invo)))
+			}
+		}
+	}
+	return out
+}
+
+// Row is one line of a benchmark × analysis result table.
+type Row struct {
+	Benchmark string
+	Precision
+}
+
+// FormatTable renders rows grouped by benchmark in a fixed-width table
+// matching the figures' content: time proxy plus the three precision
+// metrics. Timed-out entries print "TIMEOUT" in place of precision
+// numbers, like the paper's missing bars.
+func FormatTable(title string, rows []Row) string {
+	out := fmt.Sprintf("%s\n", title)
+	out += fmt.Sprintf("%-10s %-16s %10s %9s %10s %9s %8s\n",
+		"benchmark", "analysis", "work(K)", "polycall", "reachmeth", "maycast", "ms")
+	for _, r := range rows {
+		if r.TimedOut {
+			out += fmt.Sprintf("%-10s %-16s %10s %9s %10s %9s %8s\n",
+				r.Benchmark, r.Analysis, "TIMEOUT", "-", "-", "-", "-")
+			continue
+		}
+		out += fmt.Sprintf("%-10s %-16s %10d %9d %10d %9d %8d\n",
+			r.Benchmark, r.Analysis, r.Work/1000, r.PolyVCalls, r.ReachableMethods,
+			r.MayFailCasts, r.ElapsedMS)
+	}
+	return out
+}

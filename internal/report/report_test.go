@@ -1,0 +1,165 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"introspect/internal/ir"
+	"introspect/internal/lang"
+	"introspect/internal/pta"
+)
+
+const src = `
+interface Shape { Object describe(); }
+class Circle implements Shape {
+  Object describe() { return new Circle(); }
+}
+class Rect implements Shape {
+  Object describe() { return new Rect(); }
+}
+class Holder {
+  Object o;
+  void put(Object x) { this.o = x; }
+  Object get() { return this.o; }
+}
+class Main {
+  static void main() {
+    Holder h1 = new Holder();
+    Holder h2 = new Holder();
+    h1.put(new Circle());
+    h2.put(new Rect());
+    Shape s1 = (Shape) h1.get();      // insens: may fail? both are Shapes -> safe
+    Circle c = (Circle) h1.get();     // insens: may fail (Rect conflated)
+    Shape any = s1;
+    Object d = any.describe();        // insens: 2 targets; 2objH: 1
+    print(d);
+  }
+}`
+
+func analyzeBoth(t *testing.T) (*ir.Program, Precision, Precision) {
+	t.Helper()
+	prog := lang.MustCompile("report", src)
+	ins, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := pta.Analyze(prog, "2objH", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, Measure(ins), Measure(obj)
+}
+
+func TestPrecisionMetrics(t *testing.T) {
+	_, pi, po := analyzeBoth(t)
+
+	// The (Circle) cast may fail insensitively (holders conflated) but
+	// not under 2objH; the (Shape) cast is always safe.
+	if pi.MayFailCasts != 1 {
+		t.Errorf("insens MayFailCasts = %d, want 1", pi.MayFailCasts)
+	}
+	if po.MayFailCasts != 0 {
+		t.Errorf("2objH MayFailCasts = %d, want 0", po.MayFailCasts)
+	}
+	// describe() dispatch: insens 2 targets (poly), 2objH resolves to
+	// Circle only.
+	if pi.PolyVCalls != 1 {
+		t.Errorf("insens PolyVCalls = %d, want 1", pi.PolyVCalls)
+	}
+	if po.PolyVCalls != 0 {
+		t.Errorf("2objH PolyVCalls = %d, want 0", po.PolyVCalls)
+	}
+	// 2objH proves Rect.describe unreachable.
+	if po.ReachableMethods >= pi.ReachableMethods {
+		t.Errorf("2objH reachable (%d) should be below insens (%d)",
+			po.ReachableMethods, pi.ReachableMethods)
+	}
+	if pi.Analysis != "insens" || po.Analysis != "2objH" {
+		t.Error("Analysis names wrong")
+	}
+	if pi.VarPTSize == 0 || pi.Work == 0 {
+		t.Error("cost fields not populated")
+	}
+}
+
+func TestPolySites(t *testing.T) {
+	prog := lang.MustCompile("report", src)
+	ins, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := PolySites(ins)
+	if len(sites) != 1 || !strings.Contains(sites[0], "2 targets") {
+		t.Errorf("PolySites = %v, want one site with 2 targets", sites)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	rows := []Row{
+		{Benchmark: "b1", Precision: Precision{Analysis: "insens", PolyVCalls: 3,
+			ReachableMethods: 10, MayFailCasts: 2, Work: 5000, ElapsedMS: 7}},
+		{Benchmark: "b1", Precision: Precision{Analysis: "2objH", TimedOut: true}},
+	}
+	out := FormatTable("title", rows)
+	for _, want := range []string{"title", "b1", "insens", "TIMEOUT", "2objH"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTable output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, 2 rows
+		t.Errorf("FormatTable produced %d lines, want 4", len(lines))
+	}
+}
+
+// TestTimedOutFlagged ensures timed-out results carry the flag through
+// Measure.
+func TestTimedOutFlagged(t *testing.T) {
+	prog := lang.MustCompile("report", src)
+	res, err := pta.Analyze(prog, "2objH", pta.Options{Budget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Measure(res)
+	if !p.TimedOut {
+		t.Error("timed-out result should be flagged")
+	}
+}
+
+// TestDistribution: a precise analysis shifts mass toward small
+// points-to sets and reduces the average.
+func TestDistribution(t *testing.T) {
+	prog := lang.MustCompile("report", src)
+	ins, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := pta.Analyze(prog, "2objH", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	di := MeasureDistribution(ins)
+	do := MeasureDistribution(obj)
+	if di.Vars == 0 || do.Vars == 0 {
+		t.Fatal("no pointer vars measured")
+	}
+	if do.AvgVarPointsTo > di.AvgVarPointsTo {
+		t.Errorf("2objH average |pt| (%.2f) should not exceed insens (%.2f)",
+			do.AvgVarPointsTo, di.AvgVarPointsTo)
+	}
+	if di.MaxVarPointsTo < do.MaxVarPointsTo {
+		t.Errorf("max |pt|: insens %d < 2objH %d", di.MaxVarPointsTo, do.MaxVarPointsTo)
+	}
+	s := di.String()
+	if !strings.Contains(s, "avg |pt|") || !strings.Contains(s, "insens") {
+		t.Errorf("Distribution.String = %q", s)
+	}
+	// Bucket counts sum to Vars.
+	sum := 0
+	for _, n := range di.Buckets {
+		sum += n
+	}
+	if sum != di.Vars {
+		t.Errorf("bucket sum %d != vars %d", sum, di.Vars)
+	}
+}

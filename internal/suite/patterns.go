@@ -1,0 +1,594 @@
+package suite
+
+import (
+	"fmt"
+
+	"introspect/internal/ir"
+)
+
+// --- bulk: well-behaved baseline code -------------------------------
+
+// bulkParams sizes the baseline mass of ordinary classes.
+type bulkParams struct {
+	Classes    int // number of Bulk classes
+	MethodsPer int // chain methods per class
+}
+
+// bulk emits Classes classes, each with a payload field, a peer
+// reference to the next class's instance, and MethodsPer chain methods
+// that allocate, store, load, and forward along the peer ring. All
+// dispatch is monomorphic and all points-to sets stay tiny, providing
+// realistic baseline analysis mass with no pathologies.
+func (g *gen) bulk(p bulkParams) {
+	if p.Classes == 0 {
+		return
+	}
+	id := g.name("bulk")
+	classes := make([]ir.TypeID, p.Classes)
+	fields := make([]ir.FieldID, p.Classes)
+	peers := make([]ir.FieldID, p.Classes)
+	for i := range classes {
+		classes[i] = g.b.AddClass(fmt.Sprintf("Bulk_%s_%d", id, i), ir.None, nil)
+		fields[i] = g.b.AddField(classes[i], "data")
+		peers[i] = g.b.AddField(classes[i], "peer")
+	}
+	dataCls := g.b.AddClass("BulkData_"+id, ir.None, nil)
+
+	// Each class defines bw_0 .. bw_{MethodsPer-1}; bw_j forwards to the
+	// peer's bw_{j-1}.
+	for i, cls := range classes {
+		for j := 0; j < p.MethodsPer; j++ {
+			m := g.b.AddMethod(cls, fmt.Sprintf("bw%d", j), fmt.Sprintf("bw%d_%s", j, id), 1, false)
+			t := m.NewVar("t", ir.None)
+			m.Alloc(t, dataCls, "")
+			m.Store(m.This(), fields[i], t)
+			u := m.NewVar("u", ir.None)
+			m.Load(u, m.This(), fields[i])
+			if j > 0 {
+				pv := m.NewVar("p", ir.None)
+				m.Load(pv, m.This(), peers[i])
+				r := m.NewVar("r", ir.None)
+				m.VCall(r, pv, fmt.Sprintf("bw%d_%s", j-1, id), m.Formal(0))
+				m.Move(m.Ret(), r)
+			} else {
+				m.Move(m.Ret(), u)
+			}
+		}
+	}
+
+	// bulkMain allocates the ring and kicks off a few chains.
+	bm := g.b.AddStaticMethod(classes[0], "bulkMain_"+id, 0, true)
+	objs := make([]ir.VarID, p.Classes)
+	for i, cls := range classes {
+		objs[i] = bm.NewVar(fmt.Sprintf("b%d", i), cls)
+		bm.Alloc(objs[i], cls, "")
+	}
+	for i := range objs {
+		bm.Store(objs[i], peers[i], objs[(i+1)%len(objs)])
+	}
+	seed := bm.NewVar("seed", ir.None)
+	bm.Alloc(seed, dataCls, "")
+	// Kick every ring element at the deepest method so that all chain
+	// methods become reachable.
+	for i := range objs {
+		bm.VCall(ir.None, objs[i], fmt.Sprintf("bw%d_%s", p.MethodsPer-1, id), seed)
+	}
+	g.callFromMain(bm.ID())
+}
+
+// --- typedStore: the main precision content --------------------------
+
+// typedStoreParams sizes the cell/module precision pattern.
+type typedStoreParams struct {
+	K          int     // number of modules (and payload classes)
+	SharedFrac float64 // fraction of modules using one shared class
+	DrainFrac  float64 // fraction of modules whose cell is drained
+}
+
+// typedStore emits K modules, each owning a Cell obtained from a single
+// factory allocation site and storing a module-specific payload class.
+// Drained modules read the cell back, virtually invoke the payload, and
+// (for distinct-class modules) cast it to the expected class.
+//
+// A context-insensitive analysis conflates all cells: every drain sees
+// all K payload classes (polymorphic dispatch, failing casts, all
+// payload methods reachable). Deep object-sensitivity separates the
+// cells per module object. Type- and call-site-sensitivity separate
+// only the modules with distinct classes (the shared-class fraction
+// stays conflated), which reproduces the flavors' precision ordering.
+func (g *gen) typedStore(p typedStoreParams) {
+	if p.K == 0 {
+		return
+	}
+	id := g.name("ts")
+	// Cells are sharded into factory groups of ~15 modules. Each group
+	// has its own Cell class and single-allocation-site factory: the
+	// context-insensitive analysis conflates all cells *within* a group
+	// (enough to create the precision content), while the number of
+	// variables pointing at each cell allocation site stays below
+	// Heuristic A's pointed-by-vars threshold, as it does for ordinary
+	// factory-allocated objects in real programs.
+	const cellGroup = 15
+	type cellShard struct {
+		cls ir.TypeID
+		mk  ir.MethodID
+		put string
+		get string
+	}
+	nGroups := (p.K + cellGroup - 1) / cellGroup
+	shards := make([]cellShard, nGroups)
+	for gi := range shards {
+		cname := fmt.Sprintf("Cell_%s_%d", id, gi)
+		cell := g.b.AddClass(cname, ir.None, nil)
+		cellFld := g.b.AddField(cell, "f")
+		putSig := fmt.Sprintf("cput_%s_%d", id, gi)
+		getSig := fmt.Sprintf("cget_%s_%d", id, gi)
+		cput := g.b.AddMethod(cell, "cput", putSig, 1, true)
+		cput.Store(cput.This(), cellFld, cput.Formal(0))
+		cget := g.b.AddMethod(cell, "cget", getSig, 0, false)
+		cget.Load(cget.Ret(), cget.This(), cellFld)
+		shards[gi] = cellShard{
+			cls: cell,
+			mk:  g.factory(cell, "mkCell"),
+			put: putSig,
+			get: getSig,
+		}
+	}
+	shard := func(i int) cellShard { return shards[i/cellGroup] }
+
+	// Payload classes, each with tswork() allocating its own result.
+	payloads := make([]ir.TypeID, p.K)
+	workSig := "tswork_" + id
+	for i := range payloads {
+		payloads[i] = g.b.AddClass(fmt.Sprintf("TSP_%s_%d", id, i), ir.None, nil)
+		res := g.b.AddClass(fmt.Sprintf("TSRes_%s_%d", id, i), ir.None, nil)
+		w := g.b.AddMethod(payloads[i], "tswork", workSig, 0, false)
+		rv := w.NewVar("r", res)
+		w.Alloc(rv, res, "")
+		w.Move(w.Ret(), rv)
+	}
+
+	nShared := int(float64(p.K) * p.SharedFrac)
+
+	// Shared module class (used by the first nShared modules). All its
+	// instances share one init/drain method pair and shard 0's cell
+	// factory: call-site- and type-sensitivity cannot separate them
+	// (one mkCell call site, one declaring class), but object-
+	// sensitivity can (the module *objects* are distinct).
+	var sharedCls ir.TypeID = ir.None
+	var sharedInit, sharedDrain ir.MethodID
+	if nShared > 0 {
+		sh := shards[0]
+		sharedCls = g.b.AddClass("ModShared_"+id, ir.None, nil)
+		fld := g.b.AddField(sharedCls, "cell")
+		init := g.b.AddMethod(sharedCls, "init", "tsinit_"+id, 1, true)
+		c := init.NewVar("c", sh.cls)
+		init.Call(c, sh.mk, ir.None)
+		init.Store(init.This(), fld, c)
+		c2 := init.NewVar("c2", sh.cls)
+		init.Load(c2, init.This(), fld)
+		init.VCall(ir.None, c2, sh.put, init.Formal(0))
+		sharedInit = init.ID()
+
+		dr := g.b.AddMethod(sharedCls, "drain", "tsdrain_"+id, 0, true)
+		c3 := dr.NewVar("c", sh.cls)
+		dr.Load(c3, dr.This(), fld)
+		o := dr.NewVar("o", ir.None)
+		dr.VCall(o, c3, sh.get)
+		r := dr.NewVar("r", ir.None)
+		dr.VCall(r, o, workSig)
+		sharedDrain = dr.ID()
+	}
+
+	// Distinct module classes for the rest; each has its own factory
+	// (so type-sensitivity can distinguish them) and its drain also
+	// casts the payload to the expected class.
+	type module struct {
+		cls     ir.TypeID
+		factory ir.MethodID // ir.None: allocate inline in tsMain
+		init    ir.MethodID
+		drain   ir.MethodID
+	}
+	mods := make([]module, p.K)
+	for i := 0; i < p.K; i++ {
+		if i < nShared {
+			mods[i] = module{cls: sharedCls, factory: ir.None, init: sharedInit, drain: sharedDrain}
+			continue
+		}
+		sh := shard(i)
+		cls := g.b.AddClass(fmt.Sprintf("Mod_%s_%d", id, i), ir.None, nil)
+		fld := g.b.AddField(cls, "cell")
+		init := g.b.AddMethod(cls, "init", fmt.Sprintf("tsinit_%s_%d", id, i), 1, true)
+		c := init.NewVar("c", sh.cls)
+		init.Call(c, sh.mk, ir.None)
+		init.Store(init.This(), fld, c)
+		c2 := init.NewVar("c2", sh.cls)
+		init.Load(c2, init.This(), fld)
+		init.VCall(ir.None, c2, sh.put, init.Formal(0))
+
+		dr := g.b.AddMethod(cls, "drain", fmt.Sprintf("tsdrain_%s_%d", id, i), 0, true)
+		c3 := dr.NewVar("c", sh.cls)
+		dr.Load(c3, dr.This(), fld)
+		o := dr.NewVar("o", ir.None)
+		dr.VCall(o, c3, sh.get)
+		r := dr.NewVar("r", ir.None)
+		dr.VCall(r, o, workSig)
+		w := dr.NewVar("w", payloads[i])
+		dr.Cast(w, o, payloads[i])
+		mods[i] = module{cls: cls, factory: g.factory(cls, "mkMod"), init: init.ID(), drain: dr.ID()}
+	}
+
+	tm := g.b.AddStaticMethod(shards[0].cls, "tsMain_"+id, 0, true)
+	drainEvery := 1
+	if p.DrainFrac > 0 {
+		drainEvery = int(1 / p.DrainFrac)
+		if drainEvery < 1 {
+			drainEvery = 1
+		}
+	}
+	for i, md := range mods {
+		mv := tm.NewVar(fmt.Sprintf("m%d", i), md.cls)
+		if md.factory != ir.None {
+			tm.Call(mv, md.factory, ir.None)
+		} else {
+			tm.Alloc(mv, md.cls, "")
+		}
+		pv := tm.NewVar(fmt.Sprintf("p%d", i), payloads[i])
+		tm.Alloc(pv, payloads[i], "")
+		tm.Call(ir.None, md.init, mv, pv)
+		if i%drainEvery == 0 {
+			tm.Call(ir.None, md.drain, mv)
+		}
+	}
+	g.callFromMain(tm.ID())
+}
+
+// --- router: precision that Heuristic A sacrifices -------------------
+
+// routerParams sizes the medium-argument-flow pattern.
+type routerParams struct {
+	R  int // router classes/instances
+	Pm int // payload allocation sites per router (set just above 100)
+	J  int // rop call sites in each router's use method
+}
+
+// router emits R "feeder" objects of distinct classes. Each router is
+// fed its own family of Pm payload objects through an inherited
+// feed(o) method that stores into a field, then reads the field back
+// in its own use() method, dispatching J payload operations and
+// casting to the expected payload class.
+//
+// The argument in-flow at each feed call site is Pm — chosen to exceed
+// Heuristic A's L=100 threshold while every involved method volume
+// stays far below Heuristic B's P=10000. IntroA therefore excludes the
+// feed sites: feed's this/formal conflate across routers, every
+// router's field receives every family, and the R·J dispatch sites and
+// R casts in the use() methods lose their precision. IntroB refines the
+// sites and keeps full precision, reproducing the paper's precision gap
+// between the two heuristics. The full deep analyses (all three
+// flavors: distinct receiver objects, distinct classes, distinct call
+// sites) are precise here.
+func (g *gen) router(p routerParams) {
+	if p.R == 0 {
+		return
+	}
+	id := g.name("rt")
+	base := g.b.AddAbstractClass("RouterBase_"+id, ir.None, nil)
+	baseFld := g.b.AddField(base, "f")
+
+	// feed(o) is shared (inherited): this.f = o.
+	feed := g.b.AddMethod(base, "feed", "rfeed_"+id, 1, true)
+	feed.Store(feed.This(), baseFld, feed.Formal(0))
+
+	// Payload classes: RP_r defines rop_0..rop_{J-1}, each allocating
+	// its own result class.
+	ropSig := func(j int) string { return fmt.Sprintf("rop%d_%s", j, id) }
+	payloads := make([]ir.TypeID, p.R)
+	for r := range payloads {
+		payloads[r] = g.b.AddClass(fmt.Sprintf("RP_%s_%d", id, r), ir.None, nil)
+		res := g.b.AddClass(fmt.Sprintf("RRes_%s_%d", id, r), ir.None, nil)
+		for j := 0; j < p.J; j++ {
+			w := g.b.AddMethod(payloads[r], fmt.Sprintf("rop%d", j), ropSig(j), 0, false)
+			rv := w.NewVar("r", res)
+			w.Alloc(rv, res, "")
+			w.Move(w.Ret(), rv)
+		}
+	}
+
+	routers := make([]ir.TypeID, p.R)
+	factories := make([]ir.MethodID, p.R)
+	uses := make([]ir.MethodID, p.R)
+	for r := range routers {
+		routers[r] = g.b.AddClass(fmt.Sprintf("Router_%s_%d", id, r), base, nil)
+		factories[r] = g.factory(routers[r], "mkRouter")
+		use := g.b.AddMethod(routers[r], "use", fmt.Sprintf("ruse_%s_%d", id, r), 0, true)
+		t := use.NewVar("t", ir.None)
+		use.Load(t, use.This(), baseFld)
+		for j := 0; j < p.J; j++ {
+			rv := use.NewVar(fmt.Sprintf("r%d", j), ir.None)
+			use.VCall(rv, t, ropSig(j))
+		}
+		w := use.NewVar("w", payloads[r])
+		use.Cast(w, t, payloads[r])
+		uses[r] = use.ID()
+	}
+
+	rm := g.b.AddStaticMethod(base, "rtMain_"+id, 0, true)
+	for r := 0; r < p.R; r++ {
+		rv := rm.NewVar(fmt.Sprintf("router%d", r), routers[r])
+		rm.Call(rv, factories[r], ir.None)
+		dv := rm.NewVar(fmt.Sprintf("d%d", r), ir.None)
+		for i := 0; i < p.Pm; i++ {
+			rm.Alloc(dv, payloads[r], "")
+		}
+		rm.VCall(ir.None, rv, "rfeed_"+id, dv)
+		rm.Call(ir.None, uses[r], rv)
+	}
+	g.callFromMain(rm.ID())
+}
+
+// --- objExplosion: the object-sensitivity cost pathology -------------
+
+// objExplParams sizes the nested-factory explosion.
+type objExplParams struct {
+	S           int // session objects
+	W           int // driver allocation sites per session class
+	D           int // chain depth
+	L           int // locals per chain method
+	P           int // payload allocation sites in the shared hub
+	SessClasses int // distinct session classes (type diversity)
+	DrvClasses  int // distinct driver classes
+}
+
+// objExplosion emits the W·S receiver-context explosion: S session
+// objects each privately allocate W drivers (so each driver object is
+// qualified by its session's heap context), and every driver's D-deep
+// chain of methods copies a hub-wide payload set (P objects) through L
+// locals. Under 2objH the chain is analyzed in W·S contexts, giving
+// ≈ W·S·D·L·P context-qualified tuples, while a context-insensitive
+// analysis pays only D·L·P. Under 2typeH the contexts collapse to
+// SessClasses·DrvClasses. Call-site sensitivity is immune (the chain
+// has one call site per hop).
+//
+// Heuristic A always disarms the pattern (chain in-flow is P > 100);
+// Heuristic B disarms it only when the chain volume L·P exceeds its
+// P=10000 threshold — which is exactly how the suite distinguishes
+// hsqldb (B-disarmable) from jython (not B-disarmable), as in the
+// paper's Figure 5.
+func (g *gen) objExplosion(p objExplParams) {
+	if p.S == 0 {
+		return
+	}
+	id := g.name("oe")
+	hubPool := g.newPoolClass("HubPool_" + id)
+	drvPool := g.newPoolClass("DrvPool_" + id)
+	payload := g.b.AddClass("OEP_"+id, ir.None, nil)
+	payloadNext := g.b.AddField(payload, "next")
+
+	// Driver classes with the payload-copying chain.
+	chainSig := func(j int) string { return fmt.Sprintf("om%d_%s", j, id) }
+	drivers := make([]ir.TypeID, p.DrvClasses)
+	for c := range drivers {
+		drivers[c] = g.b.AddClass(fmt.Sprintf("Drv_%s_%d", id, c), ir.None, nil)
+		for j := 0; j < p.D; j++ {
+			m := g.b.AddMethod(drivers[c], fmt.Sprintf("om%d", j), chainSig(j), 1, false)
+			prev := m.Formal(0)
+			for l := 0; l < p.L; l++ {
+				t := m.NewVar(fmt.Sprintf("t%d", l), ir.None)
+				m.Move(t, prev)
+				prev = t
+			}
+			if j+1 < p.D {
+				r := m.NewVar("r", ir.None)
+				m.VCall(r, m.This(), chainSig(j+1), prev)
+				m.Move(m.Ret(), r)
+			} else {
+				m.Move(m.Ret(), prev)
+			}
+		}
+	}
+
+	// Driver factories: W static factory methods spread round-robin
+	// over the driver classes. Allocating drivers inside their own
+	// classes gives type-sensitivity its DrvClasses-way context element;
+	// calling all W factories from every session's setup gives
+	// object-sensitivity its W·S context product.
+	drvFactories := make([]ir.MethodID, p.W)
+	for w := range drvFactories {
+		drvFactories[w] = g.factory(drivers[w%len(drivers)], fmt.Sprintf("mkDrv%d", w))
+	}
+
+	// Session classes: setup() privately allocates W drivers into a
+	// per-session pool; run() drains a driver and runs the chain on the
+	// hub contents.
+	sessions := make([]ir.TypeID, p.SessClasses)
+	setups := make([]ir.MethodID, p.SessClasses)
+	gos := make([]ir.MethodID, p.SessClasses)
+	for c := range sessions {
+		sessions[c] = g.b.AddClass(fmt.Sprintf("Sess_%s_%d", id, c), ir.None, nil)
+		dpool := g.b.AddField(sessions[c], "dpool")
+		setup := g.b.AddMethod(sessions[c], "setup", fmt.Sprintf("oesetup_%s_%d", id, c), 0, true)
+		pl := setup.NewVar("pl", drvPool.cls)
+		setup.Alloc(pl, drvPool.cls, "")
+		setup.Store(setup.This(), dpool, pl)
+		for w := 0; w < p.W; w++ {
+			dv := setup.NewVar(fmt.Sprintf("d%d", w), ir.None)
+			setup.Call(dv, drvFactories[w], ir.None)
+			setup.VCall(ir.None, pl, drvPool.put, dv)
+		}
+		setups[c] = setup.ID()
+
+		gom := g.b.AddMethod(sessions[c], "run", fmt.Sprintf("oerun_%s_%d", id, c), 1, true)
+		dp := gom.NewVar("dp", drvPool.cls)
+		gom.Load(dp, gom.This(), dpool)
+		dv := gom.NewVar("d", ir.None)
+		gom.VCall(dv, dp, drvPool.get)
+		ov := gom.NewVar("o", ir.None)
+		gom.VCall(ov, gom.Formal(0), hubPool.get)
+		rv := gom.NewVar("r", ir.None)
+		gom.VCall(rv, dv, chainSig(0), ov)
+		gos[c] = gom.ID()
+	}
+
+	// oeMain: fill the hub with P payloads, then create and run the
+	// sessions.
+	em := g.b.AddStaticMethod(sessions[0], "oeMain_"+id, 0, true)
+	hub := em.NewVar("hub", hubPool.cls)
+	em.Alloc(hub, hubPool.cls, "")
+	acc := em.NewVar("acc", payload)
+	for i := 0; i < p.P; i++ {
+		pv := em.NewVar(fmt.Sprintf("p%d", i), payload)
+		em.Alloc(pv, payload, "")
+		if i%3 == 0 {
+			em.Store(pv, payloadNext, acc)
+		}
+		em.Move(acc, pv)
+		em.VCall(ir.None, hub, hubPool.put, pv)
+	}
+	for s := 0; s < p.S; s++ {
+		c := s % len(sessions)
+		sv := em.NewVar(fmt.Sprintf("s%d", s), ir.None)
+		// One factory per session object: S distinct allocation sites
+		// (object-sensitivity) inside the session classes
+		// (type-sensitivity).
+		em.Call(sv, g.factory(sessions[c], fmt.Sprintf("mkSess%d", s)), ir.None)
+		em.Call(ir.None, setups[c], sv)
+		em.Call(ir.None, gos[c], sv, hub)
+	}
+	g.callFromMain(em.ID())
+}
+
+// --- callFanout: the call-site-sensitivity cost pathology ------------
+
+// callFanParams sizes the two-level call-site fan-in.
+type callFanParams struct {
+	U int // call sites targeting the first trampoline
+	V int // call sites from trampoline 0 to trampoline 1
+	D int // chain depth below trampoline 1
+	L int // locals per chain method
+	P int // payload allocation sites
+}
+
+// callFanout emits static trampolines t0 (called from U sites) and t1
+// (called from V sites inside t0). Under 2callH, t1's contexts are the
+// U·V combinations of its two most recent call sites, so its L locals
+// over the P-object payload set cost ≈ U·V·L·P tuples. Object- and
+// type-sensitive analyses are immune: the calls are static, so the
+// caller's (empty) context passes through.
+//
+// Heuristic A always disarms the pattern (in-flow P > 100); Heuristic B
+// disarms it only when t1's volume L·P exceeds 10000 — the knob the
+// suite uses to make jython time out even under 2callH-IntroB, as in
+// the paper's Figure 7.
+func (g *gen) callFanout(p callFanParams) {
+	if p.U == 0 {
+		return
+	}
+	id := g.name("cf")
+	payload := g.b.AddClass("CFP_"+id, ir.None, nil)
+	payloadNext := g.b.AddField(payload, "next")
+	holder := g.b.AddClass("CFHolder_"+id, ir.None, nil)
+
+	// Chain below t1: td_2 .. td_D.
+	var next ir.MethodID = ir.None
+	for j := p.D; j >= 2; j-- {
+		m := g.b.AddStaticMethod(holder, fmt.Sprintf("td%d_%s", j, id), 1, false)
+		prev := m.Formal(0)
+		for l := 0; l < p.L; l++ {
+			t := m.NewVar(fmt.Sprintf("t%d", l), ir.None)
+			m.Move(t, prev)
+			prev = t
+		}
+		if next != ir.None {
+			r := m.NewVar("r", ir.None)
+			m.Call(r, next, ir.None, prev)
+			m.Move(m.Ret(), r)
+		} else {
+			m.Move(m.Ret(), prev)
+		}
+		next = m.ID()
+	}
+
+	// t1: the hot trampoline with L payload-holding locals.
+	t1 := g.b.AddStaticMethod(holder, "t1_"+id, 1, false)
+	prev := t1.Formal(0)
+	for l := 0; l < p.L; l++ {
+		t := t1.NewVar(fmt.Sprintf("t%d", l), ir.None)
+		t1.Move(t, prev)
+		prev = t
+	}
+	if next != ir.None {
+		r := t1.NewVar("r", ir.None)
+		t1.Call(r, next, ir.None, prev)
+		t1.Move(t1.Ret(), r)
+	} else {
+		t1.Move(t1.Ret(), prev)
+	}
+
+	// t0: V call sites into t1. Returns are discarded so that t0's own
+	// points-to volume stays below Heuristic B's threshold: whether the
+	// fan-in explodes under IntroB must be decided by t1's volume alone.
+	t0 := g.b.AddStaticMethod(holder, "t0_"+id, 1, true)
+	for v := 0; v < p.V; v++ {
+		t0.Call(ir.None, t1.ID(), ir.None, t0.Formal(0))
+	}
+
+	// spray: accumulate the P payloads into one variable and call t0
+	// from U distinct sites.
+	spray := g.b.AddStaticMethod(holder, "spray_"+id, 0, true)
+	acc := g.allocPayloads(spray, payload, payloadNext, p.P)
+	for u := 0; u < p.U; u++ {
+		spray.Call(ir.None, t0.ID(), ir.None, acc)
+	}
+	g.callFromMain(spray.ID())
+}
+
+// --- heavyService: volume pathology both heuristics disarm -----------
+
+// heavyParams sizes the wide-method pattern.
+type heavyParams struct {
+	H        int // service objects (contexts under 2objH)
+	HClasses int // distinct service classes (contexts under 2typeH)
+	L        int // locals in serve() — choose L·P > 10000 for B-exclusion
+	P        int // payload allocation sites
+}
+
+// heavyService emits H service objects whose serve(o) method holds a
+// P-object payload set in L locals (volume L·P, above Heuristic B's
+// threshold). A full deep analysis pays H·L·P (or HClasses·L·P under
+// type-sensitivity) — slow but terminating — while both introspective
+// variants exclude serve() and pay ≈ L·P, reproducing the paper's large
+// speedups on benchmarks where the full analysis does finish.
+func (g *gen) heavyService(p heavyParams) {
+	if p.H == 0 {
+		return
+	}
+	id := g.name("hv")
+	payload := g.b.AddClass("HVP_"+id, ir.None, nil)
+	payloadNext := g.b.AddField(payload, "next")
+	classes := make([]ir.TypeID, p.HClasses)
+	serveSig := "hvserve_" + id
+	for c := range classes {
+		classes[c] = g.b.AddClass(fmt.Sprintf("Svc_%s_%d", id, c), ir.None, nil)
+		m := g.b.AddMethod(classes[c], "serve", serveSig, 1, false)
+		prev := m.Formal(0)
+		for l := 0; l < p.L; l++ {
+			t := m.NewVar(fmt.Sprintf("t%d", l), ir.None)
+			m.Move(t, prev)
+			prev = t
+		}
+		m.Move(m.Ret(), prev)
+	}
+
+	hm := g.b.AddStaticMethod(classes[0], "hvMain_"+id, 0, true)
+	acc := g.allocPayloads(hm, payload, payloadNext, p.P)
+	for h := 0; h < p.H; h++ {
+		sv := hm.NewVar(fmt.Sprintf("s%d", h), ir.None)
+		// Per-object factories: H allocation sites (object contexts)
+		// inside HClasses declaring classes (type contexts).
+		hm.Call(sv, g.factory(classes[h%len(classes)], fmt.Sprintf("mkSvc%d", h)), ir.None)
+		rv := hm.NewVar(fmt.Sprintf("r%d", h), ir.None)
+		hm.VCall(rv, sv, serveSig, acc)
+	}
+	g.callFromMain(hm.ID())
+}

@@ -1,0 +1,135 @@
+package suite
+
+import (
+	"testing"
+
+	"introspect/internal/introspect"
+	"introspect/internal/ir"
+	"introspect/internal/pta"
+)
+
+// These tests verify the cost mechanics each pattern is built on, at
+// small scale, so the figure-level behavior rests on checked ground.
+
+func TestObjExplosionContextProduct(t *testing.T) {
+	// W driver factories × S sessions must produce ≈ W·S contexts for
+	// the chain methods under 2objH.
+	p := Profile{Name: "tiny-oe", Seed: 1,
+		ObjExpl: []objExplParams{{S: 6, W: 5, D: 2, L: 2, P: 3, SessClasses: 2, DrvClasses: 2}}}
+	prog := p.Build()
+	ins, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := pta.Analyze(prog, "2objH", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insensitive: one context per reachable method. 2objH: the D chain
+	// methods per driver class get ≈ W·S contexts each.
+	wantExtra := 6 * 5 * 2 // W·S contexts × D chain methods (per class, ≈)
+	got := obj.NumMethodContexts() - ins.NumMethodContexts()
+	if got < wantExtra/2 {
+		t.Errorf("2objH method contexts grew by %d; want ≥ %d (W·S·D product)", got, wantExtra/2)
+	}
+	// Type-sensitivity collapses to SessClasses·DrvClasses.
+	ty, err := pta.Analyze(prog, "2typeH", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ty.NumMethodContexts() >= obj.NumMethodContexts() {
+		t.Errorf("2typeH contexts (%d) should collapse below 2objH (%d)",
+			ty.NumMethodContexts(), obj.NumMethodContexts())
+	}
+	// Call-site sensitivity is immune to this pattern (single chain
+	// sites): far fewer contexts than 2objH.
+	ch, err := pta.Analyze(prog, "2callH", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.NumMethodContexts() >= obj.NumMethodContexts() {
+		t.Errorf("2callH contexts (%d) should stay below 2objH (%d) on the object pattern",
+			ch.NumMethodContexts(), obj.NumMethodContexts())
+	}
+}
+
+func TestCallFanoutContextProduct(t *testing.T) {
+	p := Profile{Name: "tiny-cf", Seed: 1,
+		CallFan: []callFanParams{{U: 7, V: 5, D: 2, L: 2, P: 3}}}
+	prog := p.Build()
+	ins, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := pta.Analyze(prog, "2callH", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t1 alone gets U·V contexts.
+	if got := ch.NumMethodContexts() - ins.NumMethodContexts(); got < 7*5 {
+		t.Errorf("2callH contexts grew by %d; want ≥ %d (U·V product)", got, 7*5)
+	}
+	// Object-sensitivity is immune (static trampolines).
+	obj, err := pta.Analyze(prog, "2objH", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.NumMethodContexts() != ins.NumMethodContexts() {
+		t.Errorf("2objH should add no contexts on static fan-in (got %d vs %d)",
+			obj.NumMethodContexts(), ins.NumMethodContexts())
+	}
+}
+
+func TestHeavyServiceVolumeMetric(t *testing.T) {
+	// serve's total points-to volume must be ≈ L·P, the quantity
+	// Heuristic B thresholds on.
+	const L, P = 4, 6
+	p := Profile{Name: "tiny-hv", Seed: 1,
+		Heavy: []heavyParams{{H: 2, HClasses: 2, L: L, P: P}}}
+	prog := p.Build()
+	res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := introspect.Compute(res)
+	found := false
+	for mi := range prog.Methods {
+		name := prog.MethodName(ir.MethodID(mi))
+		if len(name) >= 9 && name[len(name)-5:] == "serve" {
+			found = true
+			vol := m.TotalVolume[mi]
+			// L locals + formal + ret each hold the P payloads, and
+			// this holds the one service object.
+			want := (L+2)*P + 1
+			if vol != want {
+				t.Errorf("%s volume = %d, want %d", name, vol, want)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no serve method found")
+	}
+}
+
+func TestRouterInflowMetric(t *testing.T) {
+	// The feed call sites' in-flow must equal Pm — the value Heuristic
+	// A thresholds on.
+	const Pm = 9
+	p := Profile{Name: "tiny-rt", Seed: 1,
+		Routers: []routerParams{{R: 2, Pm: Pm, J: 1}}}
+	prog := p.Build()
+	res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := introspect.Compute(res)
+	feeds := 0
+	for i := range m.InFlow {
+		if m.InFlow[i] == Pm {
+			feeds++
+		}
+	}
+	if feeds < 2 {
+		t.Errorf("expected ≥2 call sites with in-flow exactly %d, found %d", Pm, feeds)
+	}
+}
