@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check vet build test race bench figures
+
+# check is what CI runs: vet, build, full tests, race-enabled
+# solver/pipeline tests.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The solver and the pipeline are the only packages with interesting
+# concurrency surface (context cancellation mid-worklist); run their
+# tests under the race detector.
+race:
+	$(GO) test -race ./internal/analysis ./internal/pta
+
+bench:
+	$(GO) test -bench=Fig -benchtime=1x -run=^$$ .
+
+figures:
+	$(GO) run ./cmd/introbench

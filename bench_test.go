@@ -11,24 +11,40 @@ package introspect_test
 // -benchtime=1x. cmd/introbench prints the same data as tables.
 
 import (
+	"context"
+	"errors"
 	"testing"
 
+	"introspect/internal/analysis"
 	"introspect/internal/figures"
 	"introspect/internal/introspect"
-	"introspect/internal/pta"
-	"introspect/internal/report"
 	"introspect/internal/suite"
 )
 
 var cfg = figures.Config{}
 
+// runPipeline executes one analysis pipeline, treating a
+// budget-exhausted main pass as a reportable outcome (the paper's
+// missing bars), and failing the benchmark on anything else.
+func runPipeline(b *testing.B, req analysis.Request) *analysis.Result {
+	b.Helper()
+	res, err := analysis.Run(context.Background(), req)
+	if err != nil {
+		var be *analysis.BudgetExceededError
+		if !errors.As(err, &be) || res == nil || res.Precision == nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
 // BenchmarkFig1 regenerates Figure 1: context-insensitive vs 2objH on
 // all nine benchmarks, one sub-benchmark per (benchmark, analysis).
 func BenchmarkFig1(b *testing.B) {
 	for _, bench := range suite.Names() {
-		for _, analysis := range []string{"insens", "2objH"} {
-			b.Run(bench+"/"+analysis, func(b *testing.B) {
-				benchFull(b, bench, analysis)
+		for _, spec := range []string{"insens", "2objH"} {
+			b.Run(bench+"/"+spec, func(b *testing.B) {
+				benchFull(b, bench, spec)
 			})
 		}
 	}
@@ -44,12 +60,11 @@ func BenchmarkFig4(b *testing.B) {
 				b.Fatal(err)
 			}
 			for i := 0; i < b.N; i++ {
-				first, err := pta.Analyze(prog, "insens", cfg.Opts())
-				if err != nil {
-					b.Fatal(err)
-				}
-				selA := introspect.Select(first, introspect.DefaultA())
-				selB := introspect.Select(first, introspect.DefaultB())
+				res := runPipeline(b, analysis.Request{
+					Prog: prog, Spec: "insens", Limits: cfg.Limits(),
+				})
+				selA := introspect.Select(res.Main, introspect.DefaultA())
+				selB := introspect.Select(res.Main, introspect.DefaultB())
 				if i == 0 {
 					b.ReportMetric(selA.PctCallSites(), "callsA%")
 					b.ReportMetric(selB.PctCallSites(), "callsB%")
@@ -79,19 +94,17 @@ func benchFig(b *testing.B, deep string) {
 	}
 }
 
-func benchFull(b *testing.B, bench, analysis string) {
+func benchFull(b *testing.B, bench, spec string) {
 	b.Helper()
 	prog, err := suite.Load(bench)
 	if err != nil {
 		b.Fatal(err)
 	}
-	var last *pta.Result
+	var last *analysis.Result
 	for i := 0; i < b.N; i++ {
-		res, err := pta.Analyze(prog, analysis, cfg.Opts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = res
+		last = runPipeline(b, analysis.Request{
+			Prog: prog, Spec: spec, Limits: cfg.Limits(),
+		})
 	}
 	reportResult(b, last)
 }
@@ -102,13 +115,11 @@ func benchIntro(b *testing.B, bench, deep string, h introspect.Heuristic) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var last *pta.Result
+	var last *analysis.Result
 	for i := 0; i < b.N; i++ {
-		run, err := introspect.Run(prog, deep, h, cfg.Opts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = run.Second
+		last = runPipeline(b, analysis.Request{
+			Prog: prog, Spec: deep, Heuristic: h, Limits: cfg.Limits(),
+		})
 	}
 	reportResult(b, last)
 }
@@ -117,17 +128,17 @@ func benchIntro(b *testing.B, bench, deep string, h introspect.Heuristic) {
 // output: the work count (deterministic time proxy) and the three
 // precision metrics. A timeout (the paper's missing bars) is reported
 // as timeout=1.
-func reportResult(b *testing.B, res *pta.Result) {
+func reportResult(b *testing.B, res *analysis.Result) {
 	b.Helper()
 	if res == nil {
 		return
 	}
-	b.ReportMetric(float64(res.Work), "work")
-	if res.TimedOut {
+	b.ReportMetric(float64(res.Main.Work), "work")
+	if !res.Main.Complete {
 		b.ReportMetric(1, "timeout")
 		return
 	}
-	p := report.Measure(res)
+	p := res.Precision
 	b.ReportMetric(float64(p.PolyVCalls), "polycalls")
 	b.ReportMetric(float64(p.ReachableMethods), "reachable")
 	b.ReportMetric(float64(p.MayFailCasts), "maycasts")

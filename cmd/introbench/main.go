@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"introspect/internal/figures"
@@ -22,41 +23,68 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure to regenerate (1, 4, 5, 6, 7); 0 = all")
-	budget := flag.Int64("budget", 0, "work budget standing in for the paper's 90min timeout (0 = default)")
-	ablation := flag.Bool("ablation", false, "run the heuristic-constant robustness sweep instead of the figures")
-	syntactic := flag.Bool("syntactic", false, "run the traditional syntactic-heuristics baseline on the pathological benchmarks")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "introbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the command against args, writing the figures to out.
+// Split from main so tests drive it in-process (the golden-output test
+// asserts the figure tables byte-for-byte).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("introbench", flag.ContinueOnError)
+	fig := fs.Int("fig", 0, "figure to regenerate (1, 4, 5, 6, 7); 0 = all")
+	budget := fs.Int64("budget", 0, "work budget standing in for the paper's 90min timeout (0 = default)")
+	ablation := fs.Bool("ablation", false, "run the heuristic-constant robustness sweep instead of the figures")
+	syntactic := fs.Bool("syntactic", false, "run the traditional syntactic-heuristics baseline on the pathological benchmarks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch *fig {
+	case 0, 1, 4, 5, 6, 7:
+	default:
+		return fmt.Errorf("no figure %d (have 1, 4, 5, 6, 7)", *fig)
+	}
 
 	cfg := figures.Config{Budget: *budget}
 	if *ablation {
 		for _, deep := range []string{"2objH", "2typeH", "2callH"} {
 			rows, err := figures.Ablation(cfg, deep, []float64{0.5, 1, 2})
-			check(err)
-			fmt.Println(figures.FormatAblation(deep, rows))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, figures.FormatAblation(deep, rows))
 		}
-		return
+		return nil
 	}
 	if *syntactic {
 		rows, err := figures.SyntacticBaseline(cfg, "2objH", []string{"hsqldb", "jython"})
-		check(err)
-		fmt.Println(report.FormatTable(
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, report.FormatTable(
 			"Baseline: 2objH with traditional syntactic exclusions (strings/exceptions insensitive)", rows))
-		fmt.Println("The pathologies survive the classic hard-coded heuristics — the paper's")
-		fmt.Println("motivation for observing cost in a first analysis pass instead.")
-		return
+		fmt.Fprintln(out, "The pathologies survive the classic hard-coded heuristics — the paper's")
+		fmt.Fprintln(out, "motivation for observing cost in a first analysis pass instead.")
+		return nil
 	}
 	want := func(n int) bool { return *fig == 0 || *fig == n }
 
 	if want(1) {
 		rows, err := figures.Fig1(cfg)
-		check(err)
-		fmt.Println(report.FormatTable("Figure 1: insens vs 2objH, all benchmarks", rows))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, report.FormatTable("Figure 1: insens vs 2objH, all benchmarks", rows))
 	}
 	if want(4) {
 		rows, err := figures.Fig4(cfg)
-		check(err)
-		fmt.Println(figures.FormatFig4(rows))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, figures.FormatFig4(rows))
 	}
 	for _, deep := range []string{"2objH", "2typeH", "2callH"} {
 		n := figures.FigNumber(deep)
@@ -64,19 +92,15 @@ func main() {
 			continue
 		}
 		rows, err := figures.FigPerf(cfg, deep)
-		check(err)
+		if err != nil {
+			return err
+		}
 		figures.SortRows(rows, deep)
 		title := fmt.Sprintf("Figure %d: %s introspective variants (time + 3 precision metrics)", n, deep)
-		fmt.Println(report.FormatTable(title, rows))
+		fmt.Fprintln(out, report.FormatTable(title, rows))
 		sum := figures.Summary(rows)
-		fmt.Printf("precision retained vs full %s (where full terminates): IntroA %.0f%%, IntroB %.0f%%\n\n",
+		fmt.Fprintf(out, "precision retained vs full %s (where full terminates): IntroA %.0f%%, IntroB %.0f%%\n\n",
 			deep, 100*sum["A"], 100*sum["B"])
 	}
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "introbench:", err)
-		os.Exit(1)
-	}
+	return nil
 }

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// msColumn matches the trailing wall-clock milliseconds column, the
+// only nondeterministic part of the figure tables. The golden file has
+// it scrubbed to a dash; TIMEOUT rows already end in a dash and are
+// untouched.
+var msColumn = regexp.MustCompile(`(?m) +\d+$`)
+
+// TestFig5Golden regenerates Figure 5 in-process and byte-compares it
+// (modulo the ms column) against testdata/fig5.golden, which was
+// captured before the pipeline refactor. A diff here means the
+// analysis layer changed observable results, not just plumbing.
+//
+// Refresh after an intentional change with:
+//
+//	go test ./cmd/introbench -run Fig5Golden -update
+func TestFig5Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates a full figure; skipped with -short")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := msColumn.ReplaceAll(buf.Bytes(), []byte("        -"))
+
+	golden := filepath.Join("testdata", "fig5.golden")
+	if update() {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("figure 5 output differs from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func update() bool {
+	for _, a := range os.Args {
+		if a == "-update" || a == "--update" {
+			return true
+		}
+	}
+	return false
+}

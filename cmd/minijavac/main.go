@@ -9,18 +9,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"introspect/internal/analysis"
 	"introspect/internal/lang"
-	"introspect/internal/pta"
-	"introspect/internal/report"
 )
 
 func main() {
-	analysis := flag.String("analysis", "", "run an analysis after compiling (e.g. insens, 2objH)")
+	spec := flag.String("analysis", "", "run an analysis after compiling (e.g. insens, 2objH, 2objH-IntroA)")
 	quiet := flag.Bool("q", false, "do not dump the IR")
 	emit := flag.String("emit", "", "write the program in textual IR format to this file")
 	format := flag.Bool("fmt", false, "print the formatted source instead of the IR dump")
@@ -75,16 +75,16 @@ func main() {
 	if !*quiet {
 		prog.Dump(os.Stdout)
 	}
-	if *analysis == "" {
+	if *spec == "" {
 		return
 	}
-	res, err := pta.Analyze(prog, *analysis, pta.Options{})
+	res, err := analysis.Run(context.Background(), analysis.Request{Prog: prog, Spec: *spec})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "minijavac:", err)
 		os.Exit(1)
 	}
-	fmt.Println(res.Stats())
-	p := report.Measure(res)
+	fmt.Println(res.Main.Stats())
+	p := res.Precision
 	fmt.Printf("precision: polycalls=%d reachable=%d maycasts=%d\n",
 		p.PolyVCalls, p.ReachableMethods, p.MayFailCasts)
 }

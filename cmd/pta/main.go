@@ -6,22 +6,30 @@
 //
 //	pta -bench jython -analysis 2objH [-intro A|B] [-budget N]
 //	pta -mj prog.mj -analysis 2objH
-//	pta -ir prog.ir -analysis 2callH -intro B
+//	pta -ir prog.ir -analysis 2callH-IntroB -json
 //
-// With -intro, the full introspective pipeline runs (insensitive pass,
-// heuristic selection, refined pass) and the selection statistics are
-// printed alongside the results.
+// The -analysis spec resolves through the internal/analysis registry:
+// plain analyses ("insens", "2objH", "2typeH", "2callH", "1call", ...)
+// run as a single pass, introspective variants ("2objH-IntroA",
+// "2objH-IntroB", "2objH-syntactic") run the full staged pipeline
+// (insensitive pre-pass, metrics, selection, refined main pass).
+// -intro A|B is shorthand for appending -IntroA/-IntroB to the spec.
+//
+// With -json, the run is emitted as one JSON object carrying the
+// per-stage analysis.Stats records and the precision measurement
+// instead of the human-readable text.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"introspect/internal/introspect"
-	"introspect/internal/ir"
-	"introspect/internal/lang"
-	"introspect/internal/pta"
+	"introspect/internal/analysis"
 	"introspect/internal/report"
 	"introspect/internal/suite"
 )
@@ -30,9 +38,11 @@ func main() {
 	bench := flag.String("bench", "", "suite benchmark name (e.g. jython); see -list")
 	mjFile := flag.String("mj", "", "Mini-Java source file to analyze")
 	irFile := flag.String("ir", "", "textual IR file to analyze")
-	analysis := flag.String("analysis", "insens", "analysis name: insens, 2objH, 2typeH, 2callH, 1call, ...")
-	intro := flag.String("intro", "", "introspective heuristic: A or B (requires a context-sensitive -analysis)")
+	spec := flag.String("analysis", "insens", "analysis spec: insens, 2objH, 2objH-IntroA, 2typeH, 2callH, 1call, ...")
+	intro := flag.String("intro", "", "introspective heuristic: A or B (shorthand for -analysis <spec>-IntroA/-IntroB)")
 	budget := flag.Int64("budget", 0, "work budget (0 = default, <0 = unlimited)")
+	jsonOut := flag.Bool("json", false, "emit one JSON object with per-stage stats instead of text")
+	verbose := flag.Bool("v", false, "log stage progress to stderr")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	dump := flag.Bool("dumpstats", false, "print program statistics only")
 	polysites := flag.Bool("polysites", false, "list polymorphic virtual call sites")
@@ -45,83 +55,98 @@ func main() {
 		}
 		return
 	}
-	prog, err := loadProgram(*bench, *mjFile, *irFile)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pta:", err)
-		os.Exit(1)
-	}
+	src := &analysis.Source{Bench: *bench, MJFile: *mjFile, IRFile: *irFile}
 	if *dump {
+		prog, err := src.Load()
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("%s: %s\n", prog.Name, prog.Stats())
 		return
 	}
-	opts := pta.Options{Budget: *budget}
 
-	var res *pta.Result
+	fullSpec := *spec
 	switch *intro {
 	case "":
-		res, err = pta.Analyze(prog, *analysis, opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pta:", err)
-			os.Exit(1)
-		}
-	case "A", "B":
-		var h introspect.Heuristic = introspect.DefaultA()
-		if *intro == "B" {
-			h = introspect.DefaultB()
-		}
-		run, err := introspect.Run(prog, *analysis, h, opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pta:", err)
-			os.Exit(1)
-		}
-		fmt.Println(run.Selection)
-		res = run.Second
+	case "A":
+		fullSpec += "-IntroA"
+	case "B":
+		fullSpec += "-IntroB"
 	default:
 		fmt.Fprintln(os.Stderr, "pta: -intro must be A or B")
 		os.Exit(2)
 	}
 
-	fmt.Printf("%s: %s\n", prog.Name, prog.Stats())
-	fmt.Println(res.Stats())
-	p := report.Measure(res)
+	req := analysis.Request{
+		Source: src,
+		Spec:   fullSpec,
+		Limits: analysis.Limits{Budget: *budget},
+	}
+	if *verbose {
+		req.Observer = analysis.ObserverFuncs{
+			OnStageStart: func(stage string) {
+				fmt.Fprintf(os.Stderr, "pta: stage %s...\n", stage)
+			},
+			OnStageFinish: func(stage string, st analysis.Stats, err error) {
+				fmt.Fprintf(os.Stderr, "pta: stage %s done in %v (work=%d)\n", stage, st.Wall, st.Work)
+			},
+		}
+	}
+
+	// Ctrl-C cancels the pipeline's context: the solver returns its
+	// partial result promptly instead of the process being killed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := analysis.Run(ctx, req)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "pta: interrupted:", err)
+			os.Exit(130)
+		}
+		// A budget-exhausted main pass still carries a measured result
+		// (the paper's TIMEOUT rows); anything else is fatal.
+		var be *analysis.BudgetExceededError
+		if !errors.As(err, &be) || res == nil || res.Main == nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "pta: warning:", err)
+	}
+
+	if *jsonOut {
+		out := struct {
+			Program   string            `json:"program"`
+			Analysis  string            `json:"analysis"`
+			Complete  bool              `json:"complete"`
+			Stages    []analysis.Stats  `json:"stages"`
+			Precision *report.Precision `json:"precision,omitempty"`
+		}{res.Prog.Name, res.Analysis, res.Main.Complete, res.Stages, res.Precision}
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if res.Selection != nil {
+		fmt.Println(res.Selection)
+	}
+	fmt.Printf("%s: %s\n", res.Prog.Name, res.Prog.Stats())
+	fmt.Println(res.Main.Stats())
+	p := res.Precision
 	fmt.Printf("precision: polycalls=%d reachable=%d maycasts=%d\n",
 		p.PolyVCalls, p.ReachableMethods, p.MayFailCasts)
 	if *polysites {
-		for _, s := range report.PolySites(res) {
+		for _, s := range report.PolySites(res.Main) {
 			fmt.Println("poly:", s)
 		}
 	}
 	if *dist {
-		fmt.Print(report.MeasureDistribution(res))
+		fmt.Print(report.MeasureDistribution(res.Main))
 	}
 }
 
-// loadProgram resolves exactly one of the three program sources.
-func loadProgram(bench, mjFile, irFile string) (*ir.Program, error) {
-	n := 0
-	for _, s := range []string{bench, mjFile, irFile} {
-		if s != "" {
-			n++
-		}
-	}
-	if n != 1 {
-		return nil, fmt.Errorf("exactly one of -bench, -mj, -ir is required (try -list)")
-	}
-	switch {
-	case bench != "":
-		return suite.Load(bench)
-	case mjFile != "":
-		src, err := os.ReadFile(mjFile)
-		if err != nil {
-			return nil, err
-		}
-		return lang.Compile(mjFile, string(src))
-	default:
-		f, err := os.Open(irFile)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return ir.ParseText(f)
-	}
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pta:", err)
+	os.Exit(1)
 }

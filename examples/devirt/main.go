@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"introspect/internal/analysis"
 	"introspect/internal/introspect"
 	"introspect/internal/ir"
 	"introspect/internal/lang"
@@ -103,22 +105,24 @@ func main() {
 		log.Fatal(err)
 	}
 
-	ins, err := pta.Analyze(prog, "insens", pta.Options{})
+	insRun, err := analysis.Run(context.Background(), analysis.Request{Prog: prog, Spec: "insens"})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// The introspective pipeline: insensitive pass, Heuristic B
-	// selection, refined 2objH pass — scalable even when a program has
-	// pathological parts, and precise here.
-	run, err := introspect.Run(prog, "2objH", introspect.DefaultB(), pta.Options{})
+	// The introspective pipeline: insensitive pre-pass, Heuristic B
+	// selection, refined 2objH main pass — scalable even when a program
+	// has pathological parts, and precise here.
+	run, err := analysis.Run(context.Background(), analysis.Request{
+		Prog: prog, Spec: "2objH", Heuristic: introspect.DefaultB(),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(run.Selection)
 
-	insSites := dispatchSites(prog, ins)
-	introSites := dispatchSites(prog, run.Second)
+	insSites := dispatchSites(prog, insRun.Main)
+	introSites := dispatchSites(prog, run.Main)
 	fmt.Printf("\n%-28s %8s %14s\n", "listener dispatch site", "insens", "2objH-IntroB")
 	devirt := 0
 	for site, n := range insSites {

@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"introspect/internal/analysis"
 	"introspect/internal/ir"
 	"introspect/internal/lang"
 	"introspect/internal/pta"
@@ -62,10 +64,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := pta.Analyze(prog, "2objH", pta.Options{})
+	out, err := analysis.Run(context.Background(), analysis.Request{Prog: prog, Spec: "2objH"})
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := out.Main
 
 	// What can main's Timeout handler catch?
 	for v := range prog.Vars {

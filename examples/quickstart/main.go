@@ -6,13 +6,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"introspect/internal/analysis"
 	"introspect/internal/ir"
 	"introspect/internal/lang"
-	"introspect/internal/pta"
-	"introspect/internal/report"
 )
 
 const src = `
@@ -43,12 +43,13 @@ func main() {
 	}
 	fmt.Println("program:", prog.Stats())
 
-	for _, analysis := range []string{"insens", "2objH"} {
-		res, err := pta.Analyze(prog, analysis, pta.Options{})
+	for _, spec := range []string{"insens", "2objH"} {
+		out, err := analysis.Run(context.Background(), analysis.Request{Prog: prog, Spec: spec})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\n== %s ==\n", analysis)
+		res := out.Main
+		fmt.Printf("\n== %s ==\n", spec)
 		fmt.Println(res.Stats())
 
 		// What may fromA point to?
@@ -69,7 +70,7 @@ func main() {
 			fmt.Println("}")
 		}
 
-		p := report.Measure(res)
+		p := out.Precision
 		fmt.Printf("precision: %d polymorphic calls, %d reachable methods, %d casts that may fail\n",
 			p.PolyVCalls, p.ReachableMethods, p.MayFailCasts)
 	}

@@ -10,59 +10,62 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
+	"introspect/internal/analysis"
 	"introspect/internal/introspect"
-	"introspect/internal/pta"
-	"introspect/internal/report"
 	"introspect/internal/suite"
 )
 
 func main() {
 	prog := suite.MustLoad("jython")
 	fmt.Println("benchmark jython:", prog.Stats())
-	opts := pta.Options{Budget: 30_000_000}
+	lim := analysis.Limits{Budget: 30_000_000}
 
-	ins, err := pta.Analyze(prog, "insens", opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	pi := report.Measure(ins)
+	ins := runOne(analysis.Request{Prog: prog, Spec: "insens", Limits: lim})
+	pi := ins.Precision
 	fmt.Printf("\n%-22s %12s %9s %9s %9s\n", "analysis", "work", "polycall", "reach", "maycast")
-	fmt.Printf("%-22s %12d %9d %9d %9d\n", "insens", ins.Work, pi.PolyVCalls, pi.ReachableMethods, pi.MayFailCasts)
+	fmt.Printf("%-22s %12d %9d %9d %9d\n", "insens", ins.Main.Work, pi.PolyVCalls, pi.ReachableMethods, pi.MayFailCasts)
 
 	// Sweep Heuristic A's thresholds. Small thresholds exclude more
 	// program elements from refinement (cheaper, less precise); large
 	// thresholds approach the full 2objH analysis (which explodes).
 	for _, scale := range []int{1, 25, 100, 400, 2000, 100000} {
 		h := introspect.HeuristicA{K: scale, L: scale, M: 2 * scale}
-		run, err := introspect.Run(prog, "2objH", h, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
+		res := runOne(analysis.Request{Prog: prog, Spec: "2objH", Heuristic: h, Limits: lim})
 		name := fmt.Sprintf("2objH-IntroA(K=%d)", scale)
-		if run.Second.TimedOut {
-			fmt.Printf("%-22s %12s\n", name, "TIMEOUT")
-			continue
-		}
-		p := report.Measure(run.Second)
-		fmt.Printf("%-22s %12d %9d %9d %9d\n", name, run.Second.Work,
-			p.PolyVCalls, p.ReachableMethods, p.MayFailCasts)
+		printRow(name, res)
 	}
 
-	full, err := pta.Analyze(prog, "2objH", opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if full.TimedOut {
-		fmt.Printf("%-22s %12s\n", "2objH (full)", "TIMEOUT")
-	} else {
-		p := report.Measure(full)
-		fmt.Printf("%-22s %12d %9d %9d %9d\n", "2objH (full)", full.Work,
-			p.PolyVCalls, p.ReachableMethods, p.MayFailCasts)
-	}
+	full := runOne(analysis.Request{Prog: prog, Spec: "2objH", Limits: lim})
+	printRow("2objH (full)", full)
 	fmt.Println("\nLower thresholds buy scalability; higher thresholds buy precision —")
 	fmt.Println("and past the point where the pathological elements get refined, the")
 	fmt.Println("analysis stops terminating, like the full 2objH.")
+}
+
+// runOne executes a pipeline, treating a budget-exhausted main pass as
+// a reportable outcome (the TIMEOUT rows of the tradeoff curve).
+func runOne(req analysis.Request) *analysis.Result {
+	res, err := analysis.Run(context.Background(), req)
+	if err != nil {
+		var be *analysis.BudgetExceededError
+		if !errors.As(err, &be) || res == nil || res.Main == nil {
+			log.Fatal(err)
+		}
+	}
+	return res
+}
+
+func printRow(name string, res *analysis.Result) {
+	if !res.Main.Complete {
+		fmt.Printf("%-22s %12s\n", name, "TIMEOUT")
+		return
+	}
+	p := res.Precision
+	fmt.Printf("%-22s %12d %9d %9d %9d\n", name, res.Main.Work,
+		p.PolyVCalls, p.ReachableMethods, p.MayFailCasts)
 }

@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"introspect/internal/introspect"
+	"introspect/internal/ir"
+	"introspect/internal/pta"
+	"introspect/internal/report"
+)
+
+// Stage names, in canonical pipeline order. A single-pass analysis is
+// the degenerate pipeline [frontend?] main-pass report; an
+// introspective analysis runs all six stages.
+const (
+	StageFrontend  = "frontend"
+	StagePrePass   = "pre-pass"
+	StageMetrics   = "metrics"
+	StageSelection = "selection"
+	StageMainPass  = "main-pass"
+	StageReport    = "report"
+)
+
+// Limits bounds each solver pass of a pipeline run.
+//
+// Wall-clock limits are not a field: pass a context built with
+// context.WithTimeout / context.WithDeadline to Run or Execute.
+type Limits struct {
+	// Budget is the per-pass work-unit budget: 0 means
+	// pta.DefaultBudget, negative means unlimited.
+	Budget int64
+}
+
+func (l Limits) opts() pta.Options { return pta.Options{Budget: l.Budget} }
+
+// Request describes one analysis to run: the program (or how the
+// frontend obtains it), the analysis spec, resource limits, and an
+// optional Observer.
+type Request struct {
+	// Prog is the program to analyze. If nil, Source must be set and
+	// the pipeline's frontend stage produces the program.
+	Prog *ir.Program
+	// Source is the frontend stage's input (see Source); exactly one
+	// of Prog and Source must be set.
+	Source *Source
+
+	// Spec names the analysis: "insens", "2objH", "1call", ... for a
+	// single pass, or "<deep>-<variant>" ("2objH-IntroA",
+	// "2callH-IntroB", "2objH-syntactic") for an introspective
+	// pipeline. Variants resolve through the registry (see
+	// RegisterVariant).
+	Spec string
+	// Heuristic, if non-nil, requests an introspective pipeline with
+	// this custom selection heuristic; Spec must then name the deep
+	// (context-sensitive) analysis. Used for threshold sweeps and
+	// Combo heuristics.
+	Heuristic introspect.Heuristic
+	// Syntactic, if non-nil, requests the traditional
+	// syntactic-exclusions baseline (no pre-pass) with these options;
+	// Spec must name the deep analysis.
+	Syntactic *introspect.SyntacticOptions
+
+	Limits Limits
+	// Observer receives stage lifecycle and progress callbacks; nil
+	// means NopObserver.
+	Observer Observer
+}
+
+// Result bundles every artifact a pipeline produced. Stages that did
+// not run (or were cut short) leave their fields nil, so a Result
+// returned alongside an error still carries the partial artifacts —
+// a budget-exhausted pre-pass still populates First.
+type Result struct {
+	Prog     *ir.Program
+	Analysis string
+
+	// First is the context-insensitive pre-pass result (nil for
+	// single-pass and syntactic pipelines).
+	First *pta.Result
+	// Metrics are the paper's six cost metrics over First.
+	Metrics *introspect.Metrics
+	// Selection is the refinement-exclusion choice feeding the main
+	// pass (nil for single-pass pipelines).
+	Selection *introspect.Selection
+	// Main is the main-pass result — for single-pass analyses, the
+	// only pass.
+	Main *pta.Result
+	// Precision holds the paper's three precision metrics over Main.
+	Precision *report.Precision
+
+	// Stages records per-stage Stats in execution order.
+	Stages []Stats
+}
+
+// Pipeline is a named sequence of stages over a shared Result. Build
+// one with NewPipeline (or implicitly through Run).
+type Pipeline struct {
+	// Name is the resolved analysis name, e.g. "2objH-IntroB".
+	Name string
+
+	req    *Request
+	stages []stage
+}
+
+type stage struct {
+	name string
+	run  func(ctx context.Context, p *Pipeline, res *Result) (Stats, error)
+}
+
+// Stages returns the pipeline's stage names in execution order.
+func (p *Pipeline) Stages() []string {
+	out := make([]string, len(p.stages))
+	for i, s := range p.stages {
+		out[i] = s.name
+	}
+	return out
+}
+
+// Run is the one-call entry point every consumer goes through: build
+// the pipeline for req and execute it under ctx.
+func Run(ctx context.Context, req Request) (*Result, error) {
+	p, err := NewPipeline(&req)
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute(ctx)
+}
+
+// Execute runs the stages in order, notifying the Observer around each
+// one and collecting per-stage Stats into the Result.
+//
+// Error policy: cancellation (ctx) aborts immediately with an error
+// wrapping ctx.Err(). A work-budget exhaustion surfaces as a
+// *BudgetExceededError naming the stage. If the exhausted pass is the
+// main pass, the report stage still runs — a timed-out deep analysis
+// is a reportable outcome (the paper's missing bars) — and the error
+// is returned alongside the fully-populated Result. An exhausted
+// pre-pass aborts (its metrics would be garbage), but the partial
+// First result is kept on the Result.
+func (p *Pipeline) Execute(ctx context.Context) (*Result, error) {
+	res := &Result{Prog: p.req.Prog, Analysis: p.Name}
+	obs := p.req.Observer
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	var pending error // main-pass budget error carried through report
+	for _, sg := range p.stages {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("analysis: stage %s: %w", sg.name, err)
+		}
+		obs.StageStart(sg.name)
+		start := time.Now()
+		st, err := sg.run(ctx, p, res)
+		st.Stage = sg.name
+		st.Wall = time.Since(start)
+		res.Stages = append(res.Stages, st)
+		obs.StageFinish(sg.name, st, err)
+		if err != nil {
+			var be *BudgetExceededError
+			if sg.name == StageMainPass && errors.As(err, &be) {
+				pending = err
+				continue
+			}
+			return res, err
+		}
+	}
+	return res, pending
+}
+
+// --- stage implementations ---
+
+func frontendStage(src *Source) stage {
+	return stage{name: StageFrontend, run: func(ctx context.Context, p *Pipeline, res *Result) (Stats, error) {
+		prog, err := src.Load()
+		if err != nil {
+			return Stats{}, fmt.Errorf("analysis: stage %s: %w", StageFrontend, err)
+		}
+		res.Prog = prog
+		return Stats{Analysis: prog.Name}, nil
+	}}
+}
+
+func prePassStage() stage {
+	return stage{name: StagePrePass, run: func(ctx context.Context, p *Pipeline, res *Result) (Stats, error) {
+		tab := pta.NewTable()
+		pol := pta.NewPolicy(pta.Spec{Flavor: pta.Insensitive}, res.Prog, tab)
+		r, st, err := solvePass(ctx, StagePrePass, p.req, res.Prog, pol, tab)
+		res.First = r
+		return st, err
+	}}
+}
+
+func metricsStage() stage {
+	return stage{name: StageMetrics, run: func(ctx context.Context, p *Pipeline, res *Result) (Stats, error) {
+		res.Metrics = introspect.Compute(res.First)
+		return Stats{}, nil
+	}}
+}
+
+func selectionStage(sel Selector) stage {
+	return stage{name: StageSelection, run: func(ctx context.Context, p *Pipeline, res *Result) (Stats, error) {
+		s, err := sel.Select(res.Prog, res.First, res.Metrics)
+		if err != nil {
+			return Stats{}, fmt.Errorf("analysis: stage %s: %w", StageSelection, err)
+		}
+		res.Selection = s
+		return Stats{}, nil
+	}}
+}
+
+func mainPassPlain(spec pta.Spec) stage {
+	return stage{name: StageMainPass, run: func(ctx context.Context, p *Pipeline, res *Result) (Stats, error) {
+		tab := pta.NewTable()
+		pol := pta.NewPolicy(spec, res.Prog, tab)
+		r, st, err := solvePass(ctx, StageMainPass, p.req, res.Prog, pol, tab)
+		res.Main = r
+		res.Analysis = r.Analysis
+		return st, err
+	}}
+}
+
+func mainPassIntrospective(deep pta.Spec) stage {
+	return stage{name: StageMainPass, run: func(ctx context.Context, p *Pipeline, res *Result) (Stats, error) {
+		// Per the paper, the second pass runs identical analysis code;
+		// only the (complement-form) SITETOREFINE / OBJECTTOREFINE
+		// inputs — res.Selection.Refinement — differ.
+		tab := pta.NewTable()
+		pol := pta.NewIntrospective(
+			pta.NewPolicy(deep, res.Prog, tab),
+			pta.NewPolicy(pta.Spec{Flavor: pta.Insensitive}, res.Prog, tab),
+			res.Selection.Refinement, p.Name)
+		r, st, err := solvePass(ctx, StageMainPass, p.req, res.Prog, pol, tab)
+		res.Main = r
+		return st, err
+	}}
+}
+
+func reportStage() stage {
+	return stage{name: StageReport, run: func(ctx context.Context, p *Pipeline, res *Result) (Stats, error) {
+		pr := report.Measure(res.Main)
+		res.Precision = &pr
+		return Stats{}, nil
+	}}
+}
+
+// solvePass runs one solver pass with the request's limits and
+// observer wiring, and converts solver errors into the pipeline's
+// typed errors.
+func solvePass(ctx context.Context, stageName string, req *Request, prog *ir.Program, pol pta.Policy, tab *pta.Table) (*pta.Result, Stats, error) {
+	opts := req.Limits.opts()
+	if obs := req.Observer; obs != nil {
+		opts.Progress = func(work int64) { obs.Progress(stageName, work) }
+	}
+	r, err := pta.Solve(ctx, prog, pol, tab, opts)
+	st := collectStats(r)
+	if err != nil {
+		if errors.Is(err, pta.ErrBudgetExceeded) {
+			st.BudgetExceeded = true
+			err = &BudgetExceededError{
+				Stage:       stageName,
+				Analysis:    r.Analysis,
+				Work:        r.Work,
+				Derivations: r.Derivations,
+				Elapsed:     r.Elapsed,
+			}
+		} else {
+			st.Cancelled = true
+			err = fmt.Errorf("analysis: stage %s: %w", stageName, err)
+		}
+	}
+	return r, st, err
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"errors"
+	"os"
+
+	"introspect/internal/ir"
+	"introspect/internal/lang"
+	"introspect/internal/suite"
+)
+
+// Source is the frontend stage's input: exactly one of Bench, MJFile,
+// IRFile, or Text must be set.
+type Source struct {
+	// Bench names a synthetic suite benchmark (suite.Names lists them).
+	Bench string
+	// MJFile is the path of a Mini-Java source file.
+	MJFile string
+	// IRFile is the path of a textual-IR (.ir) file.
+	IRFile string
+	// Text is inline Mini-Java source; Name names the program
+	// (defaults to "program").
+	Text string
+	Name string
+}
+
+// Load resolves the source to a program. This is the frontend stage's
+// implementation, exported so tools that need the program before the
+// pipeline runs (cmd/minijavac dumps the IR first) share the exact
+// same loading code.
+func (s *Source) Load() (*ir.Program, error) {
+	n := 0
+	for _, v := range []string{s.Bench, s.MJFile, s.IRFile, s.Text} {
+		if v != "" {
+			n++
+		}
+	}
+	if n != 1 {
+		return nil, errors.New("analysis: exactly one of Source.Bench, .MJFile, .IRFile, .Text is required")
+	}
+	switch {
+	case s.Bench != "":
+		return suite.Load(s.Bench)
+	case s.MJFile != "":
+		src, err := os.ReadFile(s.MJFile)
+		if err != nil {
+			return nil, err
+		}
+		return lang.Compile(s.MJFile, string(src))
+	case s.IRFile != "":
+		f, err := os.Open(s.IRFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ir.ParseText(f)
+	default:
+		name := s.Name
+		if name == "" {
+			name = "program"
+		}
+		return lang.Compile(name, s.Text)
+	}
+}

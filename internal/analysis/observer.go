@@ -1,0 +1,53 @@
+package analysis
+
+// Observer receives pipeline lifecycle callbacks: stage boundaries and
+// periodic solver progress. It is the hook point for tracing and
+// metrics exporters; the default is the no-op NopObserver.
+//
+// Callbacks are invoked synchronously from the pipeline's goroutine
+// (Progress from inside the solver's worklist loop), so
+// implementations must be fast and must not block.
+type Observer interface {
+	// StageStart fires immediately before a stage runs.
+	StageStart(stage string)
+	// StageFinish fires after a stage completes, with its Stats and
+	// its error (nil on success).
+	StageFinish(stage string, st Stats, err error)
+	// Progress fires periodically during a solver pass (every
+	// pta.DefaultProgressEvery work units) with the running work
+	// count.
+	Progress(stage string, work int64)
+}
+
+// NopObserver is the default Observer: it ignores every callback.
+type NopObserver struct{}
+
+func (NopObserver) StageStart(string)                {}
+func (NopObserver) StageFinish(string, Stats, error) {}
+func (NopObserver) Progress(string, int64)           {}
+
+// ObserverFuncs adapts free functions to the Observer interface; nil
+// fields are no-ops.
+type ObserverFuncs struct {
+	OnStageStart  func(stage string)
+	OnStageFinish func(stage string, st Stats, err error)
+	OnProgress    func(stage string, work int64)
+}
+
+func (o ObserverFuncs) StageStart(stage string) {
+	if o.OnStageStart != nil {
+		o.OnStageStart(stage)
+	}
+}
+
+func (o ObserverFuncs) StageFinish(stage string, st Stats, err error) {
+	if o.OnStageFinish != nil {
+		o.OnStageFinish(stage, st, err)
+	}
+}
+
+func (o ObserverFuncs) Progress(stage string, work int64) {
+	if o.OnProgress != nil {
+		o.OnProgress(stage, work)
+	}
+}

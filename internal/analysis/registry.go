@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"introspect/internal/introspect"
+	"introspect/internal/ir"
+	"introspect/internal/pta"
+)
+
+// A Selector is an introspective pipeline's selection strategy: it
+// produces the refinement-exclusion sets the main pass consumes.
+type Selector interface {
+	// Name is the variant suffix of the resolved analysis name
+	// ("IntroA" in "2objH-IntroA").
+	Name() string
+	// NeedsPrePass reports whether the selector consumes the metrics
+	// of a context-insensitive pre-pass. Syntactic selectors do not —
+	// that is exactly the paper's point about them.
+	NeedsPrePass() bool
+	// Select computes the selection. first and m are nil when
+	// NeedsPrePass is false.
+	Select(prog *ir.Program, first *pta.Result, m *introspect.Metrics) (*introspect.Selection, error)
+}
+
+// HeuristicSelector adapts an introspective heuristic (the paper's
+// Heuristic A/B, or any Combo) to the Selector interface.
+func HeuristicSelector(h introspect.Heuristic) Selector { return heuristicSelector{h} }
+
+type heuristicSelector struct{ h introspect.Heuristic }
+
+func (s heuristicSelector) Name() string       { return s.h.Name() }
+func (s heuristicSelector) NeedsPrePass() bool { return true }
+func (s heuristicSelector) Select(prog *ir.Program, first *pta.Result, m *introspect.Metrics) (*introspect.Selection, error) {
+	return introspect.SelectWith(first, m, s.h), nil
+}
+
+// SyntacticSelector adapts the traditional hard-coded exclusions
+// (strings/exceptions context-insensitive) to the Selector interface.
+// It needs no pre-pass; its Selection carries no Figure-4 statistics.
+func SyntacticSelector(opts introspect.SyntacticOptions) Selector { return syntacticSelector{opts} }
+
+type syntacticSelector struct{ opts introspect.SyntacticOptions }
+
+func (s syntacticSelector) Name() string       { return "syntactic" }
+func (s syntacticSelector) NeedsPrePass() bool { return false }
+func (s syntacticSelector) Select(prog *ir.Program, _ *pta.Result, _ *introspect.Metrics) (*introspect.Selection, error) {
+	return &introspect.Selection{
+		Refinement: introspect.SyntacticExclusions(prog, s.opts),
+		Heuristic:  "syntactic",
+	}, nil
+}
+
+// variants maps the introspective-variant suffix of a spec string
+// ("IntroA" in "2objH-IntroA") to a Selector factory.
+var variants = map[string]func() Selector{
+	"IntroA":    func() Selector { return HeuristicSelector(introspect.DefaultA()) },
+	"IntroB":    func() Selector { return HeuristicSelector(introspect.DefaultB()) },
+	"syntactic": func() Selector { return SyntacticSelector(introspect.DefaultSyntactic()) },
+}
+
+// RegisterVariant adds a named introspective variant to the spec
+// registry, making "<deep>-<name>" resolvable by NewPipeline. It
+// panics on a duplicate name, like image.RegisterFormat.
+func RegisterVariant(name string, f func() Selector) {
+	if _, dup := variants[name]; dup {
+		panic("analysis: duplicate variant " + name)
+	}
+	variants[name] = f
+}
+
+// Variants returns the registered introspective-variant names, sorted.
+func Variants() []string {
+	out := make([]string, 0, len(variants))
+	for n := range variants {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewPipeline resolves a Request to a staged Pipeline: it parses the
+// spec, resolves any introspective variant through the registry, and
+// assembles the stage list. This is the single place spec strings are
+// interpreted — CLIs and examples no longer switch on them.
+func NewPipeline(req *Request) (*Pipeline, error) {
+	if (req.Prog == nil) == (req.Source == nil) {
+		return nil, errors.New("analysis: exactly one of Request.Prog and Request.Source is required")
+	}
+	if req.Heuristic != nil && req.Syntactic != nil {
+		return nil, errors.New("analysis: Request.Heuristic and Request.Syntactic are mutually exclusive")
+	}
+
+	spec := req.Spec
+	var sel Selector
+	switch {
+	case req.Heuristic != nil:
+		sel = HeuristicSelector(req.Heuristic)
+	case req.Syntactic != nil:
+		sel = SyntacticSelector(*req.Syntactic)
+	default:
+		if base, suffix, ok := strings.Cut(spec, "-"); ok {
+			f, known := variants[suffix]
+			if !known {
+				return nil, fmt.Errorf("analysis: unknown introspective variant %q in spec %q (registered: %s)",
+					suffix, spec, strings.Join(Variants(), ", "))
+			}
+			sel = f()
+			spec = base
+		}
+	}
+
+	ps, err := pta.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Pipeline{req: req}
+	if req.Source != nil {
+		p.stages = append(p.stages, frontendStage(req.Source))
+	}
+	if sel == nil {
+		p.Name = ps.String()
+		p.stages = append(p.stages, mainPassPlain(ps))
+	} else {
+		if ps.Flavor == pta.Insensitive {
+			return nil, fmt.Errorf("analysis: introspective deep analysis must be context-sensitive, got %q", spec)
+		}
+		p.Name = ps.String() + "-" + sel.Name()
+		if sel.NeedsPrePass() {
+			p.stages = append(p.stages, prePassStage(), metricsStage())
+		}
+		p.stages = append(p.stages, selectionStage(sel), mainPassIntrospective(ps))
+	}
+	p.stages = append(p.stages, reportStage())
+	return p, nil
+}

@@ -1,9 +1,11 @@
 package dlpta
 
 import (
+	"context"
 	"strings"
 	"testing"
 
+	"introspect/internal/analysis"
 	"introspect/internal/introspect"
 	"introspect/internal/ir"
 	"introspect/internal/lang"
@@ -90,32 +92,27 @@ class Main {
 }`)
 }
 
-func compare(t *testing.T, prog *ir.Program, analysis string, ref *pta.Refinement) {
+func compare(t *testing.T, prog *ir.Program, spec string, h introspect.Heuristic) {
 	t.Helper()
 
-	// Native solver.
-	var native *pta.Result
-	if ref == nil {
-		var err error
-		native, err = pta.Analyze(prog, analysis, pta.Options{Budget: -1})
-		if err != nil {
-			t.Fatal(err)
-		}
-	} else {
-		spec, err := pta.ParseSpec(analysis)
-		if err != nil {
-			t.Fatal(err)
-		}
-		tab := pta.NewTable()
-		pol := pta.NewIntrospective(
-			pta.NewPolicy(spec, prog, tab),
-			pta.NewPolicy(pta.Spec{Flavor: pta.Insensitive}, prog, tab),
-			ref, analysis+"-intro")
-		native = pta.Solve(prog, pol, tab, pta.Options{Budget: -1})
+	// Native solver, through the pipeline layer. With a heuristic, the
+	// pipeline runs the full introspective staging; its selection is
+	// then handed verbatim to the Datalog side, so both implementations
+	// refine exactly the same exclusion sets.
+	res, err := analysis.Run(context.Background(), analysis.Request{
+		Prog: prog, Spec: spec, Heuristic: h, Limits: analysis.Limits{Budget: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	native := res.Main
+	var ref *pta.Refinement
+	if h != nil {
+		ref = res.Selection.Refinement
 	}
 
 	// Datalog.
-	dl, err := New(prog, analysis, ref)
+	dl, err := New(prog, spec, ref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +126,7 @@ func compare(t *testing.T, prog *ir.Program, analysis string, ref *pta.Refinemen
 		got := dl.VarHeaps(ir.VarID(v))
 		if !nat.Equal(got) {
 			t.Errorf("%s: VarHeaps(%s) differ: native %v, datalog %v",
-				analysis, prog.VarName(ir.VarID(v)), nat.Elems(), got.Elems())
+				spec, prog.VarName(ir.VarID(v)), nat.Elems(), got.Elems())
 		}
 	}
 
@@ -142,12 +139,12 @@ func compare(t *testing.T, prog *ir.Program, analysis string, ref *pta.Refinemen
 	dl.ReachableMethods().ForEach(func(m int32) { dlReach[ir.MethodID(m)] = true })
 	for m := range natReach {
 		if !dlReach[m] {
-			t.Errorf("%s: %s reachable natively but not in datalog", analysis, prog.MethodName(m))
+			t.Errorf("%s: %s reachable natively but not in datalog", spec, prog.MethodName(m))
 		}
 	}
 	for m := range dlReach {
 		if !natReach[m] {
-			t.Errorf("%s: %s reachable in datalog but not natively", analysis, prog.MethodName(m))
+			t.Errorf("%s: %s reachable in datalog but not natively", spec, prog.MethodName(m))
 		}
 	}
 
@@ -161,13 +158,13 @@ func compare(t *testing.T, prog *ir.Program, analysis string, ref *pta.Refinemen
 		dl.InvoTargets(ir.InvoID(i)).ForEach(func(m int32) { got[ir.MethodID(m)] = true })
 		if len(nat) != len(got) {
 			t.Errorf("%s: invo %s targets differ: native %d, datalog %d",
-				analysis, prog.InvoName(ir.InvoID(i)), len(nat), len(got))
+				spec, prog.InvoName(ir.InvoID(i)), len(nat), len(got))
 			continue
 		}
 		for m := range nat {
 			if !got[m] {
 				t.Errorf("%s: invo %s target %s missing in datalog",
-					analysis, prog.InvoName(ir.InvoID(i)), prog.MethodName(m))
+					spec, prog.InvoName(ir.InvoID(i)), prog.MethodName(m))
 			}
 		}
 	}
@@ -175,15 +172,15 @@ func compare(t *testing.T, prog *ir.Program, analysis string, ref *pta.Refinemen
 
 func TestEquivalenceKennel(t *testing.T) {
 	prog := lang.MustCompile("kennel", kennelSrc)
-	for _, analysis := range []string{"insens", "1call", "1callH", "2callH", "1obj", "2objH", "2typeH", "2hybH"} {
-		t.Run(analysis, func(t *testing.T) { compare(t, prog, analysis, nil) })
+	for _, spec := range []string{"insens", "1call", "1callH", "2callH", "1obj", "2objH", "2typeH", "2hybH"} {
+		t.Run(spec, func(t *testing.T) { compare(t, prog, spec, nil) })
 	}
 }
 
 func TestEquivalenceChains(t *testing.T) {
 	prog := buildChains(t)
-	for _, analysis := range []string{"insens", "2objH", "2callH", "2typeH", "1objH"} {
-		t.Run(analysis, func(t *testing.T) { compare(t, prog, analysis, nil) })
+	for _, spec := range []string{"insens", "2objH", "2callH", "2typeH", "1objH"} {
+		t.Run(spec, func(t *testing.T) { compare(t, prog, spec, nil) })
 	}
 }
 
@@ -192,18 +189,16 @@ func TestEquivalenceChains(t *testing.T) {
 // in play.
 func TestEquivalenceIntrospective(t *testing.T) {
 	prog := lang.MustCompile("kennel", kennelSrc)
-	first, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
-	if err != nil {
-		t.Fatal(err)
-	}
 
 	// A tiny-threshold heuristic excludes plenty of elements, giving
 	// the refined rules real work.
-	selA := introspect.HeuristicA{K: 1, L: 1, M: 1}.Select(prog, introspect.Compute(first))
-	selB := introspect.HeuristicB{P: 3, Q: 2}.Select(prog, introspect.Compute(first))
-	for name, ref := range map[string]*pta.Refinement{"tinyA": selA, "tinyB": selB} {
-		for _, analysis := range []string{"2objH", "2callH"} {
-			t.Run(name+"/"+analysis, func(t *testing.T) { compare(t, prog, analysis, ref) })
+	heuristics := map[string]introspect.Heuristic{
+		"tinyA": introspect.HeuristicA{K: 1, L: 1, M: 1},
+		"tinyB": introspect.HeuristicB{P: 3, Q: 2},
+	}
+	for name, h := range heuristics {
+		for _, spec := range []string{"2objH", "2callH"} {
+			t.Run(name+"/"+spec, func(t *testing.T) { compare(t, prog, spec, h) })
 		}
 	}
 }
@@ -223,10 +218,13 @@ func TestDatalogSizes(t *testing.T) {
 	if dl.NumVarPointsTo() == 0 {
 		t.Fatal("datalog derived no VarPointsTo facts")
 	}
-	native, err := pta.Analyze(prog, "2objH", pta.Options{Budget: -1})
+	nres, err := analysis.Run(context.Background(), analysis.Request{
+		Prog: prog, Spec: "2objH", Limits: analysis.Limits{Budget: -1},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	native := nres.Main
 	if int64(dl.NumVarPointsTo()) != native.VarPTSize() {
 		t.Errorf("context-qualified VarPointsTo sizes differ: datalog %d, native %d",
 			dl.NumVarPointsTo(), native.VarPTSize())
@@ -248,11 +246,13 @@ func TestDatalogMetricsMatchNative(t *testing.T) {
 	if err := dl.Run(); err != nil {
 		t.Fatal(err)
 	}
-	native, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	nres, err := analysis.Run(context.Background(), analysis.Request{
+		Prog: prog, Spec: "insens", Limits: analysis.Limits{Budget: -1},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := introspect.Compute(native)
+	m := introspect.Compute(nres.Main)
 
 	inflow := dl.InFlow()
 	for i := range inflow {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"introspect/internal/analysis"
 	"introspect/internal/introspect"
 	"introspect/internal/report"
 	"introspect/internal/suite"
@@ -54,12 +55,12 @@ func Ablation(cfg Config, deep string, scales []float64) ([]AblationRow, error) 
 	ins := map[string]report.Row{}
 	full := map[string]report.Row{}
 	for _, b := range suite.ExperimentalSubjects() {
-		ri, err := runFull(b, "insens", cfg.Opts())
+		ri, err := runFull(b, "insens", cfg.Limits())
 		if err != nil {
 			return nil, err
 		}
 		ins[b] = ri
-		rf, err := runFull(b, deep, cfg.Opts())
+		rf, err := runFull(b, deep, cfg.Limits())
 		if err != nil {
 			return nil, err
 		}
@@ -72,7 +73,7 @@ func Ablation(cfg Config, deep string, scales []float64) ([]AblationRow, error) 
 			row := AblationRow{Scale: scale, Heuristic: h.Name(), Retention: -1}
 			var figRows []report.Row
 			for _, b := range suite.ExperimentalSubjects() {
-				ri, _, err := runIntro(b, deep, h, cfg.Opts())
+				ri, _, err := runIntro(b, deep, h, cfg.Limits())
 				if err != nil {
 					return nil, err
 				}
@@ -107,15 +108,17 @@ func bucketOf(name string) string {
 func SyntacticBaseline(cfg Config, deep string, benchmarks []string) ([]report.Row, error) {
 	var rows []report.Row
 	for _, b := range benchmarks {
-		prog, err := suite.Load(b)
+		so := introspect.DefaultSyntactic()
+		row, _, err := run(analysis.Request{
+			Source:    &analysis.Source{Bench: b},
+			Spec:      deep,
+			Syntactic: &so,
+			Limits:    cfg.Limits(),
+		})
 		if err != nil {
 			return nil, err
 		}
-		res, err := introspect.RunSyntactic(prog, deep, introspect.DefaultSyntactic(), cfg.Opts())
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, report.Row{Benchmark: b, Precision: report.Measure(res)})
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"introspect/internal/introspect"
-	"introspect/internal/pta"
 	"introspect/internal/suite"
 )
 
@@ -26,15 +25,11 @@ func TestHybridAtLeastAsExplosive(t *testing.T) {
 	cfg := Config{}
 	agreeOn := map[string]bool{"chart": true, "eclipse": true, "hsqldb": true, "jython": true}
 	for _, b := range suite.ExperimentalSubjects() {
-		prog, err := suite.Load(b)
+		obj, err := runFull(b, "2objH", cfg.Limits())
 		if err != nil {
 			t.Fatal(err)
 		}
-		obj, err := pta.Analyze(prog, "2objH", cfg.Opts())
-		if err != nil {
-			t.Fatal(err)
-		}
-		hyb, err := pta.Analyze(prog, "2hybH", cfg.Opts())
+		hyb, err := runFull(b, "2hybH", cfg.Limits())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -47,11 +42,11 @@ func TestHybridAtLeastAsExplosive(t *testing.T) {
 		}
 	}
 	// Introspection rescues hybrid where it rescues object-sensitivity.
-	run, err := introspect.Run(suite.MustLoad("hsqldb"), "2hybH", introspect.DefaultB(), cfg.Opts())
+	row, _, err := runIntro("hsqldb", "2hybH", introspect.DefaultB(), cfg.Limits())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if run.Second.TimedOut {
+	if row.TimedOut {
 		t.Error("hsqldb: 2hybH-IntroB should scale, like 2objH-IntroB")
 	}
 }
@@ -68,22 +63,18 @@ func TestDeeperContextExtension(t *testing.T) {
 	cfg := Config{}
 	objTimeouts := map[string]bool{"hsqldb": true, "jython": true}
 	for _, b := range suite.ExperimentalSubjects() {
-		prog, err := suite.Load(b)
-		if err != nil {
-			t.Fatal(err)
-		}
-		full, err := pta.Analyze(prog, "3objH", cfg.Opts())
+		full, err := runFull(b, "3objH", cfg.Limits())
 		if err != nil {
 			t.Fatal(err)
 		}
 		if objTimeouts[b] && !full.TimedOut {
 			t.Errorf("%s: 3objH terminated but 2objH does not; deeper context should not be cheaper here", b)
 		}
-		run, err := introspect.Run(prog, "3objH", introspect.DefaultA(), cfg.Opts())
+		row, _, err := runIntro(b, "3objH", introspect.DefaultA(), cfg.Limits())
 		if err != nil {
 			t.Fatal(err)
 		}
-		if run.Second.TimedOut {
+		if row.TimedOut {
 			t.Errorf("%s: 3objH-IntroA timed out; IntroA should scale at depth 3 too", b)
 		}
 	}

@@ -9,12 +9,14 @@
 package figures
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
+	"introspect/internal/analysis"
 	"introspect/internal/introspect"
-	"introspect/internal/pta"
 	"introspect/internal/report"
 	"introspect/internal/suite"
 )
@@ -30,39 +32,52 @@ type Config struct {
 // runs the paper reports as non-terminating exhaust this budget.
 const DefaultBudget int64 = 30_000_000
 
-// Opts returns the solver options a figure run uses.
-func (c Config) Opts() pta.Options {
+// Limits returns the solver limits a figure run uses.
+func (c Config) Limits() analysis.Limits {
 	b := c.Budget
 	if b == 0 {
 		b = DefaultBudget
 	}
-	return pta.Options{Budget: b}
+	return analysis.Limits{Budget: b}
+}
+
+// run executes one analysis pipeline on a benchmark and renders its
+// outcome as a table row. A budget-exhausted main pass is a reportable
+// outcome (the figures' TIMEOUT rows), so only a budget error without
+// a measured result — or any other error — propagates.
+func run(req analysis.Request) (report.Row, *analysis.Result, error) {
+	res, err := analysis.Run(context.Background(), req)
+	if err != nil {
+		var be *analysis.BudgetExceededError
+		if !errors.As(err, &be) || res == nil || res.Precision == nil {
+			return report.Row{}, nil, err
+		}
+	}
+	return report.Row{Benchmark: req.Source.Bench, Precision: *res.Precision}, res, nil
 }
 
 // runFull runs a plain analysis on a benchmark.
-func runFull(name, analysis string, opts pta.Options) (report.Row, error) {
-	prog, err := suite.Load(name)
-	if err != nil {
-		return report.Row{}, err
-	}
-	res, err := pta.Analyze(prog, analysis, opts)
-	if err != nil {
-		return report.Row{}, err
-	}
-	return report.Row{Benchmark: name, Precision: report.Measure(res)}, nil
+func runFull(name, spec string, lim analysis.Limits) (report.Row, error) {
+	row, _, err := run(analysis.Request{
+		Source: &analysis.Source{Bench: name},
+		Spec:   spec,
+		Limits: lim,
+	})
+	return row, err
 }
 
-// runIntro runs the two-pass introspective analysis on a benchmark.
-func runIntro(name, analysis string, h introspect.Heuristic, opts pta.Options) (report.Row, *introspect.Selection, error) {
-	prog, err := suite.Load(name)
+// runIntro runs the introspective pipeline on a benchmark.
+func runIntro(name, spec string, h introspect.Heuristic, lim analysis.Limits) (report.Row, *introspect.Selection, error) {
+	row, res, err := run(analysis.Request{
+		Source:    &analysis.Source{Bench: name},
+		Spec:      spec,
+		Heuristic: h,
+		Limits:    lim,
+	})
 	if err != nil {
 		return report.Row{}, nil, err
 	}
-	run, err := introspect.Run(prog, analysis, h, opts)
-	if err != nil {
-		return report.Row{}, nil, err
-	}
-	return report.Row{Benchmark: name, Precision: report.Measure(run.Second)}, run.Selection, nil
+	return row, res.Selection, nil
 }
 
 // Fig1 reproduces Figure 1: context-insensitive vs 2objH running cost
@@ -72,7 +87,7 @@ func Fig1(cfg Config) ([]report.Row, error) {
 	var rows []report.Row
 	for _, b := range suite.Names() {
 		for _, a := range []string{"insens", "2objH"} {
-			r, err := runFull(b, a, cfg.Opts())
+			r, err := runFull(b, a, cfg.Limits())
 			if err != nil {
 				return nil, err
 			}
@@ -94,16 +109,19 @@ type Fig4Row struct {
 func Fig4(cfg Config) ([]Fig4Row, error) {
 	var rows []Fig4Row
 	for _, b := range suite.Figure4Subjects() {
-		prog, err := suite.Load(b)
+		res, err := analysis.Run(context.Background(), analysis.Request{
+			Source: &analysis.Source{Bench: b},
+			Spec:   "insens",
+			Limits: cfg.Limits(),
+		})
 		if err != nil {
-			return nil, err
+			var be *analysis.BudgetExceededError
+			if !errors.As(err, &be) || res == nil || res.Main == nil {
+				return nil, err
+			}
 		}
-		first, err := pta.Analyze(prog, "insens", cfg.Opts())
-		if err != nil {
-			return nil, err
-		}
-		selA := introspect.Select(first, introspect.DefaultA())
-		selB := introspect.Select(first, introspect.DefaultB())
+		selA := introspect.Select(res.Main, introspect.DefaultA())
+		selB := introspect.Select(res.Main, introspect.DefaultB())
 		rows = append(rows, Fig4Row{
 			Benchmark:  b,
 			CallSitesA: selA.PctCallSites(), CallSitesB: selB.PctCallSites(),
@@ -149,25 +167,25 @@ func Variants(deep string) []string {
 func FigPerf(cfg Config, deep string) ([]report.Row, error) {
 	var rows []report.Row
 	for _, b := range suite.ExperimentalSubjects() {
-		r, err := runFull(b, "insens", cfg.Opts())
+		r, err := runFull(b, "insens", cfg.Limits())
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, r)
 
-		ra, _, err := runIntro(b, deep, introspect.DefaultA(), cfg.Opts())
+		ra, _, err := runIntro(b, deep, introspect.DefaultA(), cfg.Limits())
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, ra)
 
-		rb, _, err := runIntro(b, deep, introspect.DefaultB(), cfg.Opts())
+		rb, _, err := runIntro(b, deep, introspect.DefaultB(), cfg.Limits())
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, rb)
 
-		rf, err := runFull(b, deep, cfg.Opts())
+		rf, err := runFull(b, deep, cfg.Limits())
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,87 @@
+package introspect_test
+
+import (
+	"context"
+	"testing"
+
+	"introspect/internal/analysis"
+	"introspect/internal/introspect"
+	"introspect/internal/randprog"
+)
+
+// TestComboEquivalentToNamedHeuristics pins that the Combo encoding of
+// Heuristics A and B selects exactly the same refinement sets as the
+// hand-written implementations, over random programs.
+func TestComboEquivalentToNamedHeuristics(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		prog := randprog.Generate(seed, randprog.Default())
+		res := analyze(t, prog, "insens")
+		m := introspect.Compute(res)
+
+		// Tiny thresholds so the sets are non-trivial on small programs.
+		ha := introspect.HeuristicA{K: 2, L: 2, M: 2}
+		hb := introspect.HeuristicB{P: 4, Q: 3}
+		pairs := []struct {
+			name   string
+			direct introspect.Heuristic
+			combo  introspect.Heuristic
+		}{
+			{"A", ha, introspect.AsComboA(ha)},
+			{"B", hb, introspect.AsComboB(hb)},
+		}
+		for _, p := range pairs {
+			want := p.direct.Select(prog, m)
+			got := p.combo.Select(prog, m)
+			if !want.Heaps.Equal(&got.Heaps) || !want.Invos.Equal(&got.Invos) ||
+				!want.Methods.Equal(&got.Methods) {
+				t.Errorf("seed %d heuristic %s: combo selects different sets", seed, p.name)
+			}
+		}
+	}
+}
+
+func TestComboAsDriverHeuristic(t *testing.T) {
+	prog := randprog.Generate(5, randprog.Default())
+	custom := introspect.Combo{Label: "IntroC", Clauses: []introspect.Clause{
+		{Metric: introspect.PointedByObjsMetric, Threshold: 1},
+	}}
+	res, err := analysis.Run(context.Background(), analysis.Request{
+		Prog: prog, Spec: "2objH", Heuristic: custom,
+		Limits: analysis.Limits{Budget: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Main.Analysis != "2objH-IntroC" {
+		t.Errorf("analysis name %q", res.Main.Analysis)
+	}
+	if res.Selection.Heuristic != "IntroC" {
+		t.Errorf("selection heuristic %q", res.Selection.Heuristic)
+	}
+}
+
+// TestSyntacticPipeline checks the traditional-heuristic baseline end
+// to end: the pipeline skips the pre-pass and metrics stages and names
+// the analysis <deep>-syntactic.
+func TestSyntacticPipeline(t *testing.T) {
+	prog := randprog.Generate(1, randprog.Default())
+	res, err := analysis.Run(context.Background(), analysis.Request{
+		Prog: prog, Spec: "2objH",
+		Syntactic: &introspect.SyntacticOptions{ExcludeTypeSubstrings: []string{"C1"}},
+		Limits:    analysis.Limits{Budget: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Main.Analysis != "2objH-syntactic" {
+		t.Errorf("analysis name %q", res.Main.Analysis)
+	}
+	if res.First != nil {
+		t.Error("syntactic pipeline should not run a pre-pass")
+	}
+	for _, st := range res.Stages {
+		if st.Stage == analysis.StagePrePass || st.Stage == analysis.StageMetrics {
+			t.Errorf("syntactic pipeline ran stage %s", st.Stage)
+		}
+	}
+}

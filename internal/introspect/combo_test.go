@@ -5,43 +5,8 @@ import (
 	"testing"
 
 	"introspect/internal/ir"
-	"introspect/internal/pta"
 	"introspect/internal/randprog"
 )
-
-// TestComboEquivalentToNamedHeuristics pins that the Combo encoding of
-// Heuristics A and B selects exactly the same refinement sets as the
-// hand-written implementations, over random programs.
-func TestComboEquivalentToNamedHeuristics(t *testing.T) {
-	for seed := int64(1); seed <= 10; seed++ {
-		prog := randprog.Generate(seed, randprog.Default())
-		res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
-		if err != nil {
-			t.Fatal(err)
-		}
-		m := Compute(res)
-
-		// Tiny thresholds so the sets are non-trivial on small programs.
-		ha := HeuristicA{K: 2, L: 2, M: 2}
-		hb := HeuristicB{P: 4, Q: 3}
-		pairs := []struct {
-			name   string
-			direct Heuristic
-			combo  Heuristic
-		}{
-			{"A", ha, AsComboA(ha)},
-			{"B", hb, AsComboB(hb)},
-		}
-		for _, p := range pairs {
-			want := p.direct.Select(prog, m)
-			got := p.combo.Select(prog, m)
-			if !want.Heaps.Equal(&got.Heaps) || !want.Invos.Equal(&got.Invos) ||
-				!want.Methods.Equal(&got.Methods) {
-				t.Errorf("seed %d heuristic %s: combo selects different sets", seed, p.name)
-			}
-		}
-	}
-}
 
 func TestComboNaming(t *testing.T) {
 	c := Combo{Clauses: []Clause{
@@ -56,23 +21,6 @@ func TestComboNaming(t *testing.T) {
 	}
 	if AsComboA(DefaultA()).Name() != "IntroA" {
 		t.Error("AsComboA label")
-	}
-}
-
-func TestComboAsDriverHeuristic(t *testing.T) {
-	prog := randprog.Generate(5, randprog.Default())
-	custom := Combo{Label: "IntroC", Clauses: []Clause{
-		{Metric: PointedByObjsMetric, Threshold: 1},
-	}}
-	run, err := Run(prog, "2objH", custom, pta.Options{Budget: -1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if run.Second.Analysis != "2objH-IntroC" {
-		t.Errorf("analysis name %q", run.Second.Analysis)
-	}
-	if run.Selection.Heuristic != "IntroC" {
-		t.Errorf("selection heuristic %q", run.Selection.Heuristic)
 	}
 }
 
@@ -93,8 +41,8 @@ func TestMetricDomains(t *testing.T) {
 	}
 }
 
-// TestSyntacticExclusions checks the traditional-heuristic baseline
-// machinery.
+// TestSyntacticExclusions checks the traditional-heuristic baseline's
+// selection machinery.
 func TestSyntacticExclusions(t *testing.T) {
 	prog := randprog.Generate(1, randprog.Default())
 	// Random programs allocate classes C0..C3: exclude C1 allocations
@@ -109,13 +57,5 @@ func TestSyntacticExclusions(t *testing.T) {
 	})
 	if !found {
 		t.Error("no C1 allocations excluded")
-	}
-	res, err := RunSyntactic(prog, "2objH", SyntacticOptions{ExcludeTypeSubstrings: []string{"C1"}},
-		pta.Options{Budget: -1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Analysis != "2objH-syntactic" {
-		t.Errorf("analysis name %q", res.Analysis)
 	}
 }

@@ -138,8 +138,14 @@ func (s *Selection) String() string {
 // by the first pass (reachable call sites with a call-graph edge,
 // allocation sites in reachable methods) enter the denominators.
 func Select(res *pta.Result, h Heuristic) *Selection {
+	return SelectWith(res, Compute(res), h)
+}
+
+// SelectWith is Select with the metrics precomputed — the entry point
+// for pipelines that stage metric computation and heuristic selection
+// separately (internal/analysis).
+func SelectWith(res *pta.Result, m *Metrics, h Heuristic) *Selection {
 	prog := res.Prog
-	m := Compute(res)
 	ref := h.Select(prog, m)
 	sel := &Selection{Refinement: ref, Heuristic: h.Name()}
 

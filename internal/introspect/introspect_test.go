@@ -1,12 +1,27 @@
-package introspect
+package introspect_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
+	"introspect/internal/analysis"
+	"introspect/internal/introspect"
 	"introspect/internal/ir"
 	"introspect/internal/pta"
 )
+
+// analyze runs one analysis through the pipeline layer, unbudgeted.
+func analyze(t *testing.T, prog *ir.Program, spec string) *pta.Result {
+	t.Helper()
+	res, err := analysis.Run(context.Background(), analysis.Request{
+		Prog: prog, Spec: spec, Limits: analysis.Limits{Budget: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Main
+}
 
 // buildMetricsProgram constructs a program with hand-computable
 // metrics:
@@ -57,11 +72,8 @@ func buildMetricsProgram(t *testing.T) (*ir.Program, map[string]ir.HeapID, ir.In
 
 func TestComputeMetrics(t *testing.T) {
 	prog, heaps, invo, meths := buildMetricsProgram(t)
-	res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	m := Compute(res)
+	res := analyze(t, prog, "insens")
+	m := introspect.Compute(res)
 
 	// Metric 1: in-flow of the util call = |pt(o1)| + |pt(o2)| = 2.
 	if got := m.InFlow[invo]; got != 2 {
@@ -107,14 +119,11 @@ func TestComputeMetrics(t *testing.T) {
 
 func TestHeuristicASelection(t *testing.T) {
 	prog, heaps, invo, meths := buildMetricsProgram(t)
-	res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	m := Compute(res)
+	res := analyze(t, prog, "insens")
+	m := introspect.Compute(res)
 
 	// K=3: h1 (pointed by 4 vars) is excluded; hA, h2 are not.
-	ref := HeuristicA{K: 3, L: 1, M: 1}.Select(prog, m)
+	ref := introspect.HeuristicA{K: 3, L: 1, M: 1}.Select(prog, m)
 	if !ref.ExcludesHeap(heaps["h1"]) {
 		t.Error("h1 should be excluded (pointed-by-vars 4 > 3)")
 	}
@@ -134,7 +143,7 @@ func TestHeuristicASelection(t *testing.T) {
 	}
 	// With the paper's constants nothing is excluded in this tiny
 	// program.
-	refDefault := DefaultA().Select(prog, m)
+	refDefault := introspect.DefaultA().Select(prog, m)
 	if !refDefault.Heaps.Empty() || !refDefault.Invos.Empty() || !refDefault.Methods.Empty() {
 		t.Error("paper-constant Heuristic A should exclude nothing here")
 	}
@@ -142,14 +151,11 @@ func TestHeuristicASelection(t *testing.T) {
 
 func TestHeuristicBSelection(t *testing.T) {
 	prog, heaps, _, meths := buildMetricsProgram(t)
-	res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	m := Compute(res)
+	res := analyze(t, prog, "insens")
+	m := introspect.Compute(res)
 
 	// P=2: util (volume 3) and main (volume 4) excluded.
-	ref := HeuristicB{P: 2, Q: 1}.Select(prog, m)
+	ref := introspect.HeuristicB{P: 2, Q: 1}.Select(prog, m)
 	if !ref.Methods.Has(int32(meths["util"])) || !ref.Methods.Has(int32(meths["main"])) {
 		t.Error("both methods should be excluded with P=2")
 	}
@@ -161,18 +167,15 @@ func TestHeuristicBSelection(t *testing.T) {
 	if ref.ExcludesHeap(heaps["h1"]) {
 		t.Error("h1 should not be excluded (product 0)")
 	}
-	if DefaultB().Name() != "IntroB" || DefaultA().Name() != "IntroA" {
+	if introspect.DefaultB().Name() != "IntroB" || introspect.DefaultA().Name() != "IntroA" {
 		t.Error("heuristic names wrong")
 	}
 }
 
 func TestSelectionStats(t *testing.T) {
 	prog, _, _, _ := buildMetricsProgram(t)
-	res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	sel := Select(res, HeuristicA{K: 3, L: 1, M: 1})
+	res := analyze(t, prog, "insens")
+	sel := introspect.Select(res, introspect.HeuristicA{K: 3, L: 1, M: 1})
 	// 3 allocation sites, 1 reachable invo.
 	if sel.TotalHeaps != 3 || sel.TotalInvos != 1 {
 		t.Errorf("totals: heaps %d invos %d, want 3 and 1", sel.TotalHeaps, sel.TotalInvos)
@@ -196,39 +199,44 @@ func TestSelectionStats(t *testing.T) {
 
 func TestRunPipeline(t *testing.T) {
 	prog, _, _, _ := buildMetricsProgram(t)
-	run, err := Run(prog, "2objH", DefaultA(), pta.Options{Budget: -1})
+	res, err := analysis.Run(context.Background(), analysis.Request{
+		Prog: prog, Spec: "2objH", Heuristic: introspect.DefaultA(),
+		Limits: analysis.Limits{Budget: -1},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if run.First.Analysis != "insens" {
-		t.Errorf("first pass = %s", run.First.Analysis)
+	if res.First.Analysis != "insens" {
+		t.Errorf("first pass = %s", res.First.Analysis)
 	}
-	if run.Second.Analysis != "2objH-IntroA" {
-		t.Errorf("second pass = %s", run.Second.Analysis)
+	if res.Main.Analysis != "2objH-IntroA" {
+		t.Errorf("main pass = %s", res.Main.Analysis)
 	}
-	if run.Second.TimedOut {
+	if !res.Main.Complete {
 		t.Error("tiny program should not time out")
 	}
 
 	// Deep must be context-sensitive.
-	if _, err := Run(prog, "insens", DefaultA(), pta.Options{}); err == nil {
-		t.Error("Run with insens deep analysis should fail")
+	if _, err := analysis.Run(context.Background(), analysis.Request{
+		Prog: prog, Spec: "insens", Heuristic: introspect.DefaultA(),
+	}); err == nil {
+		t.Error("introspective pipeline with insens deep analysis should fail")
 	}
-	if _, err := Run(prog, "bogus", DefaultA(), pta.Options{}); err == nil {
-		t.Error("Run with bogus analysis should fail")
+	if _, err := analysis.Run(context.Background(), analysis.Request{
+		Prog: prog, Spec: "bogus", Heuristic: introspect.DefaultA(),
+	}); err == nil {
+		t.Error("pipeline with bogus analysis should fail")
 	}
 }
 
-// TestIntrospectiveNeverWorseThanInsens: with everything excluded, the
-// introspective run degenerates to (at least) the insensitive result —
-// points-to sets projected context-insensitively must coincide.
-func TestFullExclusionEqualsInsens(t *testing.T) {
-	prog, _, _, _ := buildMetricsProgram(t)
-	ins, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Exclude everything.
+// allCheap is a heuristic that excludes every heap and every call site
+// from refinement — the degenerate "everything analyzed cheaply" dial
+// position.
+type allCheap struct{}
+
+func (allCheap) Name() string { return "allcheap" }
+
+func (allCheap) Select(prog *ir.Program, m *introspect.Metrics) *pta.Refinement {
 	ref := &pta.Refinement{}
 	for h := 0; h < prog.NumHeaps(); h++ {
 		ref.Heaps.Add(int32(h))
@@ -236,11 +244,24 @@ func TestFullExclusionEqualsInsens(t *testing.T) {
 	for i := 0; i < prog.NumInvos(); i++ {
 		ref.Invos.Add(int32(i))
 	}
-	tab := pta.NewTable()
-	spec, _ := pta.ParseSpec("2objH")
-	pol := pta.NewIntrospective(pta.NewPolicy(spec, prog, tab),
-		pta.NewPolicy(pta.Spec{Flavor: pta.Insensitive}, prog, tab), ref, "allcheap")
-	second := pta.Solve(prog, pol, tab, pta.Options{Budget: -1})
+	return ref
+}
+
+// TestIntrospectiveNeverWorseThanInsens: with everything excluded, the
+// introspective run degenerates to (at least) the insensitive result —
+// points-to sets projected context-insensitively must coincide.
+func TestFullExclusionEqualsInsens(t *testing.T) {
+	prog, _, _, _ := buildMetricsProgram(t)
+	ins := analyze(t, prog, "insens")
+
+	res, err := analysis.Run(context.Background(), analysis.Request{
+		Prog: prog, Spec: "2objH", Heuristic: allCheap{},
+		Limits: analysis.Limits{Budget: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := res.Main
 
 	if second.NumMethodContexts() != ins.NumMethodContexts() {
 		t.Errorf("full exclusion should collapse to insens contexts: %d vs %d",

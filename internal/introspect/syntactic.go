@@ -67,19 +67,7 @@ func SyntacticExclusions(prog *ir.Program, opts SyntacticOptions) *pta.Refinemen
 	return ref
 }
 
-// RunSyntactic runs a deep analysis with only the traditional
-// syntactic exclusions applied — the baseline the paper's related-work
-// section describes.
-func RunSyntactic(prog *ir.Program, deep string, opts SyntacticOptions, popts pta.Options) (*pta.Result, error) {
-	spec, err := pta.ParseSpec(deep)
-	if err != nil {
-		return nil, err
-	}
-	ref := SyntacticExclusions(prog, opts)
-	tab := pta.NewTable()
-	pol := pta.NewIntrospective(
-		pta.NewPolicy(spec, prog, tab),
-		pta.NewPolicy(pta.Spec{Flavor: pta.Insensitive}, prog, tab),
-		ref, deep+"-syntactic")
-	return pta.Solve(prog, pol, tab, popts), nil
-}
+// Running a deep analysis with only these exclusions applied — the
+// baseline the paper's related-work section describes — is an
+// analysis-layer pipeline: analysis.Run with Request.Syntactic set
+// (spec suffix "-syntactic").

@@ -2,8 +2,10 @@ package ir_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
+	"introspect/internal/analysis"
 	"introspect/internal/ir"
 	"introspect/internal/lang"
 	"introspect/internal/pta"
@@ -12,10 +14,21 @@ import (
 	"introspect/internal/suite"
 )
 
+// analyze runs one analysis through the pipeline layer, unbudgeted.
+func analyze(prog *ir.Program, spec string) (*pta.Result, error) {
+	res, err := analysis.Run(context.Background(), analysis.Request{
+		Prog: prog, Spec: spec, Limits: analysis.Limits{Budget: -1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Main, nil
+}
+
 // roundTripEquivalent serializes a program to the text format, parses
 // it back, and checks that the two programs are analysis-equivalent:
 // identical structure statistics and identical analysis outcomes.
-func roundTripEquivalent(t *testing.T, prog *ir.Program, analysis string) {
+func roundTripEquivalent(t *testing.T, prog *ir.Program, spec string) {
 	t.Helper()
 	var buf bytes.Buffer
 	if err := prog.WriteText(&buf); err != nil {
@@ -28,11 +41,11 @@ func roundTripEquivalent(t *testing.T, prog *ir.Program, analysis string) {
 	if prog.Stats() != back.Stats() {
 		t.Fatalf("%s: stats differ:\n  orig %v\n  back %v", prog.Name, prog.Stats(), back.Stats())
 	}
-	r1, err := pta.Analyze(prog, analysis, pta.Options{Budget: -1})
+	r1, err := analyze(prog, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := pta.Analyze(back, analysis, pta.Options{Budget: -1})
+	r2, err := analyze(back, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +54,7 @@ func roundTripEquivalent(t *testing.T, prog *ir.Program, analysis string) {
 		p1.MayFailCasts != p2.MayFailCasts || p1.VarPTSize != p2.VarPTSize ||
 		r1.NumCallGraphEdges() != r2.NumCallGraphEdges() {
 		t.Errorf("%s/%s: analysis results differ after round trip:\n  orig %+v cg=%d\n  back %+v cg=%d",
-			prog.Name, analysis, p1, r1.NumCallGraphEdges(), p2, r2.NumCallGraphEdges())
+			prog.Name, spec, p1, r1.NumCallGraphEdges(), p2, r2.NumCallGraphEdges())
 	}
 }
 

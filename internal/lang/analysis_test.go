@@ -1,0 +1,23 @@
+package lang_test
+
+import (
+	"context"
+
+	"introspect/internal/analysis"
+	"introspect/internal/ir"
+	"introspect/internal/pta"
+)
+
+// analyze runs a points-to analysis over a compiled program through
+// the pipeline layer, with no work budget.
+func analyze(prog *ir.Program, spec string) (*pta.Result, error) {
+	res, err := analysis.Run(context.Background(), analysis.Request{
+		Prog:   prog,
+		Spec:   spec,
+		Limits: analysis.Limits{Budget: -1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Main, nil
+}

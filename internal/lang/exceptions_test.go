@@ -1,10 +1,10 @@
-package lang
+package lang_test
 
 import (
 	"testing"
 
 	"introspect/internal/ir"
-	"introspect/internal/pta"
+	"introspect/internal/lang"
 	"introspect/internal/report"
 )
 
@@ -41,7 +41,7 @@ class Main {
 
 func TestExceptionsEndToEnd(t *testing.T) {
 	prog := compileOK(t, excSrc)
-	res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	res, err := analyze(prog, "insens")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestThrowTypeErrors(t *testing.T) {
 }
 
 func TestParseTryCatch(t *testing.T) {
-	f, err := Parse(`class A { static void main() {
+	f, err := lang.Parse(`class A { static void main() {
 	  try { print(1); } catch (A e) { print(2); }
 	  throw new A();
 	} }`)
@@ -115,14 +115,14 @@ func TestParseTryCatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	body := f.Classes[0].Methods[0].Body
-	ts, ok := body[0].(*TryStmt)
+	ts, ok := body[0].(*lang.TryStmt)
 	if !ok {
 		t.Fatalf("expected TryStmt, got %T", body[0])
 	}
 	if ts.CatchType.Name != "A" || ts.CatchName != "e" || len(ts.Body) != 1 || len(ts.Handler) != 1 {
 		t.Errorf("TryStmt parsed wrong: %+v", ts)
 	}
-	if _, ok := body[1].(*ThrowStmt); !ok {
+	if _, ok := body[1].(*lang.ThrowStmt); !ok {
 		t.Errorf("expected ThrowStmt, got %T", body[1])
 	}
 }
@@ -147,7 +147,7 @@ class Main {
     try { t1.fire(); } catch (Err e1) { print(e1); }
   }
 }`)
-	res, err := pta.Analyze(prog, "2objH", pta.Options{Budget: -1})
+	res, err := analyze(prog, "2objH")
 	if err != nil {
 		t.Fatal(err)
 	}

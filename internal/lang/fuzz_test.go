@@ -1,6 +1,10 @@
-package lang
+package lang_test
 
-import "testing"
+import (
+	"testing"
+
+	"introspect/internal/lang"
+)
 
 // FuzzParse checks that the Mini-Java parser never panics and that any
 // program it accepts either compiles or reports errors gracefully —
@@ -23,11 +27,11 @@ func FuzzParse(f *testing.F) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
-		file, err := Parse(src)
+		file, err := lang.Parse(src)
 		if err != nil {
 			return
 		}
-		prog, err := CompileFile("fuzz", file)
+		prog, err := lang.CompileFile("fuzz", file)
 		if err != nil {
 			return
 		}
@@ -35,8 +39,8 @@ func FuzzParse(f *testing.F) {
 			t.Fatalf("compiled program fails validation: %v\nsource: %q", err, src)
 		}
 		// Accepted programs must survive format -> reparse.
-		out := Format(file)
-		if _, err := Parse(out); err != nil {
+		out := lang.Format(file)
+		if _, err := lang.Parse(out); err != nil {
 			t.Fatalf("formatted output does not reparse: %v\nsource: %q\nformatted: %q", err, src, out)
 		}
 	})

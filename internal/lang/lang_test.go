@@ -1,26 +1,27 @@
-package lang
+package lang_test
 
 import (
 	"strings"
 	"testing"
 
 	"introspect/internal/ir"
+	"introspect/internal/lang"
 	"introspect/internal/pta"
 )
 
 func TestTokenize(t *testing.T) {
-	toks, err := Tokenize(`class A { int x; } // comment
+	toks, err := lang.Tokenize(`class A { int x; } // comment
 /* block
 comment */ "str" 42 <= >= == != && || ! . , ;`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var kinds []Kind
+	var kinds []lang.Kind
 	for _, tok := range toks {
 		kinds = append(kinds, tok.Kind)
 	}
-	want := []Kind{KWCLASS, IDENT, LBRACE, KWINT, IDENT, SEMI, RBRACE,
-		STRING, INT, LE, GE, EQ, NE, ANDAND, OROR, NOT, DOT, COMMA, SEMI, EOF}
+	want := []lang.Kind{lang.KWCLASS, lang.IDENT, lang.LBRACE, lang.KWINT, lang.IDENT, lang.SEMI, lang.RBRACE,
+		lang.STRING, lang.INT, lang.LE, lang.GE, lang.EQ, lang.NE, lang.ANDAND, lang.OROR, lang.NOT, lang.DOT, lang.COMMA, lang.SEMI, lang.EOF}
 	if len(kinds) != len(want) {
 		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), kinds)
 	}
@@ -32,7 +33,7 @@ comment */ "str" 42 <= >= == != && || ! . , ;`)
 }
 
 func TestTokenizePositions(t *testing.T) {
-	toks, err := Tokenize("class\n  Foo")
+	toks, err := lang.Tokenize("class\n  Foo")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,14 +47,14 @@ func TestTokenizePositions(t *testing.T) {
 
 func TestTokenizeErrors(t *testing.T) {
 	for _, src := range []string{`"unterminated`, "/* unterminated", "#"} {
-		if _, err := Tokenize(src); err == nil {
+		if _, err := lang.Tokenize(src); err == nil {
 			t.Errorf("Tokenize(%q): expected error", src)
 		}
 	}
 }
 
 func TestParseBasics(t *testing.T) {
-	f, err := Parse(`
+	f, err := lang.Parse(`
 interface Shape { int area(); }
 class Square extends Object implements Shape {
   int side;
@@ -89,7 +90,7 @@ class Square extends Object implements Shape {
 }
 
 func TestParseCastVsParen(t *testing.T) {
-	f, err := Parse(`class A { static void main() {
+	f, err := lang.Parse(`class A { static void main() {
 	  Object o = null;
 	  A a = (A) o;        // cast
 	  int x = (1) + 2;    // parenthesized expression
@@ -98,11 +99,11 @@ func TestParseCastVsParen(t *testing.T) {
 		t.Fatal(err)
 	}
 	body := f.Classes[0].Methods[0].Body
-	if _, ok := body[1].(*VarDeclStmt).Init.(*CastExpr); !ok {
-		t.Errorf("(A) o should parse as a cast, got %T", body[1].(*VarDeclStmt).Init)
+	if _, ok := body[1].(*lang.VarDeclStmt).Init.(*lang.CastExpr); !ok {
+		t.Errorf("(A) o should parse as a cast, got %T", body[1].(*lang.VarDeclStmt).Init)
 	}
-	if _, ok := body[2].(*VarDeclStmt).Init.(*BinaryExpr); !ok {
-		t.Errorf("(1) + 2 should parse as binary, got %T", body[2].(*VarDeclStmt).Init)
+	if _, ok := body[2].(*lang.VarDeclStmt).Init.(*lang.BinaryExpr); !ok {
+		t.Errorf("(1) + 2 should parse as binary, got %T", body[2].(*lang.VarDeclStmt).Init)
 	}
 }
 
@@ -115,7 +116,7 @@ func TestParseErrors(t *testing.T) {
 		"class A { void m() { 1 + 2; } }", // expr stmt must be call
 		"class A { void m() { x = ; } }",
 	} {
-		if _, err := Parse(src); err == nil {
+		if _, err := lang.Parse(src); err == nil {
 			t.Errorf("Parse(%q): expected error", src)
 		}
 	}
@@ -123,7 +124,7 @@ func TestParseErrors(t *testing.T) {
 
 func compileOK(t *testing.T, src string) *ir.Program {
 	t.Helper()
-	p, err := Compile("test", src)
+	p, err := lang.Compile("test", src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func compileOK(t *testing.T, src string) *ir.Program {
 
 func compileErr(t *testing.T, src, wantSub string) {
 	t.Helper()
-	_, err := Compile("test", src)
+	_, err := lang.Compile("test", src)
 	if err == nil {
 		t.Fatalf("expected compile error containing %q", wantSub)
 	}
@@ -223,7 +224,7 @@ class Main {
 
 	// Insensitive: the single Kennel allocation site conflates both
 	// kennels, so a1 sees Dog and Cat.
-	ins, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	ins, err := analyze(prog, "insens")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ class Main {
 
 	// 2callH separates the two makeKennel call sites (depth 2 is needed
 	// because the Kennel constructor adds one intervening call site).
-	ch, err := pta.Analyze(prog, "2callH", pta.Options{Budget: -1})
+	ch, err := analyze(prog, "2callH")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ class Main {
     print(n);
   }
 }`)
-	res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	res, err := analyze(prog, "insens")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ class Main {
     print(t);
   }
 }`)
-	res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	res, err := analyze(prog, "insens")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +345,7 @@ class Main {
     print(o);
   }
 }`)
-	res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	res, err := analyze(prog, "insens")
 	if err != nil {
 		t.Fatal(err)
 	}

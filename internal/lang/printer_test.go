@@ -1,9 +1,9 @@
-package lang
+package lang_test
 
 import (
 	"testing"
 
-	"introspect/internal/pta"
+	"introspect/internal/lang"
 	"introspect/internal/report"
 )
 
@@ -36,16 +36,16 @@ class Main {
 // TestFormatReparseFixpoint: Format(Parse(Format(Parse(src)))) ==
 // Format(Parse(src)) — the printer output is stable and re-parseable.
 func TestFormatReparseFixpoint(t *testing.T) {
-	f1, err := Parse(printerSrc)
+	f1, err := lang.Parse(printerSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out1 := Format(f1)
-	f2, err := Parse(out1)
+	out1 := lang.Format(f1)
+	f2, err := lang.Parse(out1)
 	if err != nil {
 		t.Fatalf("formatted output does not re-parse: %v\n%s", err, out1)
 	}
-	out2 := Format(f2)
+	out2 := lang.Format(f2)
 	if out1 != out2 {
 		t.Errorf("Format is not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
 	}
@@ -54,30 +54,30 @@ func TestFormatReparseFixpoint(t *testing.T) {
 // TestFormatPreservesSemantics: the formatted program compiles to an
 // analysis-equivalent IR.
 func TestFormatPreservesSemantics(t *testing.T) {
-	f, err := Parse(printerSrc)
+	f, err := lang.Parse(printerSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	orig, err := CompileFile("orig", f)
+	orig, err := lang.CompileFile("orig", f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f2, err := Parse(Format(f))
+	f2, err := lang.Parse(lang.Format(f))
 	if err != nil {
 		t.Fatal(err)
 	}
-	back, err := CompileFile("back", f2)
+	back, err := lang.CompileFile("back", f2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if orig.Stats() != back.Stats() {
 		t.Fatalf("stats differ: %v vs %v", orig.Stats(), back.Stats())
 	}
-	r1, err := pta.Analyze(orig, "2objH", pta.Options{Budget: -1})
+	r1, err := analyze(orig, "2objH")
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := pta.Analyze(back, "2objH", pta.Options{Budget: -1})
+	r2, err := analyze(back, "2objH")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,11 +89,11 @@ func TestFormatPreservesSemantics(t *testing.T) {
 }
 
 func TestFormatGoldens(t *testing.T) {
-	f, err := Parse(`class A { static void main() { int x = (1 + 2) * 3; print(x); } }`)
+	f, err := lang.Parse(`class A { static void main() { int x = (1 + 2) * 3; print(x); } }`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := Format(f)
+	out := lang.Format(f)
 	want := `class A {
   static void main() {
     int x = ((1 + 2) * 3);

@@ -1,11 +1,11 @@
-package lang
+package lang_test
 
 import (
 	"strings"
 	"testing"
 
 	"introspect/internal/ir"
-	"introspect/internal/pta"
+	"introspect/internal/lang"
 )
 
 func TestForLoopSyntax(t *testing.T) {
@@ -24,7 +24,7 @@ class Main {
   }
 }`)
 	// The loop body's allocation flows to acc.
-	res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	res, err := analyze(prog, "insens")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ class Main {
     print(r);
   }
 }`)
-	res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	res, err := analyze(prog, "insens")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ class Main {
     print(c);
   }
 }`)
-	res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	res, err := analyze(prog, "insens")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,16 +166,16 @@ class Main {
   }
 }
 `
-	f, err := Parse(src)
+	f, err := lang.Parse(src)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := Format(f)
-	f2, err := Parse(out)
+	out := lang.Format(f)
+	f2, err := lang.Parse(out)
 	if err != nil {
 		t.Fatalf("formatted output does not reparse: %v\n%s", err, out)
 	}
-	if out2 := Format(f2); out != out2 {
+	if out2 := lang.Format(f2); out != out2 {
 		t.Errorf("Format not a fixpoint for new syntax:\n%s\nvs\n%s", out, out2)
 	}
 	for _, want := range []string{"for (int i = 0;", "instanceof Base", "super.make()"} {
@@ -186,7 +186,7 @@ class Main {
 }
 
 func TestCompileSources(t *testing.T) {
-	prog, err := CompileSources("multi",
+	prog, err := lang.CompileSources("multi",
 		`interface Greeter { Object greet(); }`,
 		`class English implements Greeter { Object greet() { return new English(); } }`,
 		`class Main { static void main() { Greeter g = new English(); print(g.greet()); } }`)
@@ -197,7 +197,7 @@ func TestCompileSources(t *testing.T) {
 		t.Errorf("merged program has %d methods, want 2", prog.Stats().Methods)
 	}
 	// Errors from multiple files are aggregated with file indexes.
-	_, err = CompileSources("bad", `class A {`, `class B }`)
+	_, err = lang.CompileSources("bad", `class A {`, `class B }`)
 	if err == nil || !strings.Contains(err.Error(), "file 1") || !strings.Contains(err.Error(), "file 2") {
 		t.Errorf("expected per-file errors, got %v", err)
 	}

@@ -1,6 +1,7 @@
 package pta
 
 import (
+	"context"
 	"testing"
 
 	"introspect/internal/randprog"
@@ -16,11 +17,11 @@ func benchSolve(b *testing.B, bench, analysis string) {
 	b.ResetTimer()
 	var work int64
 	for i := 0; i < b.N; i++ {
-		res, err := Analyze(prog, analysis, Options{Budget: -1})
+		res, err := Analyze(context.Background(), prog, analysis, Options{Budget: -1})
 		if err != nil {
 			b.Fatal(err)
 		}
-		if res.TimedOut {
+		if !res.Complete {
 			b.Fatal("unexpected timeout")
 		}
 		work = res.Work
@@ -46,7 +47,7 @@ func BenchmarkSolveRandom(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		prog := randprog.Generate(progs[i%len(progs)], randprog.Default())
-		if _, err := Analyze(prog, "2objH", Options{Budget: -1}); err != nil {
+		if _, err := Analyze(context.Background(), prog, "2objH", Options{Budget: -1}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package pta
 
 import (
+	"context"
 	"testing"
 
 	"introspect/internal/ir"
@@ -105,7 +106,7 @@ func TestBaselineOrdering(t *testing.T) {
 		t.Helper()
 		cha := CHA(prog)
 		rta := RTA(prog)
-		ins, err := Analyze(prog, "insens", Options{Budget: -1})
+		ins, err := Analyze(context.Background(), prog, "insens", Options{Budget: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,7 +139,7 @@ func TestBaselineOrdering(t *testing.T) {
 // forward projection, and PointedByVars (metric 5) equals its length.
 func TestVarsPointingToMatchesForward(t *testing.T) {
 	prog := randprog.Generate(4, randprog.Default())
-	res, err := Analyze(prog, "insens", Options{Budget: -1})
+	res, err := Analyze(context.Background(), prog, "insens", Options{Budget: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package pta
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
@@ -239,17 +241,21 @@ func TestMergeStaticFlavors(t *testing.T) {
 	}
 }
 
-// TestWallClockDeadline: the Options.Deadline escape hatch flags a
-// timeout even when the work budget is unlimited.
+// TestWallClockDeadline: a context deadline interrupts the solver even
+// when the work budget is unlimited, surfacing as a wrapped
+// context.DeadlineExceeded with a partial (incomplete) result.
 func TestWallClockDeadline(t *testing.T) {
-	prog, _, _ := buildIdentity(t)
-	_ = prog
 	big := suiteBlowupProgram(t)
-	res, err := Analyze(big, "2objH", Options{Budget: -1, Deadline: 30 * time.Millisecond})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !res.TimedOut {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	res, err := Analyze(ctx, big, "2objH", Options{Budget: -1})
+	if err == nil {
 		t.Skip("machine solved the subject inside the deadline; nothing to assert")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected context.DeadlineExceeded, got %v", err)
+	}
+	if res == nil || res.Complete {
+		t.Error("deadline-interrupted run should return an incomplete partial result")
 	}
 }

@@ -1,6 +1,7 @@
 package pta
 
 import (
+	"context"
 	"testing"
 
 	"introspect/internal/ir"
@@ -91,11 +92,11 @@ func TestHybridSpec(t *testing.T) {
 func TestHybridRefinesInsensitive(t *testing.T) {
 	for seed := int64(1); seed <= 15; seed++ {
 		prog := randprog.Generate(seed, randprog.Default())
-		ins, err := Analyze(prog, "insens", Options{Budget: -1})
+		ins, err := Analyze(context.Background(), prog, "insens", Options{Budget: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		hyb, err := Analyze(prog, "2hybH", Options{Budget: -1})
+		hyb, err := Analyze(context.Background(), prog, "2hybH", Options{Budget: -1})
 		if err != nil {
 			t.Fatal(err)
 		}

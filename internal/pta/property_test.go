@@ -1,6 +1,8 @@
 package pta
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -18,12 +20,12 @@ import (
 func TestSensitiveRefinesInsensitive(t *testing.T) {
 	for seed := int64(1); seed <= 30; seed++ {
 		prog := randprog.Generate(seed, randprog.Default())
-		ins, err := Analyze(prog, "insens", Options{Budget: -1})
+		ins, err := Analyze(context.Background(), prog, "insens", Options{Budget: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, analysis := range []string{"1call", "2callH", "1obj", "2objH", "2typeH"} {
-			res, err := Analyze(prog, analysis, Options{Budget: -1})
+			res, err := Analyze(context.Background(), prog, analysis, Options{Budget: -1})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -84,7 +86,7 @@ func checkRefines(t *testing.T, label string, prog *ir.Program, fine, coarse *Re
 func TestIntrospectiveRefinesInsensitive(t *testing.T) {
 	for seed := int64(1); seed <= 15; seed++ {
 		prog := randprog.Generate(seed, randprog.Default())
-		ins, err := Analyze(prog, "insens", Options{Budget: -1})
+		ins, err := Analyze(context.Background(), prog, "insens", Options{Budget: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,12 +102,12 @@ func TestIntrospectiveRefinesInsensitive(t *testing.T) {
 		spec, _ := ParseSpec("2objH")
 		pol := NewIntrospective(NewPolicy(spec, prog, tab),
 			NewPolicy(Spec{Flavor: Insensitive}, prog, tab), ref, "intro")
-		intro := Solve(prog, pol, tab, Options{Budget: -1})
+		intro := mustSolve(t, prog, pol, tab, Options{Budget: -1})
 
 		checkRefines(t, fmt.Sprintf("seed %d intro-vs-insens", seed), prog, intro, ins)
 
 		tab2 := NewTable()
-		full := Solve(prog, NewPolicy(spec, prog, tab2), tab2, Options{Budget: -1})
+		full := mustSolve(t, prog, NewPolicy(spec, prog, tab2), tab2, Options{Budget: -1})
 		checkRefines(t, fmt.Sprintf("seed %d full-vs-insens", seed), prog, full, ins)
 	}
 }
@@ -126,9 +128,9 @@ func TestMixedContextIncomparability(t *testing.T) {
 	tab := NewTable()
 	pol := NewIntrospective(NewPolicy(spec, prog, tab),
 		NewPolicy(Spec{Flavor: Insensitive}, prog, tab), ref, "intro")
-	intro := Solve(prog, pol, tab, Options{Budget: -1})
+	intro := mustSolve(t, prog, pol, tab, Options{Budget: -1})
 	tab2 := NewTable()
-	full := Solve(prog, NewPolicy(spec, prog, tab2), tab2, Options{Budget: -1})
+	full := mustSolve(t, prog, NewPolicy(spec, prog, tab2), tab2, Options{Budget: -1})
 
 	introStricter := false
 	for v := 0; v < prog.NumVars(); v++ {
@@ -149,11 +151,11 @@ func TestMixedContextIncomparability(t *testing.T) {
 // same program, same analysis, same results and work count.
 func TestDeterministicResults(t *testing.T) {
 	prog := randprog.Generate(99, randprog.Default())
-	a, err := Analyze(prog, "2objH", Options{Budget: -1})
+	a, err := Analyze(context.Background(), prog, "2objH", Options{Budget: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Analyze(prog, "2objH", Options{Budget: -1})
+	b, err := Analyze(context.Background(), prog, "2objH", Options{Budget: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,15 +176,15 @@ func TestDeterministicResults(t *testing.T) {
 // larger-budget run derives a superset of tuples.
 func TestBudgetMonotone(t *testing.T) {
 	prog := randprog.Generate(7, randprog.Default())
-	small, err := Analyze(prog, "2objH", Options{Budget: 2000})
+	small, err := Analyze(context.Background(), prog, "2objH", Options{Budget: 2000})
+	if err != nil && !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatal(err)
+	}
+	big, err := Analyze(context.Background(), prog, "2objH", Options{Budget: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	big, err := Analyze(prog, "2objH", Options{Budget: -1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if big.TimedOut {
+	if !big.Complete {
 		t.Fatal("unlimited budget should not time out")
 	}
 	for v := 0; v < prog.NumVars(); v++ {
@@ -204,7 +206,7 @@ func TestBudgetMonotone(t *testing.T) {
 // random program.
 func TestResultQueries(t *testing.T) {
 	prog := randprog.Generate(3, randprog.Default())
-	res, err := Analyze(prog, "1objH", Options{Budget: -1})
+	res, err := Analyze(context.Background(), prog, "1objH", Options{Budget: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,19 +13,34 @@ import (
 // computed VarPointsTo, FieldPointsTo, Reachable, and CallGraph
 // relations of the paper's model through query methods.
 //
-// If TimedOut is true the result is a sound-in-progress under-
-// approximation: the analysis exhausted its budget before fixpoint, the
-// reproduction's analogue of the paper's 90-minute timeouts. Timed-out
-// results should not be used for precision comparisons.
+// If Complete is false the result is a sound-in-progress under-
+// approximation: the analysis was stopped before fixpoint, either by
+// the work budget (the reproduction's analogue of the paper's
+// 90-minute timeouts — Solve's error wraps ErrBudgetExceeded) or by
+// context cancellation. Incomplete results should not be used for
+// precision comparisons.
 type Result struct {
 	Prog     *ir.Program
 	Analysis string
-	TimedOut bool
-	Work     int64
-	Elapsed  time.Duration
+	// Complete reports whether the solver reached fixpoint.
+	Complete bool
+	// Work is the abstract work-unit count (the deterministic time
+	// proxy the budget is charged against).
+	Work int64
+	// Derivations is the number of points-to facts established.
+	Derivations int64
+	// Propagations is the number of (element, edge) propagation
+	// attempts along subset constraints.
+	Propagations int64
+	Elapsed      time.Duration
 
 	s *solver
 }
+
+// PeakPTSize returns the largest points-to set of any constraint-graph
+// node — the paper's "single points-to set over a certain size"
+// explosion indicator.
+func (r *Result) PeakPTSize() int { return r.s.peakPT }
 
 // --- reachability and call graph ---
 
@@ -179,7 +194,7 @@ func (r *Result) NumContexts() int { return r.s.tab.Len() }
 // Stats summarizes the analysis outcome for display.
 type RunStats struct {
 	Analysis    string
-	TimedOut    bool
+	Complete    bool
 	Work        int64
 	Elapsed     time.Duration
 	VarPTSize   int64
@@ -194,7 +209,7 @@ type RunStats struct {
 func (r *Result) Stats() RunStats {
 	return RunStats{
 		Analysis:    r.Analysis,
-		TimedOut:    r.TimedOut,
+		Complete:    r.Complete,
 		Work:        r.Work,
 		Elapsed:     r.Elapsed,
 		VarPTSize:   r.VarPTSize(),
@@ -208,7 +223,7 @@ func (r *Result) Stats() RunStats {
 
 func (st RunStats) String() string {
 	to := ""
-	if st.TimedOut {
+	if !st.Complete {
 		to = " TIMEOUT"
 	}
 	return fmt.Sprintf("%-14s%s work=%d varPT=%d fldPT=%d reach=%d methCtx=%d cg=%d elapsed=%v",

@@ -1,30 +1,54 @@
 package pta
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"time"
 
 	"introspect/internal/bits"
 	"introspect/internal/ir"
 )
 
-// Options controls resource limits of a solver run.
+// Options controls resource limits and instrumentation of a solver run.
 //
 // The paper reports analyses that "do not terminate" within a 90-minute
-// timeout; we reproduce that behavior with a deterministic work budget
-// (plus an optional wall-clock deadline), so that "timed out" results
-// are stable across machines.
+// timeout; we reproduce that behavior with a deterministic work budget,
+// so that "timed out" results are stable across machines. Wall-clock
+// limits are expressed through the context passed to Solve (use
+// context.WithTimeout / context.WithDeadline).
 type Options struct {
 	// Budget is the maximum number of abstract work units (constraint
 	// propagation steps) before the run is abandoned. 0 means
 	// DefaultBudget; negative means unlimited.
 	Budget int64
-	// Deadline is an optional wall-clock limit. 0 means none.
-	Deadline time.Duration
+	// Progress, if non-nil, is called periodically from the worklist
+	// loop with the current work count — the hook the analysis layer's
+	// Observer uses for live progress reporting.
+	Progress func(work int64)
+	// ProgressEvery is the minimum number of work units between
+	// Progress calls. 0 means DefaultProgressEvery.
+	ProgressEvery int64
 }
 
 // DefaultBudget is the work-unit budget standing in for the paper's
 // 90-minute timeout.
 const DefaultBudget int64 = 150_000_000
+
+// DefaultProgressEvery is the default work-unit interval between
+// Options.Progress callbacks.
+const DefaultProgressEvery int64 = 1 << 22
+
+// checkCtxEvery is how often (in worklist pops) the solver polls its
+// context for cancellation; a power of two so the check is a mask.
+const checkCtxEvery = 1024
+
+// ErrBudgetExceeded is the sentinel wrapped by the error Solve returns
+// when the work budget is exhausted before fixpoint — the
+// reproduction's analogue of the paper's 90-minute timeout. The
+// returned Result is still valid as a sound-in-progress
+// under-approximation; callers match with errors.Is.
+var ErrBudgetExceeded = errors.New("work budget exceeded")
 
 func (o Options) budget() int64 {
 	switch {
@@ -110,20 +134,37 @@ type solver struct {
 
 	reachMeths bits.Set // distinct reachable methods
 
-	work     int64
-	budget   int64
-	deadline time.Time
-	hasDL    bool
-	timedOut bool
-	popCount int
+	work         int64
+	derivations  int64 // new points-to facts established
+	propagations int64 // (element, edge) propagation attempts
+	budget       int64
+	exceeded     bool
+	ctx          context.Context
+	ctxErr       error
+	popCount     int
+	progress     func(work int64)
+	progEvery    int64
+	lastProg     int64
 
 	// finalize() products
 	varNodes map[ir.VarID][]int32
+	peakPT   int
 }
 
 // Solve runs the analysis over prog with the given context policy,
-// creating contexts in tab.
-func Solve(prog *ir.Program, pol Policy, tab *Table, opts Options) *Result {
+// creating contexts in tab. The worklist loop polls ctx every
+// checkCtxEvery iterations, so cancellation (or a context deadline)
+// stops the run promptly.
+//
+// Solve always returns a non-nil Result. On a clean fixpoint the error
+// is nil; if the work budget runs out first, the error wraps
+// ErrBudgetExceeded; if ctx is cancelled or its deadline passes, the
+// error wraps ctx.Err(). In both failure cases the Result is a
+// sound-in-progress under-approximation (Complete is false).
+func Solve(ctx context.Context, prog *ir.Program, pol Policy, tab *Table, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s := &solver{
 		prog:        prog,
 		pol:         pol,
@@ -134,33 +175,46 @@ func Solve(prog *ir.Program, pol Policy, tab *Table, opts Options) *Result {
 		cgSeen:      make(map[cgKey]struct{}),
 		invoTargets: make([]map[ir.MethodID]struct{}, prog.NumInvos()),
 		budget:      opts.budget(),
+		ctx:         ctx,
+		progress:    opts.Progress,
+		progEvery:   opts.ProgressEvery,
 	}
-	if opts.Deadline > 0 {
-		s.deadline = time.Now().Add(opts.Deadline)
-		s.hasDL = true
+	if s.progEvery <= 0 {
+		s.progEvery = DefaultProgressEvery
 	}
 	start := time.Now()
 	s.run()
 	s.finalize()
-	return &Result{
-		Prog:     prog,
-		Analysis: pol.Name(),
-		TimedOut: s.timedOut,
-		Work:     s.work,
-		Elapsed:  time.Since(start),
-		s:        s,
+	res := &Result{
+		Prog:         prog,
+		Analysis:     pol.Name(),
+		Complete:     !s.exceeded && s.ctxErr == nil,
+		Work:         s.work,
+		Derivations:  s.derivations,
+		Propagations: s.propagations,
+		Elapsed:      time.Since(start),
+		s:            s,
 	}
+	switch {
+	case s.ctxErr != nil:
+		return res, fmt.Errorf("pta: %s interrupted: %w", pol.Name(), s.ctxErr)
+	case s.exceeded:
+		return res, fmt.Errorf("pta: %s: %w after %d work units", pol.Name(), ErrBudgetExceeded, s.work)
+	}
+	return res, nil
 }
 
 // Analyze is a convenience wrapper: parse the analysis name, build the
-// policy, and solve.
-func Analyze(prog *ir.Program, analysis string, opts Options) (*Result, error) {
+// policy, and solve. Error semantics are those of Solve: on budget
+// exhaustion or cancellation the partial Result is returned alongside
+// the error.
+func Analyze(ctx context.Context, prog *ir.Program, analysis string, opts Options) (*Result, error) {
 	spec, err := ParseSpec(analysis)
 	if err != nil {
 		return nil, err
 	}
 	tab := NewTable()
-	return Solve(prog, NewPolicy(spec, prog, tab), tab, opts), nil
+	return Solve(ctx, prog, NewPolicy(spec, prog, tab), tab, opts)
 }
 
 // --- interning ---
@@ -232,6 +286,7 @@ func (s *solver) addTo(n, hc int32) {
 		s.delta[n] = append(s.delta[n], hc)
 		s.push(n)
 		s.work++
+		s.derivations++
 	}
 }
 
@@ -248,6 +303,7 @@ func (s *solver) addEdge(src, dst int32, filter ir.TypeID) {
 	s.succs[src] = append(s.succs[src], edge{dst: dst, filter: filter})
 	s.pt[src].ForEach(func(hc int32) {
 		s.work++
+		s.propagations++
 		if s.passesFilter(hc, filter) {
 			s.addTo(dst, hc)
 		}
@@ -405,15 +461,25 @@ func (s *solver) linkCall(c *ir.Call, callerCtx Ctx, toMeth ir.MethodID, calleeC
 
 // --- propagation ---
 
-func (s *solver) overBudget() bool {
+// interrupted is the per-iteration stop check of the worklist loop: the
+// deterministic work budget every pop, the context (cancellation or
+// deadline) every checkCtxEvery pops, and the optional progress
+// callback every progEvery work units.
+func (s *solver) interrupted() bool {
 	if s.work > s.budget {
-		s.timedOut = true
+		s.exceeded = true
 		return true
 	}
 	s.popCount++
-	if s.hasDL && s.popCount&255 == 0 && time.Now().After(s.deadline) {
-		s.timedOut = true
-		return true
+	if s.popCount&(checkCtxEvery-1) == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.ctxErr = err
+			return true
+		}
+	}
+	if s.progress != nil && s.work-s.lastProg >= s.progEvery {
+		s.lastProg = s.work
+		s.progress(s.work)
 	}
 	return false
 }
@@ -423,7 +489,7 @@ func (s *solver) run() {
 		s.reach(e, EmptyCtx)
 	}
 	for {
-		if s.overBudget() {
+		if s.interrupted() {
 			return
 		}
 		if n := len(s.pendingMC); n > 0 {
@@ -452,6 +518,7 @@ func (s *solver) processNode(n int32) {
 	for _, e := range s.succs[n] {
 		for _, hc := range d {
 			s.work++
+			s.propagations++
 			if s.passesFilter(hc, e.filter) {
 				s.addTo(e.dst, hc)
 			}
@@ -487,6 +554,9 @@ func (s *solver) finalize() {
 		if s.kind[n] == varNode {
 			v := ir.VarID(s.nodeA[n])
 			s.varNodes[v] = append(s.varNodes[v], int32(n))
+		}
+		if l := s.pt[n].Len(); l > s.peakPT {
+			s.peakPT = l
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package pta
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"introspect/internal/ir"
@@ -52,12 +54,23 @@ func buildIdentity(t *testing.T) (*ir.Program, map[string]ir.VarID, map[string]i
 
 func analyze(t *testing.T, prog *ir.Program, name string) *Result {
 	t.Helper()
-	res, err := Analyze(prog, name, Options{Budget: -1})
+	res, err := Analyze(context.Background(), prog, name, Options{Budget: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.TimedOut {
+	if !res.Complete {
 		t.Fatalf("%s unexpectedly timed out", name)
+	}
+	return res
+}
+
+// mustSolve runs the solver with a background context and fails the
+// test on any error.
+func mustSolve(t *testing.T, prog *ir.Program, pol Policy, tab *Table, opts Options) *Result {
+	t.Helper()
+	res, err := Solve(context.Background(), prog, pol, tab, opts)
+	if err != nil {
+		t.Fatal(err)
 	}
 	return res
 }
@@ -317,12 +330,12 @@ func TestStaticFieldsFlow(t *testing.T) {
 
 func TestBudgetTimeout(t *testing.T) {
 	prog, _, _ := buildIdentity(t)
-	res, err := Analyze(prog, "insens", Options{Budget: 3})
-	if err != nil {
-		t.Fatal(err)
+	res, err := Analyze(context.Background(), prog, "insens", Options{Budget: 3})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("expected ErrBudgetExceeded with tiny budget, got %v", err)
 	}
-	if !res.TimedOut {
-		t.Error("expected timeout with tiny budget")
+	if res == nil || res.Complete {
+		t.Error("budget-exhausted run should return an incomplete partial result")
 	}
 }
 

@@ -22,24 +22,26 @@ import (
 // Precision holds the paper's three precision metrics for one analysis
 // run, plus the run's cost figures.
 type Precision struct {
-	Analysis string
-	TimedOut bool
+	Analysis string `json:"analysis"`
+	// TimedOut flags a run stopped before fixpoint (budget exhausted or
+	// cancelled): the paper leaves such bars out of its charts.
+	TimedOut bool `json:"timed_out,omitempty"`
 
 	// PolyVCalls is the number of reachable virtual call sites resolved
 	// to more than one target ("calls that cannot be devirtualized").
-	PolyVCalls int
+	PolyVCalls int `json:"poly_vcalls"`
 	// ReachableMethods is the number of distinct reachable methods.
-	ReachableMethods int
+	ReachableMethods int `json:"reachable_methods"`
 	// MayFailCasts is the number of reachable cast instructions whose
 	// operand may hold an incompatible object.
-	MayFailCasts int
+	MayFailCasts int `json:"may_fail_casts"`
 
 	// VarPTSize is the context-qualified VarPointsTo size (cost proxy).
-	VarPTSize int64
+	VarPTSize int64 `json:"var_pt_size"`
 	// Work is the solver work performed (the deterministic time proxy).
-	Work int64
+	Work int64 `json:"work"`
 	// ElapsedMS is wall-clock milliseconds.
-	ElapsedMS int64
+	ElapsedMS int64 `json:"elapsed_ms"`
 }
 
 // Measure computes the precision metrics of a result. For timed-out
@@ -49,7 +51,7 @@ func Measure(res *pta.Result) Precision {
 	prog := res.Prog
 	p := Precision{
 		Analysis:         res.Analysis,
-		TimedOut:         res.TimedOut,
+		TimedOut:         !res.Complete,
 		ReachableMethods: res.NumReachableMethods(),
 		VarPTSize:        res.VarPTSize(),
 		Work:             res.Work,

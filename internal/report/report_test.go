@@ -1,13 +1,28 @@
-package report
+package report_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
+	"introspect/internal/analysis"
 	"introspect/internal/ir"
 	"introspect/internal/lang"
 	"introspect/internal/pta"
+	"introspect/internal/report"
 )
+
+// analyze runs one analysis through the pipeline layer, unbudgeted.
+func analyze(prog *ir.Program, spec string) (*pta.Result, error) {
+	res, err := analysis.Run(context.Background(), analysis.Request{
+		Prog: prog, Spec: spec, Limits: analysis.Limits{Budget: -1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Main, nil
+}
 
 const src = `
 interface Shape { Object describe(); }
@@ -36,18 +51,18 @@ class Main {
   }
 }`
 
-func analyzeBoth(t *testing.T) (*ir.Program, Precision, Precision) {
+func analyzeBoth(t *testing.T) (*ir.Program, report.Precision, report.Precision) {
 	t.Helper()
 	prog := lang.MustCompile("report", src)
-	ins, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	ins, err := analyze(prog, "insens")
 	if err != nil {
 		t.Fatal(err)
 	}
-	obj, err := pta.Analyze(prog, "2objH", pta.Options{Budget: -1})
+	obj, err := analyze(prog, "2objH")
 	if err != nil {
 		t.Fatal(err)
 	}
-	return prog, Measure(ins), Measure(obj)
+	return prog, report.Measure(ins), report.Measure(obj)
 }
 
 func TestPrecisionMetrics(t *testing.T) {
@@ -84,45 +99,47 @@ func TestPrecisionMetrics(t *testing.T) {
 
 func TestPolySites(t *testing.T) {
 	prog := lang.MustCompile("report", src)
-	ins, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	ins, err := analyze(prog, "insens")
 	if err != nil {
 		t.Fatal(err)
 	}
-	sites := PolySites(ins)
+	sites := report.PolySites(ins)
 	if len(sites) != 1 || !strings.Contains(sites[0], "2 targets") {
-		t.Errorf("PolySites = %v, want one site with 2 targets", sites)
+		t.Errorf("report.PolySites = %v, want one site with 2 targets", sites)
 	}
 }
 
 func TestFormatTable(t *testing.T) {
-	rows := []Row{
-		{Benchmark: "b1", Precision: Precision{Analysis: "insens", PolyVCalls: 3,
+	rows := []report.Row{
+		{Benchmark: "b1", Precision: report.Precision{Analysis: "insens", PolyVCalls: 3,
 			ReachableMethods: 10, MayFailCasts: 2, Work: 5000, ElapsedMS: 7}},
-		{Benchmark: "b1", Precision: Precision{Analysis: "2objH", TimedOut: true}},
+		{Benchmark: "b1", Precision: report.Precision{Analysis: "2objH", TimedOut: true}},
 	}
-	out := FormatTable("title", rows)
+	out := report.FormatTable("title", rows)
 	for _, want := range []string{"title", "b1", "insens", "TIMEOUT", "2objH"} {
 		if !strings.Contains(out, want) {
-			t.Errorf("FormatTable output missing %q:\n%s", want, out)
+			t.Errorf("report.FormatTable output missing %q:\n%s", want, out)
 		}
 	}
 	lines := strings.Split(strings.TrimSpace(out), "\n")
 	if len(lines) != 4 { // title, header, 2 rows
-		t.Errorf("FormatTable produced %d lines, want 4", len(lines))
+		t.Errorf("report.FormatTable produced %d lines, want 4", len(lines))
 	}
 }
 
-// TestTimedOutFlagged ensures timed-out results carry the flag through
-// Measure.
+// TestTimedOutFlagged ensures budget-exhausted results carry the flag
+// through report.Measure (a main-pass timeout still produces a report).
 func TestTimedOutFlagged(t *testing.T) {
 	prog := lang.MustCompile("report", src)
-	res, err := pta.Analyze(prog, "2objH", pta.Options{Budget: 3})
-	if err != nil {
-		t.Fatal(err)
+	res, err := analysis.Run(context.Background(), analysis.Request{
+		Prog: prog, Spec: "2objH", Limits: analysis.Limits{Budget: 3},
+	})
+	var be *analysis.BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("expected BudgetExceededError, got %v", err)
 	}
-	p := Measure(res)
-	if !p.TimedOut {
-		t.Error("timed-out result should be flagged")
+	if res.Precision == nil || !res.Precision.TimedOut {
+		t.Error("timed-out result should be flagged in the precision report")
 	}
 }
 
@@ -130,16 +147,16 @@ func TestTimedOutFlagged(t *testing.T) {
 // points-to sets and reduces the average.
 func TestDistribution(t *testing.T) {
 	prog := lang.MustCompile("report", src)
-	ins, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	ins, err := analyze(prog, "insens")
 	if err != nil {
 		t.Fatal(err)
 	}
-	obj, err := pta.Analyze(prog, "2objH", pta.Options{Budget: -1})
+	obj, err := analyze(prog, "2objH")
 	if err != nil {
 		t.Fatal(err)
 	}
-	di := MeasureDistribution(ins)
-	do := MeasureDistribution(obj)
+	di := report.MeasureDistribution(ins)
+	do := report.MeasureDistribution(obj)
 	if di.Vars == 0 || do.Vars == 0 {
 		t.Fatal("no pointer vars measured")
 	}

@@ -1,0 +1,11 @@
+package suite
+
+// Aliases exposing the generator's unexported parameter types to the
+// external test package (patterns_test.go builds tiny pattern
+// instances directly).
+type (
+	ObjExplParams = objExplParams
+	CallFanParams = callFanParams
+	HeavyParams   = heavyParams
+	RouterParams  = routerParams
+)

@@ -1,12 +1,26 @@
-package suite
+package suite_test
 
 import (
+	"context"
 	"testing"
 
+	"introspect/internal/analysis"
 	"introspect/internal/introspect"
 	"introspect/internal/ir"
 	"introspect/internal/pta"
+	"introspect/internal/suite"
 )
+
+// analyze runs one analysis through the pipeline layer, unbudgeted.
+func analyze(prog *ir.Program, spec string) (*pta.Result, error) {
+	res, err := analysis.Run(context.Background(), analysis.Request{
+		Prog: prog, Spec: spec, Limits: analysis.Limits{Budget: -1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Main, nil
+}
 
 // These tests verify the cost mechanics each pattern is built on, at
 // small scale, so the figure-level behavior rests on checked ground.
@@ -14,14 +28,14 @@ import (
 func TestObjExplosionContextProduct(t *testing.T) {
 	// W driver factories × S sessions must produce ≈ W·S contexts for
 	// the chain methods under 2objH.
-	p := Profile{Name: "tiny-oe", Seed: 1,
-		ObjExpl: []objExplParams{{S: 6, W: 5, D: 2, L: 2, P: 3, SessClasses: 2, DrvClasses: 2}}}
+	p := suite.Profile{Name: "tiny-oe", Seed: 1,
+		ObjExpl: []suite.ObjExplParams{{S: 6, W: 5, D: 2, L: 2, P: 3, SessClasses: 2, DrvClasses: 2}}}
 	prog := p.Build()
-	ins, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	ins, err := analyze(prog, "insens")
 	if err != nil {
 		t.Fatal(err)
 	}
-	obj, err := pta.Analyze(prog, "2objH", pta.Options{Budget: -1})
+	obj, err := analyze(prog, "2objH")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +47,7 @@ func TestObjExplosionContextProduct(t *testing.T) {
 		t.Errorf("2objH method contexts grew by %d; want ≥ %d (W·S·D product)", got, wantExtra/2)
 	}
 	// Type-sensitivity collapses to SessClasses·DrvClasses.
-	ty, err := pta.Analyze(prog, "2typeH", pta.Options{Budget: -1})
+	ty, err := analyze(prog, "2typeH")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +57,7 @@ func TestObjExplosionContextProduct(t *testing.T) {
 	}
 	// Call-site sensitivity is immune to this pattern (single chain
 	// sites): far fewer contexts than 2objH.
-	ch, err := pta.Analyze(prog, "2callH", pta.Options{Budget: -1})
+	ch, err := analyze(prog, "2callH")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,14 +68,14 @@ func TestObjExplosionContextProduct(t *testing.T) {
 }
 
 func TestCallFanoutContextProduct(t *testing.T) {
-	p := Profile{Name: "tiny-cf", Seed: 1,
-		CallFan: []callFanParams{{U: 7, V: 5, D: 2, L: 2, P: 3}}}
+	p := suite.Profile{Name: "tiny-cf", Seed: 1,
+		CallFan: []suite.CallFanParams{{U: 7, V: 5, D: 2, L: 2, P: 3}}}
 	prog := p.Build()
-	ins, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	ins, err := analyze(prog, "insens")
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch, err := pta.Analyze(prog, "2callH", pta.Options{Budget: -1})
+	ch, err := analyze(prog, "2callH")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +84,7 @@ func TestCallFanoutContextProduct(t *testing.T) {
 		t.Errorf("2callH contexts grew by %d; want ≥ %d (U·V product)", got, 7*5)
 	}
 	// Object-sensitivity is immune (static trampolines).
-	obj, err := pta.Analyze(prog, "2objH", pta.Options{Budget: -1})
+	obj, err := analyze(prog, "2objH")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,10 +98,10 @@ func TestHeavyServiceVolumeMetric(t *testing.T) {
 	// serve's total points-to volume must be ≈ L·P, the quantity
 	// Heuristic B thresholds on.
 	const L, P = 4, 6
-	p := Profile{Name: "tiny-hv", Seed: 1,
-		Heavy: []heavyParams{{H: 2, HClasses: 2, L: L, P: P}}}
+	p := suite.Profile{Name: "tiny-hv", Seed: 1,
+		Heavy: []suite.HeavyParams{{H: 2, HClasses: 2, L: L, P: P}}}
 	prog := p.Build()
-	res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	res, err := analyze(prog, "insens")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,10 +129,10 @@ func TestRouterInflowMetric(t *testing.T) {
 	// The feed call sites' in-flow must equal Pm — the value Heuristic
 	// A thresholds on.
 	const Pm = 9
-	p := Profile{Name: "tiny-rt", Seed: 1,
-		Routers: []routerParams{{R: 2, Pm: Pm, J: 1}}}
+	p := suite.Profile{Name: "tiny-rt", Seed: 1,
+		Routers: []suite.RouterParams{{R: 2, Pm: Pm, J: 1}}}
 	prog := p.Build()
-	res, err := pta.Analyze(prog, "insens", pta.Options{Budget: -1})
+	res, err := analyze(prog, "insens")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,5 +145,30 @@ func TestRouterInflowMetric(t *testing.T) {
 	}
 	if feeds < 2 {
 		t.Errorf("expected ≥2 call sites with in-flow exactly %d, found %d", Pm, feeds)
+	}
+}
+
+// TestBenchmarksAnalyzeInsensitively: the insensitive analysis must
+// terminate comfortably on every benchmark — the premise of the whole
+// introspective technique.
+func TestBenchmarksAnalyzeInsensitively(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analyzing all benchmarks is slow")
+	}
+	for _, name := range suite.Names() {
+		prog := suite.MustLoad(name)
+		res, err := analysis.Run(context.Background(), analysis.Request{
+			Prog: prog, Spec: "insens", Limits: analysis.Limits{Budget: 30_000_000},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Main.Complete {
+			t.Errorf("%s: insensitive analysis exhausted budget (work=%d)", name, res.Main.Work)
+		}
+		if res.Main.NumReachableMethods() < prog.NumMethods()/2 {
+			t.Errorf("%s: only %d/%d methods reachable; generator wiring broken?",
+				name, res.Main.NumReachableMethods(), prog.NumMethods())
+		}
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"introspect/internal/ir"
-	"introspect/internal/pta"
 )
 
 func TestLoadAllBenchmarks(t *testing.T) {
@@ -70,29 +69,6 @@ func TestSubjectLists(t *testing.T) {
 	for _, n := range append(ExperimentalSubjects(), Figure4Subjects()...) {
 		if !all[n] {
 			t.Errorf("subject %s not in Names()", n)
-		}
-	}
-}
-
-// TestBenchmarksAnalyzeInsensitively: the insensitive analysis must
-// terminate comfortably on every benchmark — the premise of the whole
-// introspective technique.
-func TestBenchmarksAnalyzeInsensitively(t *testing.T) {
-	if testing.Short() {
-		t.Skip("analyzing all benchmarks is slow")
-	}
-	for _, name := range Names() {
-		prog := MustLoad(name)
-		res, err := pta.Analyze(prog, "insens", pta.Options{Budget: 30_000_000})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if res.TimedOut {
-			t.Errorf("%s: insensitive analysis exhausted budget (work=%d)", name, res.Work)
-		}
-		if res.NumReachableMethods() < prog.NumMethods()/2 {
-			t.Errorf("%s: only %d/%d methods reachable; generator wiring broken?",
-				name, res.NumReachableMethods(), prog.NumMethods())
 		}
 	}
 }

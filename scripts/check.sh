@@ -1,0 +1,10 @@
+#!/bin/sh
+# check.sh — the full CI gate, runnable anywhere with a Go toolchain.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/analysis ./internal/pta
