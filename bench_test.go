@@ -1,78 +1,84 @@
 package introspect_test
 
 // The benchmark harness: one testing.B benchmark per figure of the
-// paper's evaluation section. Each benchmark iteration regenerates the
-// figure's full data (all benchmarks × all analysis variants) and
-// reports aggregate work counts, so
+// paper's evaluation section. Each iteration regenerates the figure's
+// full data (all benchmarks × all analysis variants) through the
+// bounded-parallel fleet runner — the same code path cmd/introbench
+// prints as tables — and reports the figure's aggregate cost:
 //
-//	go test -bench=Fig -benchmem
+//	work      total solver work units (the deterministic time proxy)
+//	peakpt    largest single points-to set of any run (explosion indicator)
+//	timeouts  runs that exhausted the work budget (the paper's missing bars)
 //
-// reproduces the paper's evaluation end to end. For a single pass use
-// -benchtime=1x. cmd/introbench prints the same data as tables.
+// For a single end-to-end pass use -benchtime=1x; scripts/bench.sh
+// records these numbers as BENCH_<date>.json.
 
 import (
-	"context"
-	"errors"
 	"testing"
 
-	"introspect/internal/analysis"
 	"introspect/internal/figures"
-	"introspect/internal/introspect"
-	"introspect/internal/suite"
+	"introspect/internal/report"
 )
 
 var cfg = figures.Config{}
 
-// runPipeline executes one analysis pipeline, treating a
-// budget-exhausted main pass as a reportable outcome (the paper's
-// missing bars), and failing the benchmark on anything else.
-func runPipeline(b *testing.B, req analysis.Request) *analysis.Result {
+// reportRows attaches a figure's aggregate metrics to the benchmark
+// output.
+func reportRows(b *testing.B, rows []report.Row) {
 	b.Helper()
-	res, err := analysis.Run(context.Background(), req)
-	if err != nil {
-		var be *analysis.BudgetExceededError
-		if !errors.As(err, &be) || res == nil || res.Precision == nil {
-			b.Fatal(err)
+	var work int64
+	peak, timeouts := 0, 0
+	for _, r := range rows {
+		work += r.Work
+		if r.PeakPT > peak {
+			peak = r.PeakPT
+		}
+		if r.TimedOut {
+			timeouts++
 		}
 	}
-	return res
+	b.ReportMetric(float64(work), "work")
+	b.ReportMetric(float64(peak), "peakpt")
+	b.ReportMetric(float64(timeouts), "timeouts")
 }
 
 // BenchmarkFig1 regenerates Figure 1: context-insensitive vs 2objH on
-// all nine benchmarks, one sub-benchmark per (benchmark, analysis).
+// all nine benchmarks.
 func BenchmarkFig1(b *testing.B) {
-	for _, bench := range suite.Names() {
-		for _, spec := range []string{"insens", "2objH"} {
-			b.Run(bench+"/"+spec, func(b *testing.B) {
-				benchFull(b, bench, spec)
-			})
+	var rows []report.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = figures.Fig1(cfg)
+		if err != nil {
+			b.Fatal(err)
 		}
 	}
+	reportRows(b, rows)
 }
 
 // BenchmarkFig4 regenerates the Figure 4 selection statistics: the
 // insensitive pass plus both heuristics' selections per benchmark.
 func BenchmarkFig4(b *testing.B) {
-	for _, bench := range suite.Figure4Subjects() {
-		b.Run(bench, func(b *testing.B) {
-			prog, err := suite.Load(bench)
-			if err != nil {
-				b.Fatal(err)
-			}
-			for i := 0; i < b.N; i++ {
-				res := runPipeline(b, analysis.Request{
-					Prog: prog, Spec: "insens", Limits: cfg.Limits(),
-				})
-				selA := introspect.Select(res.Main, introspect.DefaultA())
-				selB := introspect.Select(res.Main, introspect.DefaultB())
-				if i == 0 {
-					b.ReportMetric(selA.PctCallSites(), "callsA%")
-					b.ReportMetric(selB.PctCallSites(), "callsB%")
-					b.ReportMetric(selA.PctObjects(), "objsA%")
-					b.ReportMetric(selB.PctObjects(), "objsB%")
-				}
-			}
-		})
+	var rows []figures.Fig4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = figures.Fig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ca, cb, oa, ob float64
+	for _, r := range rows {
+		ca += r.CallSitesA
+		cb += r.CallSitesB
+		oa += r.ObjectsA
+		ob += r.ObjectsB
+	}
+	if n := float64(len(rows)); n > 0 {
+		b.ReportMetric(ca/n, "callsA%")
+		b.ReportMetric(cb/n, "callsB%")
+		b.ReportMetric(oa/n, "objsA%")
+		b.ReportMetric(ob/n, "objsB%")
 	}
 }
 
@@ -85,61 +91,16 @@ func BenchmarkFig6(b *testing.B) { benchFig(b, "2typeH") }
 // BenchmarkFig7 regenerates Figure 7 (2callH variants).
 func BenchmarkFig7(b *testing.B) { benchFig(b, "2callH") }
 
+// benchFig regenerates one of Figures 5-7: four analysis variants over
+// the six experimental subjects.
 func benchFig(b *testing.B, deep string) {
-	for _, bench := range suite.ExperimentalSubjects() {
-		b.Run(bench+"/insens", func(b *testing.B) { benchFull(b, bench, "insens") })
-		b.Run(bench+"/"+deep+"-IntroA", func(b *testing.B) { benchIntro(b, bench, deep, introspect.DefaultA()) })
-		b.Run(bench+"/"+deep+"-IntroB", func(b *testing.B) { benchIntro(b, bench, deep, introspect.DefaultB()) })
-		b.Run(bench+"/"+deep, func(b *testing.B) { benchFull(b, bench, deep) })
-	}
-}
-
-func benchFull(b *testing.B, bench, spec string) {
-	b.Helper()
-	prog, err := suite.Load(bench)
-	if err != nil {
-		b.Fatal(err)
-	}
-	var last *analysis.Result
+	var rows []report.Row
 	for i := 0; i < b.N; i++ {
-		last = runPipeline(b, analysis.Request{
-			Prog: prog, Spec: spec, Limits: cfg.Limits(),
-		})
+		var err error
+		rows, err = figures.FigPerf(cfg, deep)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
-	reportResult(b, last)
-}
-
-func benchIntro(b *testing.B, bench, deep string, h introspect.Heuristic) {
-	b.Helper()
-	prog, err := suite.Load(bench)
-	if err != nil {
-		b.Fatal(err)
-	}
-	var last *analysis.Result
-	for i := 0; i < b.N; i++ {
-		last = runPipeline(b, analysis.Request{
-			Prog: prog, Spec: deep, Heuristic: h, Limits: cfg.Limits(),
-		})
-	}
-	reportResult(b, last)
-}
-
-// reportResult attaches the figure's y-axis values to the benchmark
-// output: the work count (deterministic time proxy) and the three
-// precision metrics. A timeout (the paper's missing bars) is reported
-// as timeout=1.
-func reportResult(b *testing.B, res *analysis.Result) {
-	b.Helper()
-	if res == nil {
-		return
-	}
-	b.ReportMetric(float64(res.Main.Work), "work")
-	if !res.Main.Complete {
-		b.ReportMetric(1, "timeout")
-		return
-	}
-	p := res.Precision
-	b.ReportMetric(float64(p.PolyVCalls), "polycalls")
-	b.ReportMetric(float64(p.ReachableMethods), "reachable")
-	b.ReportMetric(float64(p.MayFailCasts), "maycasts")
+	reportRows(b, rows)
 }

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	introbench            # all figures
-//	introbench -fig 5     # just Figure 5 (2objH variants)
-//	introbench -budget N  # override the timeout budget
+//	introbench             # all figures
+//	introbench -fig 5      # just Figure 5 (2objH variants)
+//	introbench -budget N   # override the timeout budget
+//	introbench -parallel N # cap concurrent analysis runs (0 = GOMAXPROCS)
 //
 // Figure numbers follow the paper: 1 (insens vs 2objH, all benchmarks),
 // 4 (refinement-exclusion percentages), 5 (2objH variants), 6 (2typeH
@@ -36,6 +37,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("introbench", flag.ContinueOnError)
 	fig := fs.Int("fig", 0, "figure to regenerate (1, 4, 5, 6, 7); 0 = all")
 	budget := fs.Int64("budget", 0, "work budget standing in for the paper's 90min timeout (0 = default)")
+	parallel := fs.Int("parallel", 0, "concurrent analysis runs per figure (0 = GOMAXPROCS); output is identical at any setting")
 	ablation := fs.Bool("ablation", false, "run the heuristic-constant robustness sweep instead of the figures")
 	syntactic := fs.Bool("syntactic", false, "run the traditional syntactic-heuristics baseline on the pathological benchmarks")
 	if err := fs.Parse(args); err != nil {
@@ -48,7 +50,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("no figure %d (have 1, 4, 5, 6, 7)", *fig)
 	}
 
-	cfg := figures.Config{Budget: *budget}
+	cfg := figures.Config{Budget: *budget, Parallel: *parallel}
 	if *ablation {
 		for _, deep := range []string{"2objH", "2typeH", "2callH"} {
 			rows, err := figures.Ablation(cfg, deep, []float64{0.5, 1, 2})

@@ -2,11 +2,16 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"os"
 	"path/filepath"
 	"regexp"
 	"testing"
 )
+
+// updateGolden refreshes testdata/fig5.golden instead of comparing
+// against it. Pass it through go test's -args separator.
+var updateGolden = flag.Bool("update", false, "rewrite golden files instead of comparing")
 
 // msColumn matches the trailing wall-clock milliseconds column, the
 // only nondeterministic part of the figure tables. The golden file has
@@ -21,7 +26,7 @@ var msColumn = regexp.MustCompile(`(?m) +\d+$`)
 //
 // Refresh after an intentional change with:
 //
-//	go test ./cmd/introbench -run Fig5Golden -update
+//	go test ./cmd/introbench -run Fig5Golden -args -update
 func TestFig5Golden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("regenerates a full figure; skipped with -short")
@@ -33,7 +38,7 @@ func TestFig5Golden(t *testing.T) {
 	got := msColumn.ReplaceAll(buf.Bytes(), []byte("        -"))
 
 	golden := filepath.Join("testdata", "fig5.golden")
-	if update() {
+	if *updateGolden {
 		if err := os.WriteFile(golden, got, 0o644); err != nil {
 			t.Fatal(err)
 		}
@@ -46,13 +51,4 @@ func TestFig5Golden(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Errorf("figure 5 output differs from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
-}
-
-func update() bool {
-	for _, a := range os.Args {
-		if a == "-update" || a == "--update" {
-			return true
-		}
-	}
-	return false
 }

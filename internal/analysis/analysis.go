@@ -63,6 +63,16 @@ type Request struct {
 	// Spec must name the deep analysis.
 	Syntactic *introspect.SyntacticOptions
 
+	// First, if non-nil, is a completed context-insensitive result to
+	// inject as the introspective pipeline's pre-pass instead of
+	// solving one. The pre-pass is a pure function of the program, so
+	// callers running many introspective variants of one benchmark
+	// (the figure fleets) share a single insensitive solve this way
+	// without changing any output. Only valid for pipelines that have
+	// a pre-pass stage; the result must be complete and for the same
+	// program the request resolves to.
+	First *pta.Result
+
 	Limits Limits
 	// Observer receives stage lifecycle and progress callbacks; nil
 	// means NopObserver.
@@ -190,6 +200,24 @@ func prePassStage() stage {
 		r, st, err := solvePass(ctx, StagePrePass, p.req, res.Prog, pol, tab)
 		res.First = r
 		return st, err
+	}}
+}
+
+// injectPrePassStage replaces the pre-pass solve with a result the
+// caller already has. It keeps the stage in the pipeline (observers
+// still see it start and finish) but does no solver work — its Stats
+// carry the injected pass's counters; Wall reflects only the injection
+// itself.
+func injectPrePassStage(first *pta.Result) stage {
+	return stage{name: StagePrePass, run: func(ctx context.Context, p *Pipeline, res *Result) (Stats, error) {
+		if !first.Complete {
+			return Stats{}, fmt.Errorf("analysis: stage %s: injected pre-pass result is incomplete", StagePrePass)
+		}
+		if first.Prog != res.Prog {
+			return Stats{}, fmt.Errorf("analysis: stage %s: injected pre-pass result is for a different program", StagePrePass)
+		}
+		res.First = first
+		return collectStats(first), nil
 	}}
 }
 

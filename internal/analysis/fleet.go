@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunResult pairs one Request's outcome with the error Run returned
+// for it. Exactly the Run contract applies: a timed-out main pass
+// yields both a populated Result and a *BudgetExceededError.
+type RunResult struct {
+	Result *Result
+	Err    error
+}
+
+// RunAll executes every request through Run on a bounded worker pool
+// and returns the outcomes in request order, so callers can assemble
+// figure rows positionally regardless of completion order.
+//
+// workers <= 0 selects GOMAXPROCS; any value is capped at GOMAXPROCS
+// (more workers than schedulable threads only adds contention on the
+// solver's memory-bound inner loops) and at len(reqs).
+//
+// Cancelling ctx stops the fleet promptly: in-flight runs abort at
+// their next stage boundary or solver check, and requests not yet
+// started are not started — their slot reports the context error.
+// Each run is fully isolated (own pta.Table, own solver state), so
+// concurrent results are bit-for-bit identical to sequential ones.
+func RunAll(ctx context.Context, reqs []Request, workers int) []RunResult {
+	max := runtime.GOMAXPROCS(0)
+	if workers <= 0 || workers > max {
+		workers = max
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+
+	out := make([]RunResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					out[i].Err = fmt.Errorf("analysis: not started: %w", err)
+					continue
+				}
+				out[i].Result, out[i].Err = Run(ctx, reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

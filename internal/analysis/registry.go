@@ -117,6 +117,9 @@ func NewPipeline(req *Request) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	if req.First != nil && (sel == nil || !sel.NeedsPrePass()) {
+		return nil, fmt.Errorf("analysis: Request.First requires a pipeline with a pre-pass stage, got %q", req.Spec)
+	}
 
 	p := &Pipeline{req: req}
 	if req.Source != nil {
@@ -131,7 +134,12 @@ func NewPipeline(req *Request) (*Pipeline, error) {
 		}
 		p.Name = ps.String() + "-" + sel.Name()
 		if sel.NeedsPrePass() {
-			p.stages = append(p.stages, prePassStage(), metricsStage())
+			if req.First != nil {
+				p.stages = append(p.stages, injectPrePassStage(req.First))
+			} else {
+				p.stages = append(p.stages, prePassStage())
+			}
+			p.stages = append(p.stages, metricsStage())
 		}
 		p.stages = append(p.stages, selectionStage(sel), mainPassIntrospective(ps))
 	}

@@ -1,0 +1,113 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Microbenchmarks for the set primitives the solver leans on, sized
+// after real points-to workloads: a few thousand elements drawn from a
+// few hundred thousand ids, both dense (insensitive runs) and clustered
+// high (context explosions hand out large hc ids late — the case the
+// offset representation exists for).
+
+// randSet builds a set of n elements drawn from [lo, lo+span).
+func randSet(r *rand.Rand, n int, lo, span int32) *Set {
+	s := &Set{}
+	for i := 0; i < n; i++ {
+		s.Add(lo + r.Int31n(span))
+	}
+	return s
+}
+
+func BenchmarkAddDense(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]int32, 4096)
+	for i := range xs {
+		xs[i] = r.Int31n(1 << 14)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s Set
+		for _, x := range xs {
+			s.Add(x)
+		}
+	}
+}
+
+// BenchmarkAddHighIDs inserts ids clustered near 150k into fresh sets —
+// the allocation pattern of a context explosion. The offset
+// representation keeps each set a few words instead of a ~19 KB
+// zero-prefixed array.
+func BenchmarkAddHighIDs(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	xs := make([]int32, 256)
+	for i := range xs {
+		xs[i] = 150_000 + r.Int31n(4096)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s Set
+		for _, x := range xs {
+			s.Add(x)
+		}
+	}
+}
+
+// benchUnion compares the per-element primitive (UnionInto, which
+// materializes the delta as []int32) against the word-parallel kernel
+// (UnionWordsInto, which keeps the delta as a set) on the same data.
+func benchUnion(b *testing.B, n int, lo, span int32, words bool) {
+	b.Helper()
+	r := rand.New(rand.NewSource(3))
+	src := randSet(r, n, lo, span)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var dst, delta Set
+		var buf []int32
+		if words {
+			dst.UnionWordsInto(src, &delta)
+			dst.UnionWordsInto(src, &delta) // second call: all-duplicate fast path
+		} else {
+			buf = dst.UnionInto(src, buf[:0])
+			buf = dst.UnionInto(src, buf[:0])
+		}
+	}
+}
+
+func BenchmarkUnionIntoDense(b *testing.B)    { benchUnion(b, 4096, 0, 1<<14, false) }
+func BenchmarkUnionWordsDense(b *testing.B)   { benchUnion(b, 4096, 0, 1<<14, true) }
+func BenchmarkUnionIntoHighIDs(b *testing.B)  { benchUnion(b, 4096, 150_000, 1<<14, false) }
+func BenchmarkUnionWordsHighIDs(b *testing.B) { benchUnion(b, 4096, 150_000, 1<<14, true) }
+func BenchmarkUnionIntoSparse(b *testing.B)   { benchUnion(b, 128, 0, 1<<18, false) }
+func BenchmarkUnionWordsSparse(b *testing.B)  { benchUnion(b, 128, 0, 1<<18, true) }
+
+// BenchmarkUnionWordsMasked exercises the filtered kernel the solver
+// uses for type-filtered load/store propagation: src minus skip,
+// intersected with mask.
+func BenchmarkUnionWordsMasked(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	src := randSet(r, 4096, 0, 1<<14)
+	skip := randSet(r, 2048, 0, 1<<14)
+	mask := randSet(r, 8192, 0, 1<<14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var dst, delta Set
+		dst.UnionWordsDiffMaskedInto(src, skip, mask, &delta)
+	}
+}
+
+// BenchmarkForEachDiff measures the iteration primitive behind the
+// solver's filter-cache fill.
+func BenchmarkForEachDiff(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	s := randSet(r, 4096, 0, 1<<14)
+	o := randSet(r, 2048, 0, 1<<14)
+	var n int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n = 0
+		s.ForEachDiff(o, func(int32) { n++ })
+	}
+	_ = n
+}

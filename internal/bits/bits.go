@@ -5,6 +5,13 @@
 // ints. Set is a thin, allocation-conscious wrapper around a []uint64
 // that supports the operations the solver needs: insert, membership,
 // difference-aware union, iteration, and cardinality.
+//
+// The backing array is offset-based: words[0] holds the elements of
+// 64-bit word number off, not word 0. Heap-context ids are handed out
+// in discovery order, so the sets materialized late in an exploding
+// context-sensitive run hold only recent (large) ids; anchoring the
+// array at the set's smallest word avoids allocating and zeroing an
+// all-zero prefix of tens of kilobytes per set.
 package bits
 
 import "math/bits"
@@ -13,14 +20,16 @@ const wordBits = 64
 
 // Set is a growable bitset. The zero value is an empty set ready to use.
 type Set struct {
+	// off is the conceptual word index of words[0].
+	off   int
 	words []uint64
 }
 
 // Add inserts x and reports whether the set changed.
 func (s *Set) Add(x int32) bool {
-	w := int(x) / wordBits
-	if w >= len(s.words) {
-		s.grow(w + 1)
+	w := int(x)/wordBits - s.off
+	if w < 0 || w >= len(s.words) {
+		w = s.extend(int(x) / wordBits)
 	}
 	mask := uint64(1) << (uint(x) % wordBits)
 	if s.words[w]&mask != 0 {
@@ -32,8 +41,8 @@ func (s *Set) Add(x int32) bool {
 
 // Has reports whether x is in the set.
 func (s *Set) Has(x int32) bool {
-	w := int(x) / wordBits
-	if w >= len(s.words) {
+	w := int(x)/wordBits - s.off
+	if w < 0 || w >= len(s.words) {
 		return false
 	}
 	return s.words[w]&(uint64(1)<<(uint(x)%wordBits)) != 0
@@ -41,8 +50,8 @@ func (s *Set) Has(x int32) bool {
 
 // Remove deletes x and reports whether the set changed.
 func (s *Set) Remove(x int32) bool {
-	w := int(x) / wordBits
-	if w >= len(s.words) {
+	w := int(x)/wordBits - s.off
+	if w < 0 || w >= len(s.words) {
 		return false
 	}
 	mask := uint64(1) << (uint(x) % wordBits)
@@ -72,27 +81,33 @@ func (s *Set) Empty() bool {
 	return true
 }
 
-// Clear removes all elements but keeps the backing storage.
+// Clear removes all elements but keeps the backing storage: the next
+// Add re-anchors the array wherever the new contents live.
 func (s *Set) Clear() {
 	for i := range s.words {
 		s.words[i] = 0
 	}
+	s.words = s.words[:0]
+	s.off = 0
 }
 
 // UnionInto adds every element of src to s and appends each newly added
 // element to delta. It returns the extended delta slice. This is the
-// solver's difference-propagation primitive.
+// per-element form of the solver's difference-propagation primitive.
 func (s *Set) UnionInto(src *Set, delta []int32) []int32 {
-	if len(src.words) > len(s.words) {
-		s.grow(len(src.words))
+	n := len(src.words)
+	if n == 0 {
+		return delta
 	}
+	s.reserve(src.off, src.off+n)
+	so := src.off - s.off
 	for i, sw := range src.words {
-		diff := sw &^ s.words[i]
+		diff := sw &^ s.words[i+so]
 		if diff == 0 {
 			continue
 		}
-		s.words[i] |= diff
-		base := int32(i * wordBits)
+		s.words[i+so] |= diff
+		base := int32((i + src.off) * wordBits)
 		for diff != 0 {
 			b := bits.TrailingZeros64(diff)
 			delta = append(delta, base+int32(b))
@@ -102,15 +117,126 @@ func (s *Set) UnionInto(src *Set, delta []int32) []int32 {
 	return delta
 }
 
+// unionWords is the word-parallel union kernel behind the UnionWords*
+// family: it ORs the elements of src — minus the elements of skip,
+// intersected with mask, when those are non-nil — into s, ORs the bits
+// that were actually new to s into delta, and returns the number of new
+// bits plus the number of candidate elements scanned (src minus skip,
+// before the mask is applied — the count a per-element propagation loop
+// would have touched, which the solver charges its work budget for).
+func (s *Set) unionWords(src, skip, mask, delta *Set) (added, scanned int) {
+	n := len(src.words)
+	if n == 0 {
+		return 0, 0
+	}
+	s.reserve(src.off, src.off+n)
+	delta.reserve(src.off, src.off+n)
+	so := src.off - s.off
+	do := src.off - delta.off
+	sw := s.words
+	dw := delta.words
+	for i, w := range src.words {
+		if skip != nil {
+			if j := i + src.off - skip.off; j >= 0 && j < len(skip.words) {
+				w &^= skip.words[j]
+			}
+		}
+		if w == 0 {
+			continue
+		}
+		scanned += bits.OnesCount64(w)
+		if mask != nil {
+			j := i + src.off - mask.off
+			if j < 0 || j >= len(mask.words) {
+				continue
+			}
+			w &= mask.words[j]
+		}
+		diff := w &^ sw[i+so]
+		if diff == 0 {
+			continue
+		}
+		sw[i+so] |= diff
+		dw[i+do] |= diff
+		added += bits.OnesCount64(diff)
+	}
+	return added, scanned
+}
+
+// UnionWordsInto ORs every element of src into s a whole word at a
+// time, records the elements that were new to s in delta, and returns
+// how many there were. It is the batched form of calling Add for each
+// element of src while appending the successful ones to a delta set —
+// the solver's word-parallel difference-propagation primitive.
+func (s *Set) UnionWordsInto(src, delta *Set) (added int) {
+	added, _ = s.unionWords(src, nil, nil, delta)
+	return added
+}
+
+// UnionWordsMaskedInto is UnionWordsInto restricted to the elements of
+// src that are also in mask (the solver's cached filter verdicts).
+func (s *Set) UnionWordsMaskedInto(src, mask, delta *Set) (added int) {
+	added, _ = s.unionWords(src, nil, mask, delta)
+	return added
+}
+
+// UnionWordsDiffInto is UnionWordsInto restricted to the elements of
+// src that are NOT in skip. It returns the new-element count and the
+// number of src-minus-skip elements scanned.
+func (s *Set) UnionWordsDiffInto(src, skip, delta *Set) (added, scanned int) {
+	return s.unionWords(src, skip, nil, delta)
+}
+
+// UnionWordsDiffMaskedInto combines UnionWordsDiffInto and
+// UnionWordsMaskedInto: elements of src minus skip, intersected with
+// mask. scanned counts src-minus-skip elements before the mask.
+func (s *Set) UnionWordsDiffMaskedInto(src, skip, mask, delta *Set) (added, scanned int) {
+	return s.unionWords(src, skip, mask, delta)
+}
+
+// DiffLen returns the number of elements of s that are not in o.
+func (s *Set) DiffLen(o *Set) int {
+	n := 0
+	for i, w := range s.words {
+		if j := i + s.off - o.off; j >= 0 && j < len(o.words) {
+			w &^= o.words[j]
+		}
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEachDiff calls fn for each element of s that is not in o, in
+// ascending order. fn may add elements to o (the solver's filter cache
+// fills its known set this way); it must not mutate s.
+func (s *Set) ForEachDiff(o *Set, fn func(int32)) {
+	for i := 0; i < len(s.words); i++ {
+		w := s.words[i]
+		// Re-derive o's geometry each word: fn may have grown o.
+		if j := i + s.off - o.off; j >= 0 && j < len(o.words) {
+			w &^= o.words[j]
+		}
+		base := int32((i + s.off) * wordBits)
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(base + int32(b))
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
 // Union adds every element of src to s and reports whether s changed.
 func (s *Set) Union(src *Set) bool {
-	if len(src.words) > len(s.words) {
-		s.grow(len(src.words))
+	n := len(src.words)
+	if n == 0 {
+		return false
 	}
+	s.reserve(src.off, src.off+n)
+	so := src.off - s.off
 	changed := false
 	for i, sw := range src.words {
-		if sw&^s.words[i] != 0 {
-			s.words[i] |= sw
+		if sw&^s.words[i+so] != 0 {
+			s.words[i+so] |= sw
 			changed = true
 		}
 	}
@@ -120,7 +246,7 @@ func (s *Set) Union(src *Set) bool {
 // ForEach calls fn for each element in ascending order.
 func (s *Set) ForEach(fn func(int32)) {
 	for i, w := range s.words {
-		base := int32(i * wordBits)
+		base := int32((i + s.off) * wordBits)
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
 			fn(base + int32(b))
@@ -138,31 +264,90 @@ func (s *Set) Elems() []int32 {
 
 // Clone returns an independent copy of the set.
 func (s *Set) Clone() *Set {
-	c := &Set{words: make([]uint64, len(s.words))}
+	c := &Set{off: s.off, words: make([]uint64, len(s.words))}
 	copy(c.words, s.words)
 	return c
 }
 
-// Equal reports whether s and o contain the same elements.
+// Equal reports whether s and o contain the same elements. Words
+// outside either array are zero by construction, so comparing over the
+// union of the two ranges suffices.
 func (s *Set) Equal(o *Set) bool {
-	longer, shorter := s.words, o.words
-	if len(shorter) > len(longer) {
-		longer, shorter = shorter, longer
+	lo, hi := s.off, s.off+len(s.words)
+	if len(s.words) == 0 {
+		lo, hi = o.off, o.off
 	}
-	for i, w := range shorter {
-		if w != longer[i] {
-			return false
+	if o.off < lo && len(o.words) > 0 {
+		lo = o.off
+	}
+	if h := o.off + len(o.words); h > hi {
+		hi = h
+	}
+	for w := lo; w < hi; w++ {
+		var a, b uint64
+		if i := w - s.off; i >= 0 && i < len(s.words) {
+			a = s.words[i]
 		}
-	}
-	for _, w := range longer[len(shorter):] {
-		if w != 0 {
+		if j := w - o.off; j >= 0 && j < len(o.words) {
+			b = o.words[j]
+		}
+		if a != b {
 			return false
 		}
 	}
 	return true
 }
 
-func (s *Set) grow(n int) {
+// extend makes conceptual word w addressable and returns its index.
+func (s *Set) extend(w int) int {
+	if len(s.words) == 0 {
+		s.off = w
+		s.growTail(1)
+		return 0
+	}
+	if w < s.off {
+		s.rebase(w)
+	} else if w >= s.off+len(s.words) {
+		s.growTail(w - s.off + 1)
+	}
+	return w - s.off
+}
+
+// reserve makes conceptual words [lo, hi) addressable.
+func (s *Set) reserve(lo, hi int) {
+	if len(s.words) == 0 {
+		s.off = lo
+		s.growTail(hi - lo)
+		return
+	}
+	if lo < s.off {
+		s.rebase(lo)
+	}
+	if n := hi - s.off; n > len(s.words) {
+		s.growTail(n)
+	}
+}
+
+// rebase re-anchors the array so that conceptual word lo (plus
+// proportional headroom, so descending insertions amortize) is
+// addressable.
+func (s *Set) rebase(lo int) {
+	newOff := lo - (len(s.words)/2 + 1)
+	if newOff < 0 {
+		newOff = 0
+	}
+	shift := s.off - newOff
+	n := len(s.words) + shift
+	nw := make([]uint64, n, n+n/2+4)
+	copy(nw[shift:], s.words)
+	s.words = nw
+	s.off = newOff
+}
+
+// growTail ensures len(s.words) >= n, preserving contents. Storage past
+// the old length is zero by construction: freshly made arrays are
+// zeroed, and Clear zeroes before truncating.
+func (s *Set) growTail(n int) {
 	if cap(s.words) >= n {
 		s.words = s.words[:n]
 		return

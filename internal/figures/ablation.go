@@ -1,11 +1,13 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"introspect/internal/analysis"
 	"introspect/internal/introspect"
+	"introspect/internal/pta"
 	"introspect/internal/report"
 	"introspect/internal/suite"
 )
@@ -50,37 +52,53 @@ func scaledB(f float64) introspect.Heuristic {
 
 // Ablation runs the sweep for one deep analysis over the experimental
 // subjects. The insensitive and full runs are shared across scales
-// (they do not depend on the heuristic constants).
+// (they do not depend on the heuristic constants), and each subject's
+// insensitive result doubles as every introspective run's pre-pass
+// (Request.First) — one insensitive solve per subject for the whole
+// sweep.
 func Ablation(cfg Config, deep string, scales []float64) ([]AblationRow, error) {
+	subjects := suite.ExperimentalSubjects()
+	var shared []analysis.Request
+	for _, b := range subjects {
+		shared = append(shared, fullReq(b, "insens", cfg.Limits()), fullReq(b, deep, cfg.Limits()))
+	}
+	sharedRes := analysis.RunAll(context.Background(), shared, cfg.Parallel)
 	ins := map[string]report.Row{}
 	full := map[string]report.Row{}
-	for _, b := range suite.ExperimentalSubjects() {
-		ri, err := runFull(b, "insens", cfg.Limits())
+	firsts := map[string]*pta.Result{}
+	for i, b := range subjects {
+		insRow, err := rowOf(shared[2*i], sharedRes[2*i])
 		if err != nil {
 			return nil, err
 		}
-		ins[b] = ri
-		rf, err := runFull(b, deep, cfg.Limits())
+		fullRow, err := rowOf(shared[2*i+1], sharedRes[2*i+1])
 		if err != nil {
 			return nil, err
 		}
-		full[b] = rf
+		ins[b] = insRow
+		full[b] = fullRow
+		firsts[b] = sharedFirst(sharedRes[2*i])
 	}
 
 	var rows []AblationRow
 	for _, scale := range scales {
 		for _, h := range []introspect.Heuristic{scaledA(scale), scaledB(scale)} {
 			row := AblationRow{Scale: scale, Heuristic: h.Name(), Retention: -1}
+			reqs := make([]analysis.Request, len(subjects))
+			for i, b := range subjects {
+				reqs[i] = introReq(b, deep, h, cfg.Limits())
+				reqs[i].First = firsts[b]
+			}
+			introRows, err := runAll(cfg, reqs)
+			if err != nil {
+				return nil, err
+			}
 			var figRows []report.Row
-			for _, b := range suite.ExperimentalSubjects() {
-				ri, _, err := runIntro(b, deep, h, cfg.Limits())
-				if err != nil {
-					return nil, err
-				}
-				if ri.TimedOut {
+			for i, b := range subjects {
+				if introRows[i].TimedOut {
 					row.Timeouts = append(row.Timeouts, b)
 				}
-				figRows = append(figRows, ins[b], ri, full[b])
+				figRows = append(figRows, ins[b], introRows[i], full[b])
 			}
 			sum := Summary(figRows)
 			if v, ok := sum[bucketOf(h.Name())]; ok {
@@ -106,21 +124,17 @@ func bucketOf(name string) string {
 // classic syntactic exclusions on the benchmarks the paper reports as
 // non-terminating, and returns their rows (expected: still TIMEOUT).
 func SyntacticBaseline(cfg Config, deep string, benchmarks []string) ([]report.Row, error) {
-	var rows []report.Row
-	for _, b := range benchmarks {
+	reqs := make([]analysis.Request, len(benchmarks))
+	for i, b := range benchmarks {
 		so := introspect.DefaultSyntactic()
-		row, _, err := run(analysis.Request{
+		reqs[i] = analysis.Request{
 			Source:    &analysis.Source{Bench: b},
 			Spec:      deep,
 			Syntactic: &so,
 			Limits:    cfg.Limits(),
-		})
-		if err != nil {
-			return nil, err
 		}
-		rows = append(rows, row)
 	}
-	return rows, nil
+	return runAll(cfg, reqs)
 }
 
 // FormatAblation renders the sweep.

@@ -17,6 +17,7 @@ import (
 
 	"introspect/internal/analysis"
 	"introspect/internal/introspect"
+	"introspect/internal/pta"
 	"introspect/internal/report"
 	"introspect/internal/suite"
 )
@@ -26,6 +27,11 @@ type Config struct {
 	// Budget is the per-run work budget standing in for the paper's
 	// 90-minute timeout. 0 means DefaultBudget.
 	Budget int64
+	// Parallel is the number of analysis runs in flight at once
+	// (passed to analysis.RunAll): <= 0 means GOMAXPROCS. Figure
+	// output is identical at any setting — runs are isolated and
+	// rows are assembled in request order.
+	Parallel int
 }
 
 // DefaultBudget reproduces the paper's timeout behavior on this suite:
@@ -56,6 +62,52 @@ func run(req analysis.Request) (report.Row, *analysis.Result, error) {
 	return report.Row{Benchmark: req.Source.Bench, Precision: *res.Precision}, res, nil
 }
 
+// rowOf applies run's error policy to one fleet outcome: a
+// budget-exhausted main pass with a measured result is a TIMEOUT row,
+// anything else is an error.
+func rowOf(req analysis.Request, rr analysis.RunResult) (report.Row, error) {
+	if rr.Err != nil {
+		var be *analysis.BudgetExceededError
+		if !errors.As(rr.Err, &be) || rr.Result == nil || rr.Result.Precision == nil {
+			return report.Row{}, rr.Err
+		}
+	}
+	return report.Row{Benchmark: req.Source.Bench, Precision: *rr.Result.Precision}, nil
+}
+
+// runAll executes the requests through the bounded-parallel fleet
+// runner and renders each outcome as a table row, in request order.
+func runAll(cfg Config, reqs []analysis.Request) ([]report.Row, error) {
+	rows := make([]report.Row, len(reqs))
+	for i, rr := range analysis.RunAll(context.Background(), reqs, cfg.Parallel) {
+		row, err := rowOf(reqs[i], rr)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// fullReq builds a plain single-pass analysis request.
+func fullReq(name, spec string, lim analysis.Limits) analysis.Request {
+	return analysis.Request{
+		Source: &analysis.Source{Bench: name},
+		Spec:   spec,
+		Limits: lim,
+	}
+}
+
+// introReq builds an introspective-pipeline request.
+func introReq(name, spec string, h introspect.Heuristic, lim analysis.Limits) analysis.Request {
+	return analysis.Request{
+		Source:    &analysis.Source{Bench: name},
+		Spec:      spec,
+		Heuristic: h,
+		Limits:    lim,
+	}
+}
+
 // runFull runs a plain analysis on a benchmark.
 func runFull(name, spec string, lim analysis.Limits) (report.Row, error) {
 	row, _, err := run(analysis.Request{
@@ -84,17 +136,13 @@ func runIntro(name, spec string, h introspect.Heuristic, lim analysis.Limits) (r
 // on all nine benchmarks, demonstrating the bimodal behavior of deep
 // context-sensitivity.
 func Fig1(cfg Config) ([]report.Row, error) {
-	var rows []report.Row
+	var reqs []analysis.Request
 	for _, b := range suite.Names() {
 		for _, a := range []string{"insens", "2objH"} {
-			r, err := runFull(b, a, cfg.Limits())
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, r)
+			reqs = append(reqs, fullReq(b, a, cfg.Limits()))
 		}
 	}
-	return rows, nil
+	return runAll(cfg, reqs)
 }
 
 // Fig4Row is one line of the Figure 4 table: the percentage of call
@@ -107,23 +155,23 @@ type Fig4Row struct {
 
 // Fig4 reproduces the Figure 4 table.
 func Fig4(cfg Config) ([]Fig4Row, error) {
+	subjects := suite.Figure4Subjects()
+	reqs := make([]analysis.Request, len(subjects))
+	for i, b := range subjects {
+		reqs[i] = fullReq(b, "insens", cfg.Limits())
+	}
 	var rows []Fig4Row
-	for _, b := range suite.Figure4Subjects() {
-		res, err := analysis.Run(context.Background(), analysis.Request{
-			Source: &analysis.Source{Bench: b},
-			Spec:   "insens",
-			Limits: cfg.Limits(),
-		})
-		if err != nil {
+	for i, rr := range analysis.RunAll(context.Background(), reqs, cfg.Parallel) {
+		if rr.Err != nil {
 			var be *analysis.BudgetExceededError
-			if !errors.As(err, &be) || res == nil || res.Main == nil {
-				return nil, err
+			if !errors.As(rr.Err, &be) || rr.Result == nil || rr.Result.Main == nil {
+				return nil, rr.Err
 			}
 		}
-		selA := introspect.Select(res.Main, introspect.DefaultA())
-		selB := introspect.Select(res.Main, introspect.DefaultB())
+		selA := introspect.Select(rr.Result.Main, introspect.DefaultA())
+		selB := introspect.Select(rr.Result.Main, introspect.DefaultB())
 		rows = append(rows, Fig4Row{
-			Benchmark:  b,
+			Benchmark:  subjects[i],
 			CallSitesA: selA.PctCallSites(), CallSitesB: selB.PctCallSites(),
 			ObjectsA: selA.PctObjects(), ObjectsB: selB.PctObjects(),
 		})
@@ -164,34 +212,54 @@ func Variants(deep string) []string {
 // FigPerf reproduces one of Figures 5 (deep="2objH"), 6 ("2typeH"), or
 // 7 ("2callH"): running cost plus the three precision metrics for the
 // four analysis variants over the six experimental subjects.
+//
+// The insensitive fleet runs first and doubles as the introspective
+// variants' pre-pass (Request.First), so each benchmark is solved
+// context-insensitively once instead of three times. The rows are
+// identical either way — the pre-pass is a pure function of the
+// program.
 func FigPerf(cfg Config, deep string) ([]report.Row, error) {
-	var rows []report.Row
-	for _, b := range suite.ExperimentalSubjects() {
-		r, err := runFull(b, "insens", cfg.Limits())
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
+	subjects := suite.ExperimentalSubjects()
+	insReqs := make([]analysis.Request, len(subjects))
+	for i, b := range subjects {
+		insReqs[i] = fullReq(b, "insens", cfg.Limits())
+	}
+	insRes := analysis.RunAll(context.Background(), insReqs, cfg.Parallel)
 
-		ra, _, err := runIntro(b, deep, introspect.DefaultA(), cfg.Limits())
+	insRows := make([]report.Row, len(subjects))
+	var rest []analysis.Request
+	for i, b := range subjects {
+		row, err := rowOf(insReqs[i], insRes[i])
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, ra)
-
-		rb, _, err := runIntro(b, deep, introspect.DefaultB(), cfg.Limits())
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, rb)
-
-		rf, err := runFull(b, deep, cfg.Limits())
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, rf)
+		insRows[i] = row
+		first := sharedFirst(insRes[i])
+		ra := introReq(b, deep, introspect.DefaultA(), cfg.Limits())
+		rb := introReq(b, deep, introspect.DefaultB(), cfg.Limits())
+		ra.First, rb.First = first, first
+		rest = append(rest, ra, rb, fullReq(b, deep, cfg.Limits()))
+	}
+	restRows, err := runAll(cfg, rest)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]report.Row, 0, 4*len(subjects))
+	for i := range subjects {
+		rows = append(rows, insRows[i], restRows[3*i], restRows[3*i+1], restRows[3*i+2])
 	}
 	return rows, nil
+}
+
+// sharedFirst extracts from an insensitive fleet outcome a result
+// suitable for injection as Request.First. A failed or timed-out run
+// yields nil: the introspective pipeline then solves its own pre-pass
+// and reproduces the original (failing) behavior exactly.
+func sharedFirst(rr analysis.RunResult) *pta.Result {
+	if rr.Err != nil || rr.Result == nil || rr.Result.Main == nil || !rr.Result.Main.Complete {
+		return nil
+	}
+	return rr.Result.Main
 }
 
 // FigNumber maps a deep analysis to its paper figure number.

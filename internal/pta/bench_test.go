@@ -62,3 +62,59 @@ func BenchmarkContextTable(b *testing.B) {
 		_ = tab.Prefix(c, 1)
 	}
 }
+
+// --- interning kernels ---
+//
+// The solver re-interns node and heap-context keys on every constraint
+// it touches, so these tables are lookup-dominated: the benchmarks
+// model one insert followed by many hits, against the Go map they
+// replaced.
+
+const internKeys = 1 << 14
+
+func internKey(i int) uint64 {
+	// Sequential packed keys, like nodeKey/hcKey output.
+	return uint64(i)<<32 | uint64(i*3)
+}
+
+func BenchmarkInternTable(b *testing.B) {
+	var t internTable
+	for i := 0; i < internKeys; i++ {
+		t.put(internKey(i), int32(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v, ok := t.get(internKey(i % internKeys)); !ok || v != int32(i%internKeys) {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+func BenchmarkInternGoMap(b *testing.B) {
+	m := make(map[uint64]int32)
+	for i := 0; i < internKeys; i++ {
+		m[internKey(i)] = int32(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v, ok := m[internKey(i%internKeys)]; !ok || v != int32(i%internKeys) {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+// BenchmarkPairSetInsert measures the call-graph-edge dedup set: mostly
+// duplicate insertions once the graph saturates.
+func BenchmarkPairSetInsert(b *testing.B) {
+	var p pairSet
+	for i := 0; i < internKeys; i++ {
+		p.insert(internKey(i), internKey(i*7))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % internKeys
+		if p.insert(internKey(k), internKey(k*7)) {
+			b.Fatal("expected duplicate")
+		}
+	}
+}

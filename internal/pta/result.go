@@ -88,13 +88,15 @@ func (r *Result) InvoReached(i ir.InvoID) bool { return len(r.s.invoTargets[i]) 
 
 // NumCallGraphEdges returns the number of context-qualified call-graph
 // edges (invo, callerCtx, meth, calleeCtx).
-func (r *Result) NumCallGraphEdges() int { return len(r.s.cgSeen) }
+func (r *Result) NumCallGraphEdges() int { return r.s.cgSeen.len() }
 
-// ForEachCallGraphEdge visits every context-qualified call-graph edge.
+// ForEachCallGraphEdge visits every context-qualified call-graph edge,
+// in the deterministic order the edges were discovered.
 func (r *Result) ForEachCallGraphEdge(fn func(invo ir.InvoID, callerCtx Ctx, meth ir.MethodID, calleeCtx Ctx)) {
-	for k := range r.s.cgSeen {
-		fn(k.invo, k.callerCtx, k.meth, k.calleeCtx)
-	}
+	r.s.cgSeen.forEach(func(a, b uint64) {
+		invo, callerCtx, meth, calleeCtx := cgUnpack(a, b)
+		fn(invo, callerCtx, meth, calleeCtx)
+	})
 }
 
 // --- heap-context pairs ---
@@ -116,7 +118,7 @@ func (r *Result) NumHeapContexts() int { return len(r.s.hcHeap) }
 // set; pt elements are hc ids (use HeapOf/HCtxOf to decode).
 func (r *Result) ForEachVarCtx(fn func(v ir.VarID, ctx Ctx, pt *bits.Set)) {
 	for n := range r.s.kind {
-		if r.s.kind[n] == varNode && !r.s.pt[n].Empty() {
+		if r.s.kind[n] == varNode && r.s.ptLen[n] != 0 {
 			fn(ir.VarID(r.s.nodeA[n]), Ctx(r.s.nodeB[n]), &r.s.pt[n])
 		}
 	}
@@ -143,7 +145,7 @@ func (r *Result) VarPTSize() int64 {
 	var n int64
 	for i := range r.s.kind {
 		if r.s.kind[i] == varNode {
-			n += int64(r.s.pt[i].Len())
+			n += int64(r.s.ptLen[i])
 		}
 	}
 	return n
@@ -155,7 +157,7 @@ func (r *Result) VarPTSize() int64 {
 // points-to set.
 func (r *Result) ForEachFieldCell(fn func(baseHC int32, f ir.FieldID, pt *bits.Set)) {
 	for n := range r.s.kind {
-		if r.s.kind[n] == fieldNode && !r.s.pt[n].Empty() {
+		if r.s.kind[n] == fieldNode && r.s.ptLen[n] != 0 {
 			fn(r.s.nodeA[n], ir.FieldID(r.s.nodeB[n]), &r.s.pt[n])
 		}
 	}
@@ -167,7 +169,7 @@ func (r *Result) FieldPTSize() int64 {
 	var n int64
 	for i := range r.s.kind {
 		if r.s.kind[i] == fieldNode {
-			n += int64(r.s.pt[i].Len())
+			n += int64(r.s.ptLen[i])
 		}
 	}
 	return n

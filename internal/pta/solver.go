@@ -91,11 +91,26 @@ type callUse struct {
 	call *ir.Call
 }
 
-type cgKey struct {
-	invo      ir.InvoID
-	callerCtx Ctx
-	meth      ir.MethodID
-	calleeCtx Ctx
+// cgPack packs a context-qualified call-graph edge (invo, callerCtx,
+// meth, calleeCtx) into the pairSet's two-word key; cgUnpack inverts it.
+func cgPack(invo ir.InvoID, callerCtx Ctx, meth ir.MethodID, calleeCtx Ctx) (uint64, uint64) {
+	return uint64(uint32(invo))<<32 | uint64(uint32(callerCtx)),
+		uint64(uint32(meth))<<32 | uint64(uint32(calleeCtx))
+}
+
+func cgUnpack(a, b uint64) (ir.InvoID, Ctx, ir.MethodID, Ctx) {
+	return ir.InvoID(int32(a >> 32)), Ctx(int32(uint32(a))),
+		ir.MethodID(int32(b >> 32)), Ctx(int32(uint32(b)))
+}
+
+// filterCache memoizes cast-filter verdicts per hc id for one filter
+// type: known holds the hc ids whose verdict has been computed, pass
+// the subset whose dynamic type is a subtype of the filter. Because an
+// hc id's heap (and so its type) never changes, verdicts are stable,
+// and pass doubles as a word-level mask for batched propagation across
+// filtered edges.
+type filterCache struct {
+	known, pass bits.Set
 }
 
 type solver struct {
@@ -104,32 +119,44 @@ type solver struct {
 	tab  *Table
 
 	// Context-qualified heap objects, interned to dense ids ("hc ids").
-	hcIdx  map[uint64]int32
+	hcIdx  internTable
 	hcHeap []ir.HeapID
 	hcCtx  []HCtx
 
 	// Constraint-graph nodes.
-	nodeIdx   map[uint64]int32
-	kind      []nodeKind
-	nodeA     []int32 // var id | hc id | field id
-	nodeB     []int32 // ctx     | field | 0
-	pt        []bits.Set
-	delta     [][]int32
+	nodeIdx internTable
+	kind    []nodeKind
+	nodeA   []int32 // var id | hc id | field id
+	nodeB   []int32 // ctx     | field | 0
+	pt      []bits.Set
+	delta   []bits.Set
+	// ptLen and deltaLen track |pt[n]| and |delta[n]| incrementally
+	// (every insertion path knows how many bits it added), so
+	// cardinality queries never popcount-scan a set.
+	ptLen     []int32
+	deltaLen  []int32
 	succs     [][]edge
 	loadUses  [][]loadUse
 	storeUses [][]storeUse
 	callUses  [][]callUse
 	inWL      []bool
 	wl        []int32
+	// spares recycles drained delta sets (their backing storage) so a
+	// node's flush does not allocate.
+	spares []bits.Set
+	// filters caches per-(filter, hc) subtype verdicts (see filterCache).
+	filters map[ir.TypeID]*filterCache
 
 	// Reachable (method, context) pairs.
-	mcIdx     map[uint64]int32
+	mcIdx     internTable
 	mcMeth    []ir.MethodID
 	mcCtx     []Ctx
 	pendingMC []int32
 
-	// Call graph.
-	cgSeen      map[cgKey]struct{}
+	// Call graph, and the constraint-edge dedup set keyed by
+	// (src, dst, filter).
+	cgSeen      pairSet
+	edgeSeen    pairSet
 	invoTargets []map[ir.MethodID]struct{}
 
 	reachMeths bits.Set // distinct reachable methods
@@ -169,10 +196,7 @@ func Solve(ctx context.Context, prog *ir.Program, pol Policy, tab *Table, opts O
 		prog:        prog,
 		pol:         pol,
 		tab:         tab,
-		hcIdx:       make(map[uint64]int32),
-		nodeIdx:     make(map[uint64]int32),
-		mcIdx:       make(map[uint64]int32),
-		cgSeen:      make(map[cgKey]struct{}),
+		filters:     make(map[ir.TypeID]*filterCache),
 		invoTargets: make([]map[ir.MethodID]struct{}, prog.NumInvos()),
 		budget:      opts.budget(),
 		ctx:         ctx,
@@ -221,13 +245,13 @@ func Analyze(ctx context.Context, prog *ir.Program, analysis string, opts Option
 
 func (s *solver) internHC(h ir.HeapID, hc HCtx) int32 {
 	key := uint64(uint32(h))<<32 | uint64(uint32(hc))
-	if id, ok := s.hcIdx[key]; ok {
+	if id, ok := s.hcIdx.get(key); ok {
 		return id
 	}
 	id := int32(len(s.hcHeap))
 	s.hcHeap = append(s.hcHeap, h)
 	s.hcCtx = append(s.hcCtx, hc)
-	s.hcIdx[key] = id
+	s.hcIdx.put(key, id)
 	return id
 }
 
@@ -237,22 +261,53 @@ func nodeKey(k nodeKind, a, b int32) uint64 {
 
 func (s *solver) node(k nodeKind, a, b int32) int32 {
 	key := nodeKey(k, a, b)
-	if id, ok := s.nodeIdx[key]; ok {
+	if id, ok := s.nodeIdx.get(key); ok {
 		return id
 	}
 	id := int32(len(s.kind))
-	s.nodeIdx[key] = id
+	s.nodeIdx.put(key, id)
+	if len(s.kind) == cap(s.kind) {
+		s.growNodes()
+	}
 	s.kind = append(s.kind, k)
 	s.nodeA = append(s.nodeA, a)
 	s.nodeB = append(s.nodeB, b)
 	s.pt = append(s.pt, bits.Set{})
-	s.delta = append(s.delta, nil)
+	s.delta = append(s.delta, bits.Set{})
+	s.ptLen = append(s.ptLen, 0)
+	s.deltaLen = append(s.deltaLen, 0)
 	s.succs = append(s.succs, nil)
 	s.loadUses = append(s.loadUses, nil)
 	s.storeUses = append(s.storeUses, nil)
 	s.callUses = append(s.callUses, nil)
 	s.inWL = append(s.inWL, false)
 	return id
+}
+
+// growNodes doubles the capacity of every per-node parallel slice in
+// lockstep. node() is the only append site, so the slices share one
+// length; doubling them together keeps append's growth policy — which
+// decays toward 1.25x for large slices and so reallocates (and zeroes)
+// multi-megabyte arrays repeatedly during a context explosion — out of
+// the solver's hottest path.
+func (s *solver) growNodes() {
+	n := len(s.kind)
+	c := 2 * n
+	if c < 1024 {
+		c = 1024
+	}
+	s.kind = append(make([]nodeKind, 0, c), s.kind...)
+	s.nodeA = append(make([]int32, 0, c), s.nodeA...)
+	s.nodeB = append(make([]int32, 0, c), s.nodeB...)
+	s.pt = append(make([]bits.Set, 0, c), s.pt...)
+	s.delta = append(make([]bits.Set, 0, c), s.delta...)
+	s.ptLen = append(make([]int32, 0, c), s.ptLen...)
+	s.deltaLen = append(make([]int32, 0, c), s.deltaLen...)
+	s.succs = append(make([][]edge, 0, c), s.succs...)
+	s.loadUses = append(make([][]loadUse, 0, c), s.loadUses...)
+	s.storeUses = append(make([][]storeUse, 0, c), s.storeUses...)
+	s.callUses = append(make([][]callUse, 0, c), s.callUses...)
+	s.inWL = append(make([]bool, 0, c), s.inWL...)
 }
 
 func (s *solver) varNodeID(v ir.VarID, ctx Ctx) int32 {
@@ -283,7 +338,11 @@ func (s *solver) addTo(n, hc int32) {
 		if debugAdd != nil {
 			debugAdd(s, n, hc)
 		}
-		s.delta[n] = append(s.delta[n], hc)
+		// delta ⊆ pt between flushes, so a fact new to pt is new to
+		// delta too.
+		s.delta[n].Add(hc)
+		s.ptLen[n]++
+		s.deltaLen[n]++
 		s.push(n)
 		s.work++
 		s.derivations++
@@ -297,28 +356,75 @@ func (s *solver) passesFilter(hc int32, filter ir.TypeID) bool {
 	return s.prog.SubtypeOf(s.prog.HeapType(s.hcHeap[hc]), filter)
 }
 
-// addEdge installs the subset constraint src ⊆ dst (modulo filter) and
-// propagates src's current points-to set.
-func (s *solver) addEdge(src, dst int32, filter ir.TypeID) {
-	s.succs[src] = append(s.succs[src], edge{dst: dst, filter: filter})
-	s.pt[src].ForEach(func(hc int32) {
-		s.work++
-		s.propagations++
-		if s.passesFilter(hc, filter) {
-			s.addTo(dst, hc)
+// filterMask returns the pass mask for filter covering at least the
+// elements of d: hc ids already known to satisfy the filter. Verdicts
+// for d's not-yet-classified elements are computed (once per (filter,
+// hc) — the verdict cache) before the mask is returned.
+func (s *solver) filterMask(filter ir.TypeID, d *bits.Set) *bits.Set {
+	fc := s.filters[filter]
+	if fc == nil {
+		fc = &filterCache{}
+		s.filters[filter] = fc
+	}
+	d.ForEachDiff(&fc.known, func(hc int32) {
+		fc.known.Add(hc)
+		if s.prog.SubtypeOf(s.prog.HeapType(s.hcHeap[hc]), filter) {
+			fc.pass.Add(hc)
 		}
 	})
+	return &fc.pass
+}
+
+// addEdge installs the subset constraint src ⊆ dst (modulo filter),
+// deduplicating repeats — re-reached methods and re-linked calls would
+// otherwise multiply successor lists and propagate along each copy —
+// and propagates src's already-flushed facts across the new edge.
+// Elements still pending in src's delta are deliberately NOT propagated
+// here: the edge is installed before src's next flush, which moves them
+// (the old full re-scan pushed them twice and double-charged the work
+// budget for it).
+func (s *solver) addEdge(src, dst int32, filter ir.TypeID) {
+	if !s.edgeSeen.insert(uint64(uint32(src))<<32|uint64(uint32(dst)), uint64(uint32(filter))) {
+		return
+	}
+	s.succs[src] = append(s.succs[src], edge{dst: dst, filter: filter})
+	if debugAdd != nil {
+		// Element-wise slow path so the debug hook observes every fact.
+		s.pt[src].ForEachDiff(&s.delta[src], func(hc int32) {
+			s.work++
+			s.propagations++
+			if s.passesFilter(hc, filter) {
+				s.addTo(dst, hc)
+			}
+		})
+		return
+	}
+	var added, scanned int
+	if filter == ir.None {
+		added, scanned = s.pt[dst].UnionWordsDiffInto(&s.pt[src], &s.delta[src], &s.delta[dst])
+	} else {
+		mask := s.filterMask(filter, &s.pt[src])
+		added, scanned = s.pt[dst].UnionWordsDiffMaskedInto(&s.pt[src], &s.delta[src], mask, &s.delta[dst])
+	}
+	s.work += int64(scanned) + int64(added)
+	s.propagations += int64(scanned)
+	if added > 0 {
+		s.ptLen[dst] += int32(added)
+		s.deltaLen[dst] += int32(added)
+		s.derivations += int64(added)
+		s.push(dst)
+	}
 }
 
 // reach marks (m, ctx) reachable, queueing the method body for
 // constraint generation if the pair is new.
 func (s *solver) reach(m ir.MethodID, ctx Ctx) {
 	key := uint64(uint32(m))<<32 | uint64(uint32(ctx))
-	if _, ok := s.mcIdx[key]; ok {
+	if _, ok := s.mcIdx.get(key); ok {
 		return
 	}
 	id := int32(len(s.mcMeth))
-	s.mcIdx[key] = id
+	s.mcIdx.put(key, id)
 	s.mcMeth = append(s.mcMeth, m)
 	s.mcCtx = append(s.mcCtx, ctx)
 	s.pendingMC = append(s.pendingMC, id)
@@ -425,11 +531,10 @@ func (s *solver) dispatch(c *ir.Call, callerCtx Ctx, hc int32) {
 // linkCall installs the interprocedural assignments for a call-graph
 // edge, once per (invo, callerCtx, meth, calleeCtx).
 func (s *solver) linkCall(c *ir.Call, callerCtx Ctx, toMeth ir.MethodID, calleeCtx Ctx) {
-	key := cgKey{invo: c.Invo, callerCtx: callerCtx, meth: toMeth, calleeCtx: calleeCtx}
-	if _, ok := s.cgSeen[key]; ok {
+	ka, kb := cgPack(c.Invo, callerCtx, toMeth, calleeCtx)
+	if !s.cgSeen.insert(ka, kb) {
 		return
 	}
-	s.cgSeen[key] = struct{}{}
 	if debugLink != nil {
 		debugLink(s, c, callerCtx, toMeth, calleeCtx)
 	}
@@ -509,43 +614,98 @@ func (s *solver) run() {
 	}
 }
 
-func (s *solver) processNode(n int32) {
+// takeDelta detaches node n's pending delta for flushing, installing a
+// recycled empty set in its place so facts derived mid-flush accumulate
+// into a fresh batch.
+func (s *solver) takeDelta(n int32) bits.Set {
 	d := s.delta[n]
-	s.delta[n] = nil
-	if len(d) == 0 {
+	s.deltaLen[n] = 0
+	if k := len(s.spares); k > 0 {
+		s.delta[n] = s.spares[k-1]
+		s.spares = s.spares[:k-1]
+	} else {
+		s.delta[n] = bits.Set{}
+	}
+	return d
+}
+
+// recycleDelta returns a drained delta set's storage to the spare pool.
+func (s *solver) recycleDelta(d bits.Set) {
+	d.Clear()
+	s.spares = append(s.spares, d)
+}
+
+// processNode flushes node n's pending delta: whole 64-bit words move
+// across unfiltered edges in one OR each (filtered edges apply the
+// cached verdict mask first), and the per-element loops survive only
+// for the load/store/call uses that must inspect each new heap object
+// individually. Work accounting matches the per-element loop this
+// replaces: one unit per (element, edge) attempt plus one per new fact.
+func (s *solver) processNode(n int32) {
+	dc := int64(s.deltaLen[n])
+	d := s.takeDelta(n)
+	if dc == 0 {
+		s.recycleDelta(d)
 		return
 	}
-	for _, e := range s.succs[n] {
-		for _, hc := range d {
-			s.work++
-			s.propagations++
-			if s.passesFilter(hc, e.filter) {
-				s.addTo(e.dst, hc)
+	if debugAdd == nil {
+		for _, e := range s.succs[n] {
+			s.work += dc
+			s.propagations += dc
+			var added int
+			if e.filter == ir.None {
+				added = s.pt[e.dst].UnionWordsInto(&d, &s.delta[e.dst])
+			} else {
+				mask := s.filterMask(e.filter, &d)
+				added = s.pt[e.dst].UnionWordsMaskedInto(&d, mask, &s.delta[e.dst])
 			}
+			if added > 0 {
+				s.ptLen[e.dst] += int32(added)
+				s.deltaLen[e.dst] += int32(added)
+				s.work += int64(added)
+				s.derivations += int64(added)
+				s.push(e.dst)
+			}
+		}
+	} else {
+		// Element-wise slow path so the debug hook observes every fact.
+		for _, e := range s.succs[n] {
+			d.ForEach(func(hc int32) {
+				s.work++
+				s.propagations++
+				if s.passesFilter(hc, e.filter) {
+					s.addTo(e.dst, hc)
+				}
+			})
 		}
 	}
 	if s.kind[n] != varNode {
+		s.recycleDelta(d)
 		return
 	}
 	ctx := Ctx(s.nodeB[n])
-	for _, u := range s.loadUses[n] {
-		for _, hc := range d {
+	for i := range s.loadUses[n] {
+		u := s.loadUses[n][i]
+		d.ForEach(func(hc int32) {
 			s.work++
 			s.addEdge(s.fieldNodeID(hc, u.field), u.dst, ir.None)
-		}
+		})
 	}
-	for _, u := range s.storeUses[n] {
-		for _, hc := range d {
+	for i := range s.storeUses[n] {
+		u := s.storeUses[n][i]
+		d.ForEach(func(hc int32) {
 			s.work++
 			s.addEdge(u.src, s.fieldNodeID(hc, u.field), ir.None)
-		}
+		})
 	}
-	for _, u := range s.callUses[n] {
-		for _, hc := range d {
+	for i := range s.callUses[n] {
+		u := s.callUses[n][i]
+		d.ForEach(func(hc int32) {
 			s.work++
 			s.dispatch(u.call, ctx, hc)
-		}
+		})
 	}
+	s.recycleDelta(d)
 }
 
 func (s *solver) finalize() {
@@ -555,7 +715,7 @@ func (s *solver) finalize() {
 			v := ir.VarID(s.nodeA[n])
 			s.varNodes[v] = append(s.varNodes[v], int32(n))
 		}
-		if l := s.pt[n].Len(); l > s.peakPT {
+		if l := int(s.ptLen[n]); l > s.peakPT {
 			s.peakPT = l
 		}
 	}

@@ -38,6 +38,9 @@ type Precision struct {
 
 	// VarPTSize is the context-qualified VarPointsTo size (cost proxy).
 	VarPTSize int64 `json:"var_pt_size"`
+	// PeakPT is the largest single points-to set of the run — the
+	// paper's set-explosion indicator.
+	PeakPT int `json:"peak_pt"`
 	// Work is the solver work performed (the deterministic time proxy).
 	Work int64 `json:"work"`
 	// ElapsedMS is wall-clock milliseconds.
@@ -54,6 +57,7 @@ func Measure(res *pta.Result) Precision {
 		TimedOut:         !res.Complete,
 		ReachableMethods: res.NumReachableMethods(),
 		VarPTSize:        res.VarPTSize(),
+		PeakPT:           res.PeakPTSize(),
 		Work:             res.Work,
 		ElapsedMS:        res.Elapsed.Milliseconds(),
 	}

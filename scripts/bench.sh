@@ -1,0 +1,50 @@
+#!/bin/sh
+# bench.sh — run the end-to-end figure benchmarks (one full figure
+# regeneration per iteration) and record the results as a dated JSON
+# file, BENCH_<date>.json, in the repo root.
+#
+# Each benchmark reports, besides wall time, the figure's aggregate
+# solver metrics: total work units (the deterministic time proxy),
+# the peak points-to-set size, and the number of TIMEOUT runs. The
+# work/peakpt/timeouts numbers are bit-deterministic — only ns_op
+# varies across machines and runs, which is what makes the JSON
+# comparable across commits.
+#
+# Usage: scripts/bench.sh [count]   (default: 3 runs per figure)
+
+set -eu
+cd "$(dirname "$0")/.."
+
+count=${1:-3}
+out="BENCH_$(date +%Y-%m-%d).json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -bench=Fig -benchtime=1x -count="$count" -run '^$' . | tee "$raw"
+
+awk -v date="$(date +%Y-%m-%d)" -v count="$count" -v gover="$(go env GOVERSION)" '
+/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    entry = "{\"iters\": " $2
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_", unit)
+        gsub(/%/, "_pct", unit)
+        entry = entry ", \"" unit "\": " $i
+    }
+    entry = entry "}"
+    if (!(name in runs)) order[++n] = name
+    runs[name] = runs[name] (runs[name] == "" ? "" : ", ") entry
+}
+END {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"count\": %s,\n  \"benchmarks\": {\n", date, gover, count
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    \"%s\": [%s]%s\n", name, runs[name], (i < n ? "," : "")
+    }
+    printf "  }\n}\n"
+}' "$raw" >"$out"
+
+echo "wrote $out"
