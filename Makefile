@@ -6,8 +6,14 @@ GO ?= go
 # solver/pipeline tests.
 check: vet build test race
 
+# staticcheck and golangci-lint are optional extras: run whichever is
+# on PATH, skip silently otherwise (the container CI image ships
+# neither; only go vet is mandatory).
 vet:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	elif command -v golangci-lint >/dev/null 2>&1; then golangci-lint run ./...; \
+	else echo "vet: staticcheck/golangci-lint not installed; skipping"; fi
 
 build:
 	$(GO) build ./...
@@ -15,14 +21,15 @@ build:
 test:
 	$(GO) test ./...
 
-# The solver and the pipeline are the only packages with interesting
-# concurrency surface (context cancellation mid-worklist); run their
-# tests under the race detector.
+# The solver, the pipeline, and the checkers that consume their results
+# have the interesting concurrency surface (context cancellation
+# mid-worklist, shared results across runs); run their tests under the
+# race detector.
 race:
-	$(GO) test -race ./internal/analysis ./internal/pta
+	$(GO) test -race ./internal/analysis ./internal/pta ./internal/checkers
 
 bench:
-	$(GO) test -bench=Fig -benchtime=1x -run=^$$ .
+	$(GO) test -bench='Fig|Provenance' -benchtime=1x -run=^$$ .
 
 figures:
 	$(GO) run ./cmd/introbench

@@ -14,10 +14,13 @@ package introspect_test
 // records these numbers as BENCH_<date>.json.
 
 import (
+	"context"
 	"testing"
 
 	"introspect/internal/figures"
+	"introspect/internal/pta"
 	"introspect/internal/report"
+	"introspect/internal/suite"
 )
 
 var cfg = figures.Config{}
@@ -90,6 +93,37 @@ func BenchmarkFig6(b *testing.B) { benchFig(b, "2typeH") }
 
 // BenchmarkFig7 regenerates Figure 7 (2callH variants).
 func BenchmarkFig7(b *testing.B) { benchFig(b, "2callH") }
+
+// BenchmarkProvenance measures the solver cost of derivation-witness
+// recording (pta.Options.Provenance) on the largest suite benchmark:
+// "off" is the default figure configuration (the recorder reduces to
+// one nil check per derived fact), "on" pays for element-wise
+// propagation plus the witness table. scripts/bench.sh records both, so
+// a regression in the disabled path shows up as Provenance/off drifting
+// from the Fig benchmarks' historical work-per-nanosecond.
+func BenchmarkProvenance(b *testing.B) {
+	prog, err := suite.Load("jython")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var res *pta.Result
+			for i := 0; i < b.N; i++ {
+				res, err = pta.Analyze(context.Background(), prog, "insens",
+					pta.Options{Budget: -1, Provenance: mode.on})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Work), "work")
+			b.ReportMetric(float64(res.NumProvenanceFacts()), "witnessed")
+		})
+	}
+}
 
 // benchFig regenerates one of Figures 5-7: four analysis variants over
 // the six experimental subjects.

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// updateGolden refreshes testdata/ptalint.golden instead of comparing
+// against it. Pass it through go test's -args separator.
+var updateGolden = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+const demo = "../../examples/ptalint/holder.mj"
+
+// TestPtalintGolden lints the demo program in-process and byte-compares
+// the text report against testdata/ptalint.golden. The report carries
+// no wall-clock content, so no scrubbing is needed. Refresh after an
+// intentional checker or solver change with:
+//
+//	go test ./cmd/ptalint -args -update
+func TestPtalintGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mj", demo, "-analysis", "2objH"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "ptalint.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("ptalint output differs from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestSARIFRoundTrip checks the acceptance gate for the SARIF emitter:
+// the JSON parses back, and every may-fail-cast result carries a
+// non-empty witness path that starts at the conflicting allocation
+// site.
+func TestSARIFRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mj", demo, "-analysis", "2objH", "-format", "sarif"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					LogicalLocations []struct {
+						FullyQualifiedName string `json:"fullyQualifiedName"`
+					} `json:"logicalLocations"`
+				} `json:"locations"`
+				Properties struct {
+					Witness []string `json:"witness"`
+				} `json:"properties"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output does not round-trip through json.Unmarshal: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "ptalint" {
+		t.Fatalf("want exactly one ptalint run, got %+v", log.Runs)
+	}
+	if len(log.Runs[0].Tool.Driver.Rules) == 0 {
+		t.Error("driver carries no rules")
+	}
+
+	casts := 0
+	for _, r := range log.Runs[0].Results {
+		if len(r.Locations) == 0 || len(r.Locations[0].LogicalLocations) == 0 ||
+			r.Locations[0].LogicalLocations[0].FullyQualifiedName == "" {
+			t.Errorf("result %q has no logical location", r.RuleID)
+		}
+		if r.RuleID != "may-fail-cast" {
+			continue
+		}
+		casts++
+		if r.Level != "error" {
+			t.Errorf("may-fail-cast level = %q, want error", r.Level)
+		}
+		if len(r.Properties.Witness) == 0 {
+			t.Fatalf("may-fail-cast result carries no witness: %+v", r)
+		}
+		if w := r.Properties.Witness[0]; !strings.HasPrefix(w, "alloc ") || !strings.Contains(w, "Circle") {
+			t.Errorf("witness should start at the conflicting Circle allocation, got %q", w)
+		}
+	}
+	// The demo's genuine bad cast: circles.get() to Rect.
+	if casts != 1 {
+		t.Errorf("may-fail-cast results = %d, want 1", casts)
+	}
+}
+
+// TestChecksFlag exercises checker selection and the -list flag.
+func TestChecksFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mj", demo, "-checks", "dead-method"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "dead-method") || strings.Contains(out, "may-fail-cast") {
+		t.Errorf("-checks dead-method should report only dead methods:\n%s", out)
+	}
+	if err := run([]string{"-mj", demo, "-checks", "bogus"}, &buf); err == nil {
+		t.Error("unknown checker name accepted")
+	}
+
+	buf.Reset()
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"may-fail-cast", "empty-deref", "dead-method", "devirtualize", "conflation-hotspot"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("-list missing %s:\n%s", name, buf.String())
+		}
+	}
+}
+
+// TestProvenanceOff checks that disabling provenance drops witnesses
+// but keeps the findings.
+func TestProvenanceOff(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mj", demo, "-provenance=false", "-checks", "may-fail-cast"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "may-fail-cast") {
+		t.Errorf("finding disappeared without provenance:\n%s", out)
+	}
+	if strings.Contains(out, "alloc ") {
+		t.Errorf("witness present despite -provenance=false:\n%s", out)
+	}
+}

@@ -74,6 +74,12 @@ type Request struct {
 	First *pta.Result
 
 	Limits Limits
+	// Provenance enables the solver's derivation-witness recorder on
+	// every pass (pta.Options.Provenance): each pass's Result can then
+	// reconstruct alloc-to-use witness paths via Explain/ExplainHeap,
+	// which internal/checkers attaches to diagnostics. Costs extra
+	// solver time and memory; leave off for pure figure runs.
+	Provenance bool
 	// Observer receives stage lifecycle and progress callbacks; nil
 	// means NopObserver.
 	Observer Observer
@@ -279,6 +285,7 @@ func reportStage() stage {
 // typed errors.
 func solvePass(ctx context.Context, stageName string, req *Request, prog *ir.Program, pol pta.Policy, tab *pta.Table) (*pta.Result, Stats, error) {
 	opts := req.Limits.opts()
+	opts.Provenance = req.Provenance
 	if obs := req.Observer; obs != nil {
 		opts.Progress = func(work int64) { obs.Progress(stageName, work) }
 	}

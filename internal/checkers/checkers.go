@@ -1,0 +1,183 @@
+// Package checkers turns points-to analysis results into actionable
+// diagnostics: a suite of client static analyses ("checkers") that
+// inspect a pta.Result and report the concrete program sites the
+// paper's precision metrics only count — which cast may fail and why,
+// which dereference can never succeed, which method is dead, which
+// virtual call is devirtualizable, and which allocation sites cause
+// the most conflation-induced imprecision.
+//
+// Each Diagnostic can carry a derivation witness: when the analysis ran
+// with provenance recording (pta.Options.Provenance / an
+// analysis.Request with Provenance set), the offending object's
+// alloc-to-use flow path is attached, so a report does not just say
+// "this cast may fail" but names the conflicting allocation site and
+// the loads/stores it flowed through.
+//
+// The package is also the single source of truth for the paper's three
+// precision counters (PrecisionCounts): internal/report derives its
+// Precision struct from the same primitives the checkers use.
+package checkers
+
+import (
+	"fmt"
+	"sort"
+
+	"introspect/internal/ir"
+	"introspect/internal/pta"
+)
+
+// Severity ranks a diagnostic's importance.
+type Severity uint8
+
+const (
+	// Info marks optimization opportunities and informational findings
+	// (devirtualization candidates, dead methods, conflation hotspots).
+	Info Severity = iota
+	// Warning marks suspicious-but-not-crashing findings (dereferences
+	// of provably empty pointers).
+	Warning
+	// Error marks findings that correspond to possible runtime
+	// failures (casts that may throw).
+	Error
+)
+
+// String returns the lower-case severity name.
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// SARIFLevel maps the severity onto the SARIF result level vocabulary.
+func (s Severity) SARIFLevel() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// MarshalText makes Severity render as its name in JSON output.
+func (s Severity) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// Diagnostic is one finding of a checker.
+type Diagnostic struct {
+	// Checker is the reporting checker's name (its rule id).
+	Checker string `json:"checker"`
+	// Severity ranks the finding.
+	Severity Severity `json:"severity"`
+	// Site is the program site the finding is anchored at, as a
+	// fully-qualified logical name (a method, variable, cast, or
+	// invocation-site name).
+	Site string `json:"site"`
+	// Message is the human-readable finding.
+	Message string `json:"message"`
+	// Witness, when provenance was recorded, is the derivation path of
+	// the offending object, one step per element, allocation first.
+	Witness []string `json:"witness,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s: %s", d.Severity, d.Checker, d.Site, d.Message)
+}
+
+// Target is what checkers run against: a program, the analysis result
+// to inspect, and — for checkers that measure imprecision — an optional
+// coarser baseline result to diff against.
+type Target struct {
+	Prog *ir.Program
+	// Res is the result the diagnostics describe.
+	Res *pta.Result
+	// Baseline is an optional context-insensitive result over the same
+	// program, used by difference checkers (conflation hotspots). Nil
+	// disables them.
+	Baseline *pta.Result
+}
+
+// Checker is one client analysis over a Target.
+type Checker interface {
+	// Name is the checker's stable rule id (kebab-case).
+	Name() string
+	// Desc is a one-line description for rule listings.
+	Desc() string
+	// Check computes the checker's diagnostics. Implementations must
+	// be deterministic: same Target, same diagnostics in the same
+	// order.
+	Check(t *Target) []Diagnostic
+}
+
+// All returns the full checker suite in canonical order.
+func All() []Checker {
+	return []Checker{
+		MayFailCastChecker{},
+		EmptyDerefChecker{},
+		DeadMethodChecker{},
+		DevirtChecker{},
+		ConflationChecker{},
+	}
+}
+
+// Names returns the rule ids of the full suite, in canonical order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, c := range all {
+		out[i] = c.Name()
+	}
+	return out
+}
+
+// ByName resolves checker names to checkers, erroring on unknown names.
+func ByName(names ...string) ([]Checker, error) {
+	idx := map[string]Checker{}
+	for _, c := range All() {
+		idx[c.Name()] = c
+	}
+	out := make([]Checker, 0, len(names))
+	for _, n := range names {
+		c, ok := idx[n]
+		if !ok {
+			return nil, fmt.Errorf("checkers: unknown checker %q (have %v)", n, Names())
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Run executes the checkers against the target and returns their
+// diagnostics ordered by severity (errors first), then checker name,
+// then site — a stable order suitable for golden output.
+func Run(t *Target, cs []Checker) []Diagnostic {
+	var out []Diagnostic
+	for _, c := range cs {
+		out = append(out, c.Check(t)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Severity != out[j].Severity {
+			return out[i].Severity > out[j].Severity
+		}
+		if out[i].Checker != out[j].Checker {
+			return out[i].Checker < out[j].Checker
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out
+}
+
+// witnessFor attaches a provenance witness for "v may point to h", if
+// the result recorded one.
+func witnessFor(t *Target, v ir.VarID, h ir.HeapID) []string {
+	w, ok := t.Res.ExplainHeap(v, h)
+	if !ok {
+		return nil
+	}
+	return w.Strings(t.Prog)
+}

@@ -1,0 +1,78 @@
+package checkers
+
+import (
+	"fmt"
+	"sort"
+
+	"introspect/internal/ir"
+)
+
+// MaxConflationHotspots bounds how many ranked allocation sites the
+// conflation checker reports.
+const MaxConflationHotspots = 10
+
+// ConflationChecker diffs a coarse baseline run (context-insensitive)
+// against the target's refined run and ranks the allocation sites
+// responsible for the most spurious points-to flow: sites that the
+// baseline spuriously propagates into many variables which the refined
+// analysis proves they never reach. These are the imprecision hotspots
+// — exactly the objects where spending context money pays off, the
+// signal an introspective heuristic allocates its budget by.
+//
+// The checker is inert (reports nothing) when Target.Baseline is nil
+// or when the two runs are the same analysis.
+type ConflationChecker struct{}
+
+// Name returns the checker's rule id.
+func (ConflationChecker) Name() string { return "conflation-hotspot" }
+
+// Desc describes the checker.
+func (ConflationChecker) Desc() string {
+	return "allocation sites causing the most spurious flow in a context-insensitive baseline"
+}
+
+// Check diffs Baseline against Res per variable and aggregates the
+// spurious facts per allocation site.
+func (ConflationChecker) Check(t *Target) []Diagnostic {
+	if t.Baseline == nil || t.Baseline.Analysis == t.Res.Analysis {
+		return nil
+	}
+	prog := t.Prog
+	spurious := make([]int, prog.NumHeaps()) // heap -> # vars with spurious flow
+	total := 0
+	for v := 0; v < prog.NumVars(); v++ {
+		fine := t.Res.VarHeaps(ir.VarID(v))
+		t.Baseline.VarHeaps(ir.VarID(v)).ForEach(func(h int32) {
+			if !fine.Has(h) {
+				spurious[h]++
+				total++
+			}
+		})
+	}
+	order := make([]ir.HeapID, 0, len(spurious))
+	for h, n := range spurious {
+		if n > 0 {
+			order = append(order, ir.HeapID(h))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if spurious[order[i]] != spurious[order[j]] {
+			return spurious[order[i]] > spurious[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	if len(order) > MaxConflationHotspots {
+		order = order[:MaxConflationHotspots]
+	}
+	var out []Diagnostic
+	for rank, h := range order {
+		out = append(out, Diagnostic{
+			Checker:  ConflationChecker{}.Name(),
+			Severity: Info,
+			Site:     prog.HeapName(h),
+			Message: fmt.Sprintf("conflation hotspot #%d: %s spuriously reaches %d variable(s) under %s that %s rules out (%d spurious facts total)",
+				rank+1, prog.HeapName(h), spurious[h], t.Baseline.Analysis, t.Res.Analysis, total),
+		})
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package checkers
+
+import (
+	"fmt"
+
+	"introspect/internal/ir"
+)
+
+// EmptyDerefChecker reports dereferences — field loads, field stores,
+// and virtual calls — whose base variable provably never points to any
+// object. In a sound analysis an empty points-to set means no
+// allocation ever reaches the variable: the dereference either sits on
+// a dead path or faults on an uninitialized (null) reference at
+// runtime.
+type EmptyDerefChecker struct{}
+
+// Name returns the checker's rule id.
+func (EmptyDerefChecker) Name() string { return "empty-deref" }
+
+// Desc describes the checker.
+func (EmptyDerefChecker) Desc() string {
+	return "dereferences whose base variable provably never points to any object"
+}
+
+// Check scans the reachable methods' loads, stores, and virtual calls.
+func (EmptyDerefChecker) Check(t *Target) []Diagnostic {
+	prog := t.Prog
+	var out []Diagnostic
+	empty := func(v ir.VarID) bool { return t.Res.NumVarHeaps(v) == 0 }
+	report := func(base ir.VarID, what string) {
+		out = append(out, Diagnostic{
+			Checker:  EmptyDerefChecker{}.Name(),
+			Severity: Warning,
+			Site:     prog.VarName(base),
+			Message: fmt.Sprintf("%s dereferences %s, which never points to any object (always-nil dereference)",
+				what, prog.VarName(base)),
+		})
+	}
+	for mi := range prog.Methods {
+		m := &prog.Methods[mi]
+		if !t.Res.MethodReachable(ir.MethodID(mi)) {
+			continue
+		}
+		for _, l := range m.Loads {
+			if empty(l.Base) {
+				report(l.Base, fmt.Sprintf("load of .%s", prog.Fields[l.Field].Name))
+			}
+		}
+		for _, st := range m.Stores {
+			if empty(st.Base) {
+				report(st.Base, fmt.Sprintf("store to .%s", prog.Fields[st.Field].Name))
+			}
+		}
+		for _, c := range m.Calls {
+			if c.Kind == ir.Virtual && empty(c.Base) {
+				report(c.Base, fmt.Sprintf("virtual call %s", prog.InvoName(c.Invo)))
+			}
+		}
+	}
+	return out
+}
+
+// DeadMethodChecker reports methods the analysis proves unreachable
+// from the program's entry points — dead code under the computed call
+// graph. A more precise analysis reports more dead methods (the
+// paper's "reachable methods" metric, inverted into findings).
+type DeadMethodChecker struct{}
+
+// Name returns the checker's rule id.
+func (DeadMethodChecker) Name() string { return "dead-method" }
+
+// Desc describes the checker.
+func (DeadMethodChecker) Desc() string {
+	return "methods unreachable from the entry points (dead code)"
+}
+
+// Check scans every method definition.
+func (DeadMethodChecker) Check(t *Target) []Diagnostic {
+	var out []Diagnostic
+	for mi := range t.Prog.Methods {
+		if t.Res.MethodReachable(ir.MethodID(mi)) {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Checker:  DeadMethodChecker{}.Name(),
+			Severity: Info,
+			Site:     t.Prog.MethodName(ir.MethodID(mi)),
+			Message:  "method is unreachable from the entry points (dead code)",
+		})
+	}
+	return out
+}
+
+// DevirtChecker reports reachable virtual call sites that resolve to
+// exactly one target method — the calls a compiler could rewrite into
+// direct calls (and then inline). This is the complement of the
+// paper's "polymorphic virtual calls" precision metric.
+type DevirtChecker struct{}
+
+// Name returns the checker's rule id.
+func (DevirtChecker) Name() string { return "devirtualize" }
+
+// Desc describes the checker.
+func (DevirtChecker) Desc() string {
+	return "virtual call sites with a single resolved target (devirtualization candidates)"
+}
+
+// Check scans the reachable methods' virtual calls.
+func (DevirtChecker) Check(t *Target) []Diagnostic {
+	prog := t.Prog
+	var out []Diagnostic
+	for mi := range prog.Methods {
+		m := &prog.Methods[mi]
+		if !t.Res.MethodReachable(ir.MethodID(mi)) {
+			continue
+		}
+		for ci := range m.Calls {
+			c := &m.Calls[ci]
+			if c.Kind != ir.Virtual || t.Res.NumInvoTargets(c.Invo) != 1 {
+				continue
+			}
+			target := t.Res.InvoTargets(c.Invo)[0]
+			out = append(out, Diagnostic{
+				Checker:  DevirtChecker{}.Name(),
+				Severity: Info,
+				Site:     prog.InvoName(c.Invo),
+				Message: fmt.Sprintf("virtual call always dispatches to %s; devirtualizable",
+					prog.MethodName(target)),
+			})
+		}
+	}
+	return out
+}

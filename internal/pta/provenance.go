@@ -1,0 +1,249 @@
+package pta
+
+import (
+	"strings"
+
+	"introspect/internal/ir"
+)
+
+// This file implements the solver's derivation-witness recorder and the
+// post-solve reconstruction API over it.
+//
+// When Options.Provenance is set, the solver records, for every
+// points-to fact (node, hc) it establishes, the constraint-graph node
+// the fact first arrived from — one int32 per fact. Because a fact is
+// derived exactly once (Set.Add reports the first insertion) and the
+// source fact necessarily exists before it propagates, the recorded
+// "first derivation" edges form a DAG: walking them back from any fact
+// terminates at the node where the object was introduced (the
+// allocation's target variable, or a callee's this bound by dispatch).
+// That walk, reversed, is a shortest-by-construction derivation path
+//
+//	alloc → var → … → field → … → var
+//
+// which clients (internal/checkers) attach to diagnostics as a witness.
+//
+// Recording costs one hash-table insert per derived fact and forces the
+// solver onto its element-wise propagation paths (the word-parallel
+// kernels cannot say which source element produced which new bit), so
+// it is strictly opt-in; with the flag off the only cost is a nil check
+// on the fact-insertion path.
+
+// provIntro is the recorded source of a fact introduced directly —
+// by an Alloc instruction or by the this-binding of a dispatch — rather
+// than propagated across a constraint edge.
+const provIntro int32 = -1
+
+// provRecorder maps packed (node, hc) fact keys to the node the fact
+// first arrived from (provIntro for introduction points). Values are
+// indices into srcs because internTable requires non-negative values.
+type provRecorder struct {
+	tab  internTable
+	srcs []int32
+}
+
+func provKey(n, hc int32) uint64 {
+	return uint64(uint32(n))<<32 | uint64(uint32(hc))
+}
+
+// record notes that fact (n, hc) was first derived from node `from`
+// (provIntro if introduced). Callers only invoke it when the fact is
+// new, so the key is never already present.
+func (p *provRecorder) record(n, hc, from int32) {
+	p.tab.put(provKey(n, hc), int32(len(p.srcs)))
+	p.srcs = append(p.srcs, from)
+}
+
+// source returns the first-deriving source node of fact (n, hc):
+// provIntro for introduction points, ok=false if the fact was never
+// recorded.
+func (p *provRecorder) source(n, hc int32) (int32, bool) {
+	i, ok := p.tab.get(provKey(n, hc))
+	if !ok {
+		return 0, false
+	}
+	return p.srcs[i], true
+}
+
+// len returns the number of recorded facts.
+func (p *provRecorder) len() int { return len(p.srcs) }
+
+// --- post-solve reconstruction ---
+
+// ProvenanceEnabled reports whether this result was produced with
+// Options.Provenance set, i.e. whether Explain can reconstruct
+// derivation witnesses.
+func (r *Result) ProvenanceEnabled() bool { return r.s.prov != nil }
+
+// NumProvenanceFacts returns the number of facts with a recorded
+// derivation (0 when provenance was disabled). When enabled it equals
+// the solver's Derivations counter.
+func (r *Result) NumProvenanceFacts() int {
+	if r.s.prov == nil {
+		return 0
+	}
+	return r.s.prov.len()
+}
+
+// WitnessStepKind classifies one step of a derivation witness.
+type WitnessStepKind uint8
+
+const (
+	// WitnessAlloc is the allocation site the witness object was born
+	// at — always the first step.
+	WitnessAlloc WitnessStepKind = iota
+	// WitnessVar is a (variable, context) node the object flowed
+	// through.
+	WitnessVar
+	// WitnessField is a (heap object, field) cell the object flowed
+	// through; Heap names the base object's allocation site.
+	WitnessField
+	// WitnessStatic is a static-field cell the object flowed through.
+	WitnessStatic
+)
+
+// WitnessStep is one node of a derivation witness path. The populated
+// fields depend on Kind: Var/Ctx for WitnessVar, Heap+Field for
+// WitnessField, Field for WitnessStatic, Heap for WitnessAlloc.
+type WitnessStep struct {
+	Kind  WitnessStepKind
+	Var   ir.VarID
+	Ctx   Ctx
+	Heap  ir.HeapID
+	Field ir.FieldID
+}
+
+// Witness is a reconstructed derivation path: the object (Heap, HCtx)
+// and the alloc-to-use sequence of constraint-graph nodes its flow was
+// first established through.
+type Witness struct {
+	Heap  ir.HeapID
+	HCtx  HCtx
+	Steps []WitnessStep
+}
+
+// describeStep renders one step against the program's symbol tables.
+func describeStep(prog *ir.Program, st WitnessStep) string {
+	switch st.Kind {
+	case WitnessAlloc:
+		return "alloc " + prog.HeapName(st.Heap)
+	case WitnessField:
+		return prog.HeapName(st.Heap) + "." + prog.Fields[st.Field].Name
+	case WitnessStatic:
+		return "static " + prog.Fields[st.Field].Name
+	default:
+		return prog.VarName(st.Var)
+	}
+}
+
+// Strings renders the witness one step per element, alloc first.
+func (w *Witness) Strings(prog *ir.Program) []string {
+	out := make([]string, len(w.Steps))
+	for i, st := range w.Steps {
+		out[i] = describeStep(prog, st)
+	}
+	return out
+}
+
+// Format renders the witness as a single "a -> b -> c" line.
+func (w *Witness) Format(prog *ir.Program) string {
+	return strings.Join(w.Strings(prog), " -> ")
+}
+
+// explainChain walks the recorded first-derivation edges back from fact
+// (n, hc) and returns the node chain in derivation order (introduction
+// point first, n last). ok is false if provenance is disabled or the
+// fact has no record (it was never derived).
+func (r *Result) explainChain(n, hc int32) ([]int32, bool) {
+	p := r.s.prov
+	if p == nil || !r.s.pt[n].Has(hc) {
+		return nil, false
+	}
+	chain := []int32{n}
+	for {
+		src, ok := p.source(n, hc)
+		if !ok {
+			return nil, false
+		}
+		if src == provIntro {
+			break
+		}
+		n = src
+		chain = append(chain, n)
+	}
+	// Reverse into alloc-to-use order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain, true
+}
+
+// witnessFromChain decodes a node chain into exported steps.
+func (r *Result) witnessFromChain(chain []int32, hc int32) *Witness {
+	s := r.s
+	w := &Witness{
+		Heap:  s.hcHeap[hc],
+		HCtx:  s.hcCtx[hc],
+		Steps: make([]WitnessStep, 0, len(chain)+1),
+	}
+	w.Steps = append(w.Steps, WitnessStep{Kind: WitnessAlloc, Heap: w.Heap})
+	for _, n := range chain {
+		switch s.kind[n] {
+		case varNode:
+			w.Steps = append(w.Steps, WitnessStep{
+				Kind: WitnessVar, Var: ir.VarID(s.nodeA[n]), Ctx: Ctx(s.nodeB[n]),
+			})
+		case fieldNode:
+			w.Steps = append(w.Steps, WitnessStep{
+				Kind: WitnessField, Heap: s.hcHeap[s.nodeA[n]], Field: ir.FieldID(s.nodeB[n]),
+			})
+		default:
+			w.Steps = append(w.Steps, WitnessStep{
+				Kind: WitnessStatic, Field: ir.FieldID(s.nodeA[n]),
+			})
+		}
+	}
+	return w
+}
+
+// Explain reconstructs how the fact "(v, ctx) points to hc" was first
+// derived. It returns ok=false if provenance recording was disabled,
+// the (v, ctx) node does not exist, or the fact does not hold.
+func (r *Result) Explain(v ir.VarID, ctx Ctx, hc int32) (*Witness, bool) {
+	n, ok := r.s.nodeIdx.get(nodeKey(varNode, int32(v), int32(ctx)))
+	if !ok {
+		return nil, false
+	}
+	chain, ok := r.explainChain(n, hc)
+	if !ok {
+		return nil, false
+	}
+	return r.witnessFromChain(chain, hc), true
+}
+
+// ExplainHeap reconstructs a derivation witness for "v may point to an
+// object allocated at h": it picks the first (context, heap-context)
+// qualified fact matching (v, h) — deterministically, in node and hc id
+// order — and explains it. ok=false if provenance is disabled or v
+// never points to h.
+func (r *Result) ExplainHeap(v ir.VarID, h ir.HeapID) (*Witness, bool) {
+	if r.s.prov == nil {
+		return nil, false
+	}
+	for _, n := range r.s.varNodes[v] {
+		found := int32(-1)
+		r.s.pt[n].ForEach(func(hc int32) {
+			if found < 0 && r.s.hcHeap[hc] == h {
+				found = hc
+			}
+		})
+		if found >= 0 {
+			chain, ok := r.explainChain(n, found)
+			if !ok {
+				return nil, false
+			}
+			return r.witnessFromChain(chain, found), true
+		}
+	}
+	return nil, false
+}

@@ -29,6 +29,14 @@ type Options struct {
 	// ProgressEvery is the minimum number of work units between
 	// Progress calls. 0 means DefaultProgressEvery.
 	ProgressEvery int64
+	// Provenance enables the derivation-witness recorder: for every
+	// points-to fact the solver notes the constraint edge that first
+	// derived it, so Result.Explain can reconstruct a shortest
+	// derivation path (alloc → … → use) post-solve. Recording forces
+	// element-wise propagation (no word-parallel kernels) and one
+	// hash-table insert per derived fact; disabled it costs one nil
+	// check per fact. See provenance.go.
+	Provenance bool
 }
 
 // DefaultBudget is the work-unit budget standing in for the paper's
@@ -161,6 +169,10 @@ type solver struct {
 
 	reachMeths bits.Set // distinct reachable methods
 
+	// prov, when non-nil, records each fact's first-deriving edge
+	// (Options.Provenance; see provenance.go).
+	prov *provRecorder
+
 	work         int64
 	derivations  int64 // new points-to facts established
 	propagations int64 // (element, edge) propagation attempts
@@ -205,6 +217,9 @@ func Solve(ctx context.Context, prog *ir.Program, pol Policy, tab *Table, opts O
 	}
 	if s.progEvery <= 0 {
 		s.progEvery = DefaultProgressEvery
+	}
+	if opts.Provenance {
+		s.prov = &provRecorder{}
 	}
 	start := time.Now()
 	s.run()
@@ -332,9 +347,24 @@ func (s *solver) push(n int32) {
 }
 
 // addTo inserts a context-qualified heap object into a node's points-to
-// set, scheduling propagation if it is new.
-func (s *solver) addTo(n, hc int32) {
+// set at an introduction point (an Alloc or a dispatch this-binding),
+// scheduling propagation if it is new.
+func (s *solver) addTo(n, hc int32) { s.addToFrom(n, hc, provIntro) }
+
+// elementwise reports whether propagation must visit facts one element
+// at a time — because a debug hook or the provenance recorder needs to
+// observe each (fact, edge) individually — instead of using the
+// word-parallel union kernels.
+func (s *solver) elementwise() bool { return debugAdd != nil || s.prov != nil }
+
+// addToFrom is addTo for facts arriving across a constraint edge: from
+// is the source node recorded as the fact's first derivation (provIntro
+// at introduction points).
+func (s *solver) addToFrom(n, hc, from int32) {
 	if s.pt[n].Add(hc) {
+		if s.prov != nil {
+			s.prov.record(n, hc, from)
+		}
 		if debugAdd != nil {
 			debugAdd(s, n, hc)
 		}
@@ -388,13 +418,16 @@ func (s *solver) addEdge(src, dst int32, filter ir.TypeID) {
 		return
 	}
 	s.succs[src] = append(s.succs[src], edge{dst: dst, filter: filter})
-	if debugAdd != nil {
-		// Element-wise slow path so the debug hook observes every fact.
+	if s.elementwise() {
+		// Element-wise slow path so the debug hook / provenance
+		// recorder observes every fact. Work accounting matches the
+		// word-parallel path: one unit per scanned element plus one per
+		// new fact (charged inside addToFrom).
 		s.pt[src].ForEachDiff(&s.delta[src], func(hc int32) {
 			s.work++
 			s.propagations++
 			if s.passesFilter(hc, filter) {
-				s.addTo(dst, hc)
+				s.addToFrom(dst, hc, src)
 			}
 		})
 		return
@@ -648,7 +681,7 @@ func (s *solver) processNode(n int32) {
 		s.recycleDelta(d)
 		return
 	}
-	if debugAdd == nil {
+	if !s.elementwise() {
 		for _, e := range s.succs[n] {
 			s.work += dc
 			s.propagations += dc
@@ -668,13 +701,14 @@ func (s *solver) processNode(n int32) {
 			}
 		}
 	} else {
-		// Element-wise slow path so the debug hook observes every fact.
+		// Element-wise slow path so the debug hook / provenance
+		// recorder observes every fact.
 		for _, e := range s.succs[n] {
 			d.ForEach(func(hc int32) {
 				s.work++
 				s.propagations++
 				if s.passesFilter(hc, e.filter) {
-					s.addTo(e.dst, hc)
+					s.addToFrom(e.dst, hc, n)
 				}
 			})
 		}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"introspect/internal/checkers"
 	"introspect/internal/ir"
 	"introspect/internal/pta"
 )
@@ -50,46 +51,24 @@ type Precision struct {
 // Measure computes the precision metrics of a result. For timed-out
 // results the numbers are still computed but flagged: the paper leaves
 // such bars out of its precision charts.
+//
+// The three counters come from internal/checkers (PrecisionCounts), the
+// same primitives the ptalint diagnostics use, so figures and lint
+// findings can never disagree about what counts as a may-fail cast or
+// a polymorphic call.
 func Measure(res *pta.Result) Precision {
-	prog := res.Prog
-	p := Precision{
+	c := checkers.PrecisionCounts(res)
+	return Precision{
 		Analysis:         res.Analysis,
 		TimedOut:         !res.Complete,
-		ReachableMethods: res.NumReachableMethods(),
+		PolyVCalls:       c.PolyVCalls,
+		ReachableMethods: c.ReachableMethods,
+		MayFailCasts:     c.MayFailCasts,
 		VarPTSize:        res.VarPTSize(),
 		PeakPT:           res.PeakPTSize(),
 		Work:             res.Work,
 		ElapsedMS:        res.Elapsed.Milliseconds(),
 	}
-	for mi := range prog.Methods {
-		m := &prog.Methods[mi]
-		if !res.MethodReachable(ir.MethodID(mi)) {
-			continue
-		}
-		for ci := range m.Calls {
-			c := &m.Calls[ci]
-			if c.Kind == ir.Virtual && res.NumInvoTargets(c.Invo) > 1 {
-				p.PolyVCalls++
-			}
-		}
-		for _, c := range m.Casts {
-			if castMayFail(res, c) {
-				p.MayFailCasts++
-			}
-		}
-	}
-	return p
-}
-
-func castMayFail(res *pta.Result, c ir.Cast) bool {
-	prog := res.Prog
-	fail := false
-	res.VarHeaps(c.From).ForEach(func(h int32) {
-		if !prog.SubtypeOf(prog.HeapType(ir.HeapID(h)), c.Type) {
-			fail = true
-		}
-	})
-	return fail
 }
 
 // UncaughtExceptions returns the allocation sites of exceptions that
@@ -119,18 +98,9 @@ func UncaughtExceptions(res *pta.Result) []string {
 func PolySites(res *pta.Result) []string {
 	prog := res.Prog
 	var out []string
-	for mi := range prog.Methods {
-		m := &prog.Methods[mi]
-		if !res.MethodReachable(ir.MethodID(mi)) {
-			continue
-		}
-		for ci := range m.Calls {
-			c := &m.Calls[ci]
-			if c.Kind == ir.Virtual && res.NumInvoTargets(c.Invo) > 1 {
-				out = append(out, fmt.Sprintf("%s (%d targets)",
-					prog.InvoName(c.Invo), res.NumInvoTargets(c.Invo)))
-			}
-		}
+	for _, invo := range checkers.PolyVirtualCalls(res) {
+		out = append(out, fmt.Sprintf("%s (%d targets)",
+			prog.InvoName(invo), res.NumInvoTargets(invo)))
 	}
 	return out
 }

@@ -10,6 +10,11 @@
 # varies across machines and runs, which is what makes the JSON
 # comparable across commits.
 #
+# The Provenance/off and Provenance/on pair additionally records the
+# derivation-witness recorder's solver overhead; the gate is that
+# Provenance/off stays within noise of historical Fig runs (the
+# disabled recorder costs one nil check per derived fact).
+#
 # Usage: scripts/bench.sh [count]   (default: 3 runs per figure)
 
 set -eu
@@ -20,7 +25,7 @@ out="BENCH_$(date +%Y-%m-%d).json"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-go test -bench=Fig -benchtime=1x -count="$count" -run '^$' . | tee "$raw"
+go test -bench='Fig|Provenance' -benchtime=1x -count="$count" -run '^$' . | tee "$raw"
 
 awk -v date="$(date +%Y-%m-%d)" -v count="$count" -v gover="$(go env GOVERSION)" '
 /^Benchmark/ {

@@ -5,6 +5,13 @@ set -eux
 cd "$(dirname "$0")/.."
 
 go vet ./...
+# Optional deeper linters: run whichever is installed, skip otherwise
+# (the CI image ships neither; go vet is the mandatory floor).
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+elif command -v golangci-lint >/dev/null 2>&1; then
+    golangci-lint run ./...
+fi
 go build ./...
 go test ./...
-go test -race ./internal/analysis ./internal/pta
+go test -race ./internal/analysis ./internal/pta ./internal/checkers
