@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench figures
+.PHONY: check vet build test race bench figures serve
 
 # check is what CI runs: vet, build, full tests, race-enabled
 # solver/pipeline tests.
@@ -21,15 +21,21 @@ build:
 test:
 	$(GO) test ./...
 
-# The solver, the pipeline, and the checkers that consume their results
-# have the interesting concurrency surface (context cancellation
-# mid-worklist, shared results across runs); run their tests under the
-# race detector.
+# The solver, the pipeline, the checkers that consume their results,
+# and the analysis service have the interesting concurrency surface
+# (context cancellation mid-worklist, shared results across runs,
+# single-flight dedup and admission under load); run their tests under
+# the race detector.
 race:
-	$(GO) test -race ./internal/analysis ./internal/pta ./internal/checkers
+	$(GO) test -race ./internal/analysis ./internal/pta ./internal/checkers ./internal/service
 
 bench:
 	$(GO) test -bench='Fig|Provenance' -benchtime=1x -run=^$$ .
 
 figures:
 	$(GO) run ./cmd/introbench
+
+# Run the analysis daemon locally (Ctrl-C to stop). See cmd/ptad for
+# flags and the README "Server" section for curl examples.
+serve:
+	$(GO) run ./cmd/ptad

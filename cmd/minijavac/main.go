@@ -78,7 +78,7 @@ func main() {
 	if *spec == "" {
 		return
 	}
-	res, err := analysis.Run(context.Background(), analysis.Request{Prog: prog, Spec: *spec})
+	res, err := analysis.Run(context.Background(), analysis.Request{Prog: prog, Job: analysis.Job{Spec: *spec}})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "minijavac:", err)
 		os.Exit(1)

@@ -15,9 +15,10 @@
 // (insensitive pre-pass, metrics, selection, refined main pass).
 // -intro A|B is shorthand for appending -IntroA/-IntroB to the spec.
 //
-// With -json, the run is emitted as one JSON object carrying the
-// per-stage analysis.Stats records and the precision measurement
-// instead of the human-readable text.
+// With -json, the run is emitted as one versioned analysis.RunJSON
+// document ("schema":"pta/v1") — byte-identical to what cmd/ptad's
+// POST /v1/analyze returns for the same program and spec — instead of
+// the human-readable text.
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 
@@ -35,34 +37,56 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "", "suite benchmark name (e.g. jython); see -list")
-	mjFile := flag.String("mj", "", "Mini-Java source file to analyze")
-	irFile := flag.String("ir", "", "textual IR file to analyze")
-	spec := flag.String("analysis", "insens", "analysis spec: insens, 2objH, 2objH-IntroA, 2typeH, 2callH, 1call, ...")
-	intro := flag.String("intro", "", "introspective heuristic: A or B (shorthand for -analysis <spec>-IntroA/-IntroB)")
-	budget := flag.Int64("budget", 0, "work budget (0 = default, <0 = unlimited)")
-	jsonOut := flag.Bool("json", false, "emit one JSON object with per-stage stats instead of text")
-	verbose := flag.Bool("v", false, "log stage progress to stderr")
-	list := flag.Bool("list", false, "list benchmarks and exit")
-	dump := flag.Bool("dumpstats", false, "print program statistics only")
-	polysites := flag.Bool("polysites", false, "list polymorphic virtual call sites")
-	dist := flag.Bool("dist", false, "print the points-to set size distribution")
-	flag.Parse()
+	// Ctrl-C cancels the pipeline's context: the solver returns its
+	// partial result promptly instead of the process being killed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "pta: interrupted:", err)
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "pta:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the command against args, writing output to out. Split
+// from main so tests drive it in-process (the -json golden test
+// asserts the pta/v1 document byte-for-byte).
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pta", flag.ContinueOnError)
+	bench := fs.String("bench", "", "suite benchmark name (e.g. jython); see -list")
+	mjFile := fs.String("mj", "", "Mini-Java source file to analyze")
+	irFile := fs.String("ir", "", "textual IR file to analyze")
+	spec := fs.String("analysis", "insens", "analysis spec: insens, 2objH, 2objH-IntroA, 2typeH, 2callH, 1call, ...")
+	intro := fs.String("intro", "", "introspective heuristic: A or B (shorthand for -analysis <spec>-IntroA/-IntroB)")
+	budget := fs.Int64("budget", 0, "work budget (0 = default, <0 = unlimited)")
+	jsonOut := fs.Bool("json", false, "emit one pta/v1 JSON document with per-stage stats instead of text")
+	verbose := fs.Bool("v", false, "log stage progress to stderr")
+	list := fs.Bool("list", false, "list benchmarks and exit")
+	dump := fs.Bool("dumpstats", false, "print program statistics only")
+	polysites := fs.Bool("polysites", false, "list polymorphic virtual call sites")
+	dist := fs.Bool("dist", false, "print the points-to set size distribution")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, n := range suite.Names() {
-			fmt.Println(n)
+			fmt.Fprintln(out, n)
 		}
-		return
+		return nil
 	}
 	src := &analysis.Source{Bench: *bench, MJFile: *mjFile, IRFile: *irFile}
 	if *dump {
 		prog, err := src.Load()
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("%s: %s\n", prog.Name, prog.Stats())
-		return
+		fmt.Fprintf(out, "%s: %s\n", prog.Name, prog.Stats())
+		return nil
 	}
 
 	fullSpec := *spec
@@ -73,13 +97,12 @@ func main() {
 	case "B":
 		fullSpec += "-IntroB"
 	default:
-		fmt.Fprintln(os.Stderr, "pta: -intro must be A or B")
-		os.Exit(2)
+		return errors.New("-intro must be A or B")
 	}
 
 	req := analysis.Request{
 		Source: src,
-		Spec:   fullSpec,
+		Job:    analysis.Job{Spec: fullSpec},
 		Limits: analysis.Limits{Budget: *budget},
 	}
 	if *verbose {
@@ -93,60 +116,40 @@ func main() {
 		}
 	}
 
-	// Ctrl-C cancels the pipeline's context: the solver returns its
-	// partial result promptly instead of the process being killed.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-
 	res, err := analysis.Run(ctx, req)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "pta: interrupted:", err)
-			os.Exit(130)
+			return err
 		}
 		// A budget-exhausted main pass still carries a measured result
 		// (the paper's TIMEOUT rows); anything else is fatal.
 		var be *analysis.BudgetExceededError
 		if !errors.As(err, &be) || res == nil || res.Main == nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintln(os.Stderr, "pta: warning:", err)
 	}
 
 	if *jsonOut {
-		out := struct {
-			Program   string            `json:"program"`
-			Analysis  string            `json:"analysis"`
-			Complete  bool              `json:"complete"`
-			Stages    []analysis.Stats  `json:"stages"`
-			Precision *report.Precision `json:"precision,omitempty"`
-		}{res.Prog.Name, res.Analysis, res.Main.Complete, res.Stages, res.Precision}
-		enc := json.NewEncoder(os.Stdout)
-		if err := enc.Encode(out); err != nil {
-			fatal(err)
-		}
-		return
+		enc := json.NewEncoder(out)
+		return enc.Encode(analysis.NewRunJSON(res))
 	}
 
 	if res.Selection != nil {
-		fmt.Println(res.Selection)
+		fmt.Fprintln(out, res.Selection)
 	}
-	fmt.Printf("%s: %s\n", res.Prog.Name, res.Prog.Stats())
-	fmt.Println(res.Main.Stats())
+	fmt.Fprintf(out, "%s: %s\n", res.Prog.Name, res.Prog.Stats())
+	fmt.Fprintln(out, res.Main.Stats())
 	p := res.Precision
-	fmt.Printf("precision: polycalls=%d reachable=%d maycasts=%d\n",
+	fmt.Fprintf(out, "precision: polycalls=%d reachable=%d maycasts=%d\n",
 		p.PolyVCalls, p.ReachableMethods, p.MayFailCasts)
 	if *polysites {
 		for _, s := range report.PolySites(res.Main) {
-			fmt.Println("poly:", s)
+			fmt.Fprintln(out, "poly:", s)
 		}
 	}
 	if *dist {
-		fmt.Print(report.MeasureDistribution(res.Main))
+		fmt.Fprint(out, report.MeasureDistribution(res.Main))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pta:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// updateGolden refreshes testdata goldens instead of comparing. Pass
+// it through go test's -args separator:
+//
+//	go test ./cmd/pta -args -update
+var updateGolden = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+const demo = "../../examples/ptalint/holder.mj"
+
+// scrubWall zeroes the only nondeterministic fields of a pta/v1
+// document — wall-clock durations — so the rest byte-compares.
+var wallRE = regexp.MustCompile(`"(wall_ns|elapsed_ms)":\d+`)
+
+func scrubWall(b []byte) []byte {
+	return wallRE.ReplaceAll(b, []byte(`"$1":0`))
+}
+
+// TestJSONGolden runs an introspective pipeline in-process with -json
+// and byte-compares the pta/v1 document (wall times scrubbed) against
+// testdata/pta_json.golden. The solver is deterministic, so every
+// counter — work, derivations, contexts, precision — is pinned.
+func TestJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-mj", demo, "-analysis", "2objH-IntroA", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := scrubWall(buf.Bytes())
+
+	golden := filepath.Join("testdata", "pta_json.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-json output differs from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestJSONSchema checks the versioned envelope: the document parses,
+// declares schema pta/v1, and carries one stage record per pipeline
+// stage of an introspective run.
+func TestJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-mj", demo, "-analysis", "2objH", "-intro", "A", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema   string `json:"schema"`
+		Program  string `json:"program"`
+		Analysis string `json:"analysis"`
+		Complete bool   `json:"complete"`
+		Stages   []struct {
+			Stage string `json:"stage"`
+		} `json:"stages"`
+		Precision *struct {
+			ReachableMethods int `json:"reachable_methods"`
+		} `json:"precision"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, buf.Bytes())
+	}
+	if doc.Schema != "pta/v1" {
+		t.Errorf("schema = %q, want pta/v1", doc.Schema)
+	}
+	if doc.Analysis != "2objH-IntroA" {
+		t.Errorf("analysis = %q (is -intro A shorthand broken?)", doc.Analysis)
+	}
+	if !doc.Complete {
+		t.Error("demo run should complete within the default budget")
+	}
+	wantStages := []string{"frontend", "pre-pass", "metrics", "selection", "main-pass", "report"}
+	if len(doc.Stages) != len(wantStages) {
+		t.Fatalf("stages = %d, want %d", len(doc.Stages), len(wantStages))
+	}
+	for i, s := range doc.Stages {
+		if s.Stage != wantStages[i] {
+			t.Errorf("stage[%d] = %q, want %q", i, s.Stage, wantStages[i])
+		}
+	}
+	if doc.Precision == nil || doc.Precision.ReachableMethods == 0 {
+		t.Errorf("precision missing or empty: %+v", doc.Precision)
+	}
+}
+
+// TestTextSmoke pins the non-JSON path still renders the summary.
+func TestTextSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-mj", demo, "-analysis", "insens"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("precision:")) {
+		t.Errorf("text output missing precision line:\n%s", buf.Bytes())
+	}
+}

@@ -1,0 +1,102 @@
+// Command ptad is the analysis daemon: a long-running HTTP server
+// exposing the points-to pipeline as a service, with a
+// content-addressed result cache, single-flight deduplication of
+// identical concurrent requests, and admission control (bounded
+// workers, bounded queue, per-request deadlines). internal/service
+// implements the engine; ptad is its thin HTTP frontend.
+//
+// Usage:
+//
+//	ptad [-addr 127.0.0.1:8372] [-workers N] [-queue N] [-cache N]
+//	     [-deadline 30s] [-max-deadline 5m] [-budget N]
+//
+// Endpoints:
+//
+//	POST /v1/analyze   analyze source (JSON request or raw body + query params)
+//	GET  /v1/specs     list analyses and introspective variants
+//	GET  /healthz      liveness
+//	GET  /metrics      cache/queue/latency counters (plain JSON)
+//
+// Examples:
+//
+//	ptad &
+//	curl --data-binary @examples/ptalint/holder.mj \
+//	    'http://127.0.0.1:8372/v1/analyze?spec=2objH-IntroA'
+//	curl -s -X POST -H 'Content-Type: application/json' \
+//	    -d '{"lang":"mj","source":"class Main { ... }","job":{"spec":"2objH"}}' \
+//	    http://127.0.0.1:8372/v1/analyze
+//
+// Responses are versioned pta/v1 documents (analysis.RunJSON), the
+// same shape cmd/pta -json emits, plus a "cache" field: "miss" (this
+// request solved), "hit" (served from the result cache), or "dedup"
+// (an identical concurrent request solved and the result was shared).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"introspect/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ptad:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8372", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("workers", 0, "concurrent solves (0 = number of CPUs)")
+	queue := flag.Int("queue", 16, "admitted requests that may wait beyond those in flight")
+	cache := flag.Int("cache", 256, "result cache entries")
+	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+	maxDeadline := flag.Duration("max-deadline", 5*time.Minute, "maximum per-request deadline")
+	budget := flag.Int64("budget", 0, "default per-pass work budget (0 = solver default, <0 = unlimited)")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		DefaultBudget:   *budget,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The scripted smoke test (scripts/check.sh) parses this line to
+	// discover the ephemeral port; keep its shape stable.
+	fmt.Printf("ptad: listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop()
+		fmt.Println("ptad: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}

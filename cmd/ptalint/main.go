@@ -59,7 +59,7 @@ func run(args []string, out io.Writer) error {
 	irFile := fs.String("ir", "", "textual IR file to lint")
 	spec := fs.String("analysis", "2objH", "analysis spec: insens, 2objH, 2objH-IntroB, ... (see cmd/pta)")
 	checks := fs.String("checks", "", "comma-separated checker names to run (default: all; see -list)")
-	format := fs.String("format", "text", "output format: text or sarif")
+	format := fs.String("format", "text", "output format: text, json (pta/v1), or sarif")
 	budget := fs.Int64("budget", 0, "work budget per solver pass (0 = default, <0 = unlimited)")
 	provenance := fs.Bool("provenance", true, "record derivation witnesses and attach them to diagnostics")
 	baseline := fs.Bool("baseline", true, "solve an insensitive baseline for the conflation checker when the pipeline has none")
@@ -89,7 +89,7 @@ func run(args []string, out io.Writer) error {
 
 	res, err := analysis.Run(ctx, analysis.Request{
 		Source:     &analysis.Source{Bench: *bench, MJFile: *mjFile, IRFile: *irFile},
-		Spec:       *spec,
+		Job:        analysis.Job{Spec: *spec},
 		Limits:     analysis.Limits{Budget: *budget},
 		Provenance: *provenance,
 	})
@@ -120,11 +120,29 @@ func run(args []string, out io.Writer) error {
 	case "text":
 		writeText(out, res.Prog.Name, res.Main.Analysis, diags)
 		return nil
+	case "json":
+		return writeJSON(out, res, diags)
 	case "sarif":
 		return writeSARIF(out, cs, diags)
 	default:
-		return fmt.Errorf("unknown format %q (have text, sarif)", *format)
+		return fmt.Errorf("unknown format %q (have text, json, sarif)", *format)
 	}
+}
+
+// lintJSON is ptalint's pta/v1 document: the shared analysis.RunJSON
+// run record (identical to cmd/pta -json and cmd/ptad) with the
+// checker diagnostics appended.
+type lintJSON struct {
+	*analysis.RunJSON
+	Diagnostics []checkers.Diagnostic `json:"diagnostics"`
+}
+
+func writeJSON(out io.Writer, res *analysis.Result, diags []checkers.Diagnostic) error {
+	if diags == nil {
+		diags = []checkers.Diagnostic{}
+	}
+	enc := json.NewEncoder(out)
+	return enc.Encode(lintJSON{analysis.NewRunJSON(res), diags})
 }
 
 // writeText renders the human-readable report: a summary line, then one

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -41,6 +42,51 @@ func TestPtalintGolden(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Errorf("ptalint output differs from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// wallRE scrubs the only nondeterministic fields of a pta/v1 document
+// (wall-clock durations) so the rest byte-compares.
+var wallRE = regexp.MustCompile(`"(wall_ns|elapsed_ms)":\d+`)
+
+// TestJSONGolden lints the demo with -format json and byte-compares
+// the pta/v1 document — the shared analysis.RunJSON run record plus
+// ptalint's diagnostics array — against testdata/ptalint_json.golden.
+func TestJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mj", demo, "-analysis", "2objH", "-format", "json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := wallRE.ReplaceAll(buf.Bytes(), []byte(`"$1":0`))
+
+	golden := filepath.Join("testdata", "ptalint_json.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-format json output differs from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The envelope must be the same schema cmd/pta and cmd/ptad speak.
+	var doc struct {
+		Schema      string            `json:"schema"`
+		Diagnostics []json.RawMessage `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "pta/v1" {
+		t.Errorf("schema = %q, want pta/v1", doc.Schema)
+	}
+	if len(doc.Diagnostics) == 0 {
+		t.Error("demo program should produce diagnostics")
 	}
 }
 

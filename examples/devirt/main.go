@@ -19,7 +19,6 @@ import (
 	"log"
 
 	"introspect/internal/analysis"
-	"introspect/internal/introspect"
 	"introspect/internal/ir"
 	"introspect/internal/lang"
 	"introspect/internal/pta"
@@ -105,7 +104,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	insRun, err := analysis.Run(context.Background(), analysis.Request{Prog: prog, Spec: "insens"})
+	insRun, err := analysis.Run(context.Background(), analysis.Request{Prog: prog, Job: analysis.Job{Spec: "insens"}})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -114,7 +113,7 @@ func main() {
 	// selection, refined 2objH main pass — scalable even when a program
 	// has pathological parts, and precise here.
 	run, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: "2objH", Heuristic: introspect.DefaultB(),
+		Prog: prog, Job: analysis.Job{Spec: "2objH-IntroB"},
 	})
 	if err != nil {
 		log.Fatal(err)

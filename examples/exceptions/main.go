@@ -64,7 +64,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := analysis.Run(context.Background(), analysis.Request{Prog: prog, Spec: "2objH"})
+	out, err := analysis.Run(context.Background(), analysis.Request{Prog: prog, Job: analysis.Job{Spec: "2objH"}})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -44,7 +44,7 @@ func main() {
 	fmt.Println("program:", prog.Stats())
 
 	for _, spec := range []string{"insens", "2objH"} {
-		out, err := analysis.Run(context.Background(), analysis.Request{Prog: prog, Spec: spec})
+		out, err := analysis.Run(context.Background(), analysis.Request{Prog: prog, Job: analysis.Job{Spec: spec}})
 		if err != nil {
 			log.Fatal(err)
 		}

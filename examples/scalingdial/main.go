@@ -16,7 +16,6 @@ import (
 	"log"
 
 	"introspect/internal/analysis"
-	"introspect/internal/introspect"
 	"introspect/internal/suite"
 )
 
@@ -25,7 +24,7 @@ func main() {
 	fmt.Println("benchmark jython:", prog.Stats())
 	lim := analysis.Limits{Budget: 30_000_000}
 
-	ins := runOne(analysis.Request{Prog: prog, Spec: "insens", Limits: lim})
+	ins := runOne(analysis.Request{Prog: prog, Job: analysis.Job{Spec: "insens"}, Limits: lim})
 	pi := ins.Precision
 	fmt.Printf("\n%-22s %12s %9s %9s %9s\n", "analysis", "work", "polycall", "reach", "maycast")
 	fmt.Printf("%-22s %12d %9d %9d %9d\n", "insens", ins.Main.Work, pi.PolyVCalls, pi.ReachableMethods, pi.MayFailCasts)
@@ -33,14 +32,22 @@ func main() {
 	// Sweep Heuristic A's thresholds. Small thresholds exclude more
 	// program elements from refinement (cheaper, less precise); large
 	// thresholds approach the full 2objH analysis (which explodes).
+	// The overrides are plain Job data — the exact JSON a cmd/ptad
+	// client would POST to turn the same knob remotely.
 	for _, scale := range []int{1, 25, 100, 400, 2000, 100000} {
-		h := introspect.HeuristicA{K: scale, L: scale, M: 2 * scale}
-		res := runOne(analysis.Request{Prog: prog, Spec: "2objH", Heuristic: h, Limits: lim})
+		res := runOne(analysis.Request{
+			Prog: prog,
+			Job: analysis.Job{
+				Spec:       "2objH-IntroA",
+				Thresholds: &analysis.Thresholds{K: scale, L: scale, M: 2 * scale},
+			},
+			Limits: lim,
+		})
 		name := fmt.Sprintf("2objH-IntroA(K=%d)", scale)
 		printRow(name, res)
 	}
 
-	full := runOne(analysis.Request{Prog: prog, Spec: "2objH", Limits: lim})
+	full := runOne(analysis.Request{Prog: prog, Job: analysis.Job{Spec: "2objH"}, Limits: lim})
 	printRow("2objH (full)", full)
 	fmt.Println("\nLower thresholds buy scalability; higher thresholds buy precision —")
 	fmt.Println("and past the point where the pathological elements get refined, the")

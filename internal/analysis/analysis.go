@@ -37,8 +37,8 @@ type Limits struct {
 func (l Limits) opts() pta.Options { return pta.Options{Budget: l.Budget} }
 
 // Request describes one analysis to run: the program (or how the
-// frontend obtains it), the analysis spec, resource limits, and an
-// optional Observer.
+// frontend obtains it), the serializable Job naming the analysis and
+// its knobs, resource limits, and an optional Observer.
 type Request struct {
 	// Prog is the program to analyze. If nil, Source must be set and
 	// the pipeline's frontend stage produces the program.
@@ -47,21 +47,21 @@ type Request struct {
 	// of Prog and Source must be set.
 	Source *Source
 
-	// Spec names the analysis: "insens", "2objH", "1call", ... for a
-	// single pass, or "<deep>-<variant>" ("2objH-IntroA",
-	// "2callH-IntroB", "2objH-syntactic") for an introspective
-	// pipeline. Variants resolve through the registry (see
-	// RegisterVariant).
-	Spec string
-	// Heuristic, if non-nil, requests an introspective pipeline with
-	// this custom selection heuristic; Spec must then name the deep
-	// (context-sensitive) analysis. Used for threshold sweeps and
-	// Combo heuristics.
-	Heuristic introspect.Heuristic
-	// Syntactic, if non-nil, requests the traditional
-	// syntactic-exclusions baseline (no pre-pass) with these options;
-	// Spec must name the deep analysis.
-	Syntactic *introspect.SyntacticOptions
+	// Job is the analysis description — the spec string plus optional
+	// threshold / syntactic-baseline knobs. Job is plain data and
+	// round-trips through JSON, so it is exactly what cmd/ptad
+	// receives on the wire and what internal/service hashes into its
+	// cache key.
+	Job Job
+	// Selector, if non-nil, is an in-process escape hatch for custom
+	// selection strategies that cannot be expressed as Job data
+	// (arbitrary introspect.Heuristic implementations, Combos built
+	// programmatically). Job.Spec must then name the deep
+	// (context-sensitive) analysis with no variant suffix, and
+	// Job.Thresholds/Job.Syntactic must be nil. Requests carrying a
+	// Selector are not serializable; services reject them by
+	// construction (the field is not part of the wire Job).
+	Selector Selector
 
 	// First, if non-nil, is a completed context-insensitive result to
 	// inject as the introspective pipeline's pre-pass instead of

@@ -19,7 +19,7 @@ import (
 func TestSinglePassEquivalence(t *testing.T) {
 	prog := randprog.Generate(3, randprog.Default())
 	res, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: "2objH", Limits: analysis.Limits{Budget: -1},
+		Prog: prog, Job: analysis.Job{Spec: "2objH"}, Limits: analysis.Limits{Budget: -1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -52,7 +52,7 @@ func TestSinglePassEquivalence(t *testing.T) {
 func TestUnknownVariant(t *testing.T) {
 	prog := randprog.Generate(1, randprog.Default())
 	_, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: "2objH-IntroZ",
+		Prog: prog, Job: analysis.Job{Spec: "2objH-IntroZ"},
 	})
 	if err == nil {
 		t.Fatal("expected error for unknown variant")
@@ -68,12 +68,12 @@ func TestUnknownVariant(t *testing.T) {
 // registered under a new name resolves through spec strings like the
 // built-ins.
 func TestRegisterVariant(t *testing.T) {
-	analysis.RegisterVariant("TestOnlyA", func() analysis.Selector {
+	analysis.RegisterVariant("TestOnlyA", func(*analysis.Thresholds) analysis.Selector {
 		return analysis.HeuristicSelector(introspect.HeuristicA{K: 2, L: 2, M: 2})
 	})
 	prog := randprog.Generate(2, randprog.Default())
 	res, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: "2objH-TestOnlyA", Limits: analysis.Limits{Budget: -1},
+		Prog: prog, Job: analysis.Job{Spec: "2objH-TestOnlyA"}, Limits: analysis.Limits{Budget: -1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -108,7 +108,7 @@ class A {
 }`
 	res, err := analysis.Run(context.Background(), analysis.Request{
 		Source: &analysis.Source{Text: src, Name: "frontend-test"},
-		Spec:   "insens",
+		Job:    analysis.Job{Spec: "insens"},
 		Limits: analysis.Limits{Budget: -1},
 	})
 	if err != nil {
@@ -125,7 +125,7 @@ class A {
 	}
 
 	// Exactly one of Prog and Source is required.
-	if _, err := analysis.Run(context.Background(), analysis.Request{Spec: "insens"}); err == nil {
+	if _, err := analysis.Run(context.Background(), analysis.Request{Job: analysis.Job{Spec: "insens"}}); err == nil {
 		t.Error("expected error with neither Prog nor Source")
 	}
 }
@@ -138,7 +138,7 @@ class A {
 func TestPrePassBudgetPropagates(t *testing.T) {
 	prog := randprog.Generate(4, randprog.Default())
 	res, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: "2objH", Heuristic: introspect.DefaultA(),
+		Prog: prog, Job: analysis.Job{Spec: "2objH-IntroA"},
 		Limits: analysis.Limits{Budget: 3},
 	})
 	var be *analysis.BudgetExceededError
@@ -168,7 +168,7 @@ func TestPrePassBudgetPropagates(t *testing.T) {
 func TestMainPassBudgetStillReports(t *testing.T) {
 	prog := randprog.Generate(4, randprog.Default())
 	res, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: "2objH", Limits: analysis.Limits{Budget: 3},
+		Prog: prog, Job: analysis.Job{Spec: "2objH"}, Limits: analysis.Limits{Budget: 3},
 	})
 	var be *analysis.BudgetExceededError
 	if !errors.As(err, &be) {
@@ -205,7 +205,7 @@ func TestObserverCallbacks(t *testing.T) {
 		OnProgress:    func(stage string, work int64) { works = append(works, work) },
 	}
 	res, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: "2objH", Heuristic: introspect.DefaultB(),
+		Prog: prog, Job: analysis.Job{Spec: "2objH-IntroB"},
 		Limits: analysis.Limits{Budget: -1}, Observer: obs,
 	})
 	if err != nil {
@@ -245,7 +245,7 @@ func TestObserverCallbacks(t *testing.T) {
 func TestStatsJSON(t *testing.T) {
 	prog := randprog.Generate(6, randprog.Default())
 	res, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: "insens", Limits: analysis.Limits{Budget: -1},
+		Prog: prog, Job: analysis.Job{Spec: "insens"}, Limits: analysis.Limits{Budget: -1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -286,31 +286,31 @@ func TestPipelineStageLists(t *testing.T) {
 		name string
 		want []string
 	}{
-		{analysis.Request{Prog: prog, Spec: "insens"}, "insens",
+		{analysis.Request{Prog: prog, Job: analysis.Job{Spec: "insens"}}, "insens",
 			[]string{analysis.StageMainPass, analysis.StageReport}},
-		{analysis.Request{Prog: prog, Spec: "2objH-IntroA"}, "2objH-IntroA",
+		{analysis.Request{Prog: prog, Job: analysis.Job{Spec: "2objH-IntroA"}}, "2objH-IntroA",
 			[]string{analysis.StagePrePass, analysis.StageMetrics, analysis.StageSelection,
 				analysis.StageMainPass, analysis.StageReport}},
-		{analysis.Request{Prog: prog, Spec: "2objH-syntactic"}, "2objH-syntactic",
+		{analysis.Request{Prog: prog, Job: analysis.Job{Spec: "2objH-syntactic"}}, "2objH-syntactic",
 			[]string{analysis.StageSelection, analysis.StageMainPass, analysis.StageReport}},
-		{analysis.Request{Source: &analysis.Source{Bench: "antlr"}, Spec: "1call"}, "1call",
+		{analysis.Request{Source: &analysis.Source{Bench: "antlr"}, Job: analysis.Job{Spec: "1call"}}, "1call",
 			[]string{analysis.StageFrontend, analysis.StageMainPass, analysis.StageReport}},
 	}
 	for _, c := range cases {
 		p, err := analysis.NewPipeline(&c.req)
 		if err != nil {
-			t.Fatalf("%s: %v", c.req.Spec, err)
+			t.Fatalf("%s: %v", c.req.Job.Spec, err)
 		}
 		if p.Name != c.name {
-			t.Errorf("%s: pipeline name %q", c.req.Spec, p.Name)
+			t.Errorf("%s: pipeline name %q", c.req.Job.Spec, p.Name)
 		}
 		got := p.Stages()
 		if len(got) != len(c.want) {
-			t.Fatalf("%s: stages %v, want %v", c.req.Spec, got, c.want)
+			t.Fatalf("%s: stages %v, want %v", c.req.Job.Spec, got, c.want)
 		}
 		for i := range got {
 			if got[i] != c.want[i] {
-				t.Errorf("%s: stages %v, want %v", c.req.Spec, got, c.want)
+				t.Errorf("%s: stages %v, want %v", c.req.Job.Spec, got, c.want)
 			}
 		}
 	}
@@ -325,7 +325,7 @@ func TestSpecNamingMatchesLegacy(t *testing.T) {
 		"2objH-IntroA": "2objH-IntroA", "2callH-IntroB": "2callH-IntroB",
 		"2objH-syntactic": "2objH-syntactic",
 	} {
-		p, err := analysis.NewPipeline(&analysis.Request{Prog: prog, Spec: spec})
+		p, err := analysis.NewPipeline(&analysis.Request{Prog: prog, Job: analysis.Job{Spec: spec}})
 		if err != nil {
 			t.Fatalf("%s: %v", spec, err)
 		}

@@ -41,7 +41,7 @@ func TestCancelMidSolve(t *testing.T) {
 
 	start := time.Now()
 	res, err := analysis.Run(ctx, analysis.Request{
-		Prog: prog, Spec: "2objH",
+		Prog: prog, Job: analysis.Job{Spec: "2objH"},
 		Limits:   analysis.Limits{Budget: -1},
 		Observer: obs,
 	})
@@ -96,7 +96,7 @@ func TestCancelBeforeRun(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res, err := analysis.Run(ctx, analysis.Request{Prog: prog, Spec: "insens"})
+	res, err := analysis.Run(ctx, analysis.Request{Prog: prog, Job: analysis.Job{Spec: "insens"}})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}

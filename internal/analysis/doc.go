@@ -29,6 +29,19 @@
 // through a registry (RegisterVariant / Variants), so CLIs do not
 // switch on analysis names.
 //
+// # Jobs
+//
+// What to run is a Job: a spec string plus optional serializable
+// overrides (threshold constants for Heuristic A/B, or explicit
+// syntactic-exclusion options). A Job round-trips through JSON, which
+// is what makes the analysis service (cmd/ptad) possible — the Job's
+// canonical encoding is part of the content-addressed result-cache
+// key, so two requests resolve to the same cached result exactly when
+// they would run the same analysis. In-process callers that need a
+// custom introspect.Heuristic implementation (which cannot serialize)
+// set Request.Selector instead; such requests bypass Job resolution
+// and are not expressible over the wire.
+//
 // # Cancellation and budgets
 //
 // Execute threads its context into every solver pass; the worklist
@@ -53,15 +66,19 @@
 //
 //	old                                           new
 //	----------------------------------------------------------------------
-//	pta.Analyze(prog, "2objH", opts)              Run(ctx, Request{Prog: prog, Spec: "2objH",
+//	pta.Analyze(prog, "2objH", opts)              Run(ctx, Request{Prog: prog,
+//	                                                  Job: Job{Spec: "2objH"},
 //	                                                  Limits: Limits{Budget: opts.Budget}})
 //	pta.Solve(prog, pol, tab, opts)               still available to the engine layer itself,
 //	                                              now pta.Solve(ctx, prog, pol, tab, opts)
-//	introspect.Run(prog, "2objH", h, opts)        Run(ctx, Request{Prog: prog, Spec: "2objH",
-//	                                                  Heuristic: h, ...})
+//	introspect.Run(prog, "2objH", h, opts)        Run(ctx, Request{Prog: prog,
+//	                                                  Job: Job{Spec: "2objH-IntroA"}, ...})
+//	                                              or, for a custom Heuristic h,
+//	                                                  Request{..., Job: Job{Spec: "2objH"},
+//	                                                  Selector: HeuristicSelector(h)}
 //	  .First / .Selection / .Second               Result.First / Result.Selection / Result.Main
-//	introspect.RunSyntactic(prog, deep, so, o)    Run(ctx, Request{Prog: prog, Spec: deep,
-//	                                                  Syntactic: &so, ...})
+//	introspect.RunSyntactic(prog, deep, so, o)    Run(ctx, Request{Prog: prog,
+//	                                                  Job: Job{Spec: deep, Syntactic: &so}, ...})
 //	pta.Options{Budget: b, Deadline: d}           Limits{Budget: b} + context.WithTimeout(ctx, d)
 //	res.TimedOut                                  errors.As(err, &*BudgetExceededError) /
 //	                                              !res.Main.Complete

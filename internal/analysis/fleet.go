@@ -19,9 +19,11 @@ type RunResult struct {
 // and returns the outcomes in request order, so callers can assemble
 // figure rows positionally regardless of completion order.
 //
-// workers <= 0 selects GOMAXPROCS; any value is capped at GOMAXPROCS
-// (more workers than schedulable threads only adds contention on the
-// solver's memory-bound inner loops) and at len(reqs).
+// workers <= 0 selects runtime.NumCPU() — the machine's capacity, not
+// GOMAXPROCS, so a lowered GOMAXPROCS (common in container test
+// harnesses) no longer silently serializes a fleet. An explicit
+// positive workers is honored as given; either way the pool never
+// exceeds len(reqs).
 //
 // Cancelling ctx stops the fleet promptly: in-flight runs abort at
 // their next stage boundary or solver check, and requests not yet
@@ -29,13 +31,7 @@ type RunResult struct {
 // Each run is fully isolated (own pta.Table, own solver state), so
 // concurrent results are bit-for-bit identical to sequential ones.
 func RunAll(ctx context.Context, reqs []Request, workers int) []RunResult {
-	max := runtime.GOMAXPROCS(0)
-	if workers <= 0 || workers > max {
-		workers = max
-	}
-	if workers > len(reqs) {
-		workers = len(reqs)
-	}
+	workers = poolSize(workers, len(reqs))
 
 	out := make([]RunResult, len(reqs))
 	if len(reqs) == 0 {
@@ -63,4 +59,16 @@ func RunAll(ctx context.Context, reqs []Request, workers int) []RunResult {
 	close(jobs)
 	wg.Wait()
 	return out
+}
+
+// poolSize resolves the worker-count parameter of RunAll: non-positive
+// means NumCPU, and the pool never exceeds the request count.
+func poolSize(workers, nreqs int) int {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > nreqs {
+		workers = nreqs
+	}
+	return workers
 }

@@ -20,19 +20,19 @@ func TestRunAllMatchesSequential(t *testing.T) {
 	progA := randprog.Generate(2, randprog.Default())
 	progB := randprog.Generate(3, randprog.Default())
 	reqs := []analysis.Request{
-		{Prog: progA, Spec: "insens", Limits: analysis.Limits{Budget: -1}},
-		{Prog: progB, Spec: "2objH", Limits: analysis.Limits{Budget: -1}},
-		{Prog: progA, Spec: "2objH-IntroA", Limits: analysis.Limits{Budget: -1}},
-		{Prog: progB, Spec: "insens", Limits: analysis.Limits{Budget: -1}},
-		{Prog: progB, Spec: "2objH-IntroB", Limits: analysis.Limits{Budget: -1}},
-		{Prog: progA, Spec: "2typeH", Limits: analysis.Limits{Budget: -1}},
+		{Prog: progA, Job: analysis.Job{Spec: "insens"}, Limits: analysis.Limits{Budget: -1}},
+		{Prog: progB, Job: analysis.Job{Spec: "2objH"}, Limits: analysis.Limits{Budget: -1}},
+		{Prog: progA, Job: analysis.Job{Spec: "2objH-IntroA"}, Limits: analysis.Limits{Budget: -1}},
+		{Prog: progB, Job: analysis.Job{Spec: "insens"}, Limits: analysis.Limits{Budget: -1}},
+		{Prog: progB, Job: analysis.Job{Spec: "2objH-IntroB"}, Limits: analysis.Limits{Budget: -1}},
+		{Prog: progA, Job: analysis.Job{Spec: "2typeH"}, Limits: analysis.Limits{Budget: -1}},
 	}
 
 	want := make([]*analysis.Result, len(reqs))
 	for i, r := range reqs {
 		res, err := analysis.Run(context.Background(), r)
 		if err != nil {
-			t.Fatalf("sequential run %d (%s): %v", i, r.Spec, err)
+			t.Fatalf("sequential run %d (%s): %v", i, r.Job.Spec, err)
 		}
 		want[i] = res
 	}
@@ -43,7 +43,7 @@ func TestRunAllMatchesSequential(t *testing.T) {
 	}
 	for i, rr := range got {
 		if rr.Err != nil {
-			t.Fatalf("parallel run %d (%s): %v", i, reqs[i].Spec, rr.Err)
+			t.Fatalf("parallel run %d (%s): %v", i, reqs[i].Job.Spec, rr.Err)
 		}
 		if rr.Result.Analysis != want[i].Analysis {
 			t.Errorf("slot %d: analysis %q, want %q — results out of request order",
@@ -53,14 +53,14 @@ func TestRunAllMatchesSequential(t *testing.T) {
 		if pm.Work != sm.Work || pm.Derivations != sm.Derivations ||
 			pm.VarPTSize() != sm.VarPTSize() || pm.NumCallGraphEdges() != sm.NumCallGraphEdges() {
 			t.Errorf("slot %d (%s): parallel run diverges from sequential: work %d/%d derivations %d/%d varPT %d/%d cg %d/%d",
-				i, reqs[i].Spec, pm.Work, sm.Work, pm.Derivations, sm.Derivations,
+				i, reqs[i].Job.Spec, pm.Work, sm.Work, pm.Derivations, sm.Derivations,
 				pm.VarPTSize(), sm.VarPTSize(), pm.NumCallGraphEdges(), sm.NumCallGraphEdges())
 		}
 		pp, sp := *rr.Result.Precision, *want[i].Precision
 		pp.ElapsedMS, sp.ElapsedMS = 0, 0 // wall time is the one nondeterministic field
 		if pp != sp {
 			t.Errorf("slot %d (%s): precision diverges: %+v vs %+v",
-				i, reqs[i].Spec, pp, sp)
+				i, reqs[i].Job.Spec, pp, sp)
 		}
 	}
 }
@@ -90,7 +90,7 @@ func TestRunAllCancellation(t *testing.T) {
 	reqs := make([]analysis.Request, 4)
 	for i := range reqs {
 		reqs[i] = analysis.Request{
-			Prog: prog, Spec: "2objH",
+			Prog: prog, Job: analysis.Job{Spec: "2objH"},
 			Limits:   analysis.Limits{Budget: -1},
 			Observer: obs,
 		}
@@ -122,7 +122,7 @@ func TestRunAllEdgeCases(t *testing.T) {
 	prog := randprog.Generate(1, randprog.Default())
 	for _, workers := range []int{-1, 0, 1, 16} {
 		got := analysis.RunAll(context.Background(), []analysis.Request{
-			{Prog: prog, Spec: "insens", Limits: analysis.Limits{Budget: -1}},
+			{Prog: prog, Job: analysis.Job{Spec: "insens"}, Limits: analysis.Limits{Budget: -1}},
 		}, workers)
 		if len(got) != 1 || got[0].Err != nil || got[0].Result.Main == nil {
 			t.Errorf("workers=%d: unexpected outcome %+v", workers, got)

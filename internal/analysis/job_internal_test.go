@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"testing"
+
+	"introspect/internal/introspect"
+)
+
+// TestThresholdsMaterialize pins the merge rule: nil receiver and zero
+// fields keep the paper's defaults, positive fields override them.
+func TestThresholdsMaterialize(t *testing.T) {
+	var nilT *Thresholds
+	if got, want := nilT.heuristicA(), introspect.DefaultA(); got != want {
+		t.Errorf("nil.heuristicA() = %+v, want defaults %+v", got, want)
+	}
+	if got, want := nilT.heuristicB(), introspect.DefaultB(); got != want {
+		t.Errorf("nil.heuristicB() = %+v, want defaults %+v", got, want)
+	}
+	if got, want := (&Thresholds{}).heuristicA(), introspect.DefaultA(); got != want {
+		t.Errorf("zero.heuristicA() = %+v, want defaults %+v", got, want)
+	}
+	got := (&Thresholds{K: 7, M: 9}).heuristicA()
+	if got.K != 7 || got.M != 9 || got.L != introspect.DefaultA().L {
+		t.Errorf("partial override = %+v, want K=7 M=9 L=default", got)
+	}
+	gotB := (&Thresholds{Q: 42}).heuristicB()
+	if gotB.Q != 42 || gotB.P != introspect.DefaultB().P {
+		t.Errorf("partial override = %+v, want Q=42 P=default", gotB)
+	}
+}
+
+// TestResolveJob covers the single interpretation point's branches
+// without running any solver.
+func TestResolveJob(t *testing.T) {
+	so := introspect.DefaultSyntactic()
+	cases := []struct {
+		name     string
+		job      Job
+		override Selector
+		wantSel  string // "" = single-pass, else Selector.Name()
+		wantErr  bool
+	}{
+		{name: "plain", job: Job{Spec: "2objH"}, wantSel: ""},
+		{name: "insens", job: Job{Spec: "insens"}, wantSel: ""},
+		{name: "introA", job: Job{Spec: "2objH-IntroA"}, wantSel: "IntroA"},
+		{name: "introB with thresholds", job: Job{Spec: "2callH-IntroB", Thresholds: &Thresholds{P: 5}}, wantSel: "IntroB"},
+		{name: "syntactic suffix", job: Job{Spec: "2objH-syntactic"}, wantSel: "syntactic"},
+		{name: "syntactic options", job: Job{Spec: "2objH", Syntactic: &so}, wantSel: "syntactic"},
+		{name: "override", job: Job{Spec: "2objH"}, override: HeuristicSelector(introspect.DefaultA()), wantSel: "IntroA"},
+		{name: "unknown variant", job: Job{Spec: "2objH-IntroZ"}, wantErr: true},
+		{name: "thresholds without variant", job: Job{Spec: "2objH", Thresholds: &Thresholds{K: 1}}, wantErr: true},
+		{name: "thresholds plus syntactic", job: Job{Spec: "2objH", Thresholds: &Thresholds{K: 1}, Syntactic: &so}, wantErr: true},
+		{name: "override plus thresholds", job: Job{Spec: "2objH", Thresholds: &Thresholds{K: 1}}, override: HeuristicSelector(introspect.DefaultA()), wantErr: true},
+		{name: "introspective insens", job: Job{Spec: "insens-IntroA"}, wantErr: true},
+		{name: "bogus spec", job: Job{Spec: "9zorkH"}, wantErr: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, sel, err := resolveJob(c.job, c.override)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("resolveJob(%+v) succeeded, want error", c.job)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("resolveJob(%+v): %v", c.job, err)
+			}
+			name := ""
+			if sel != nil {
+				name = sel.Name()
+			}
+			if name != c.wantSel {
+				t.Errorf("selector %q, want %q", name, c.wantSel)
+			}
+		})
+	}
+}
+
+// TestResolveJobThresholdsReach checks that Job.Thresholds actually
+// reaches the materialized heuristic (not just parses).
+func TestResolveJobThresholdsReach(t *testing.T) {
+	_, sel, err := resolveJob(Job{Spec: "2objH-IntroA", Thresholds: &Thresholds{K: 3, L: 4, M: 5}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sel.(heuristicSelector).h.(introspect.HeuristicA)
+	if h != (introspect.HeuristicA{K: 3, L: 4, M: 5}) {
+		t.Errorf("materialized %+v, want K=3 L=4 M=5", h)
+	}
+}
+
+// TestPoolSize is the regression test for RunAll's worker-count
+// contract: workers <= 0 means one worker per CPU, and the pool never
+// exceeds the number of requests.
+func TestPoolSize(t *testing.T) {
+	if got := poolSize(0, 100); got < 1 || got > 100 {
+		t.Errorf("poolSize(0, 100) = %d, want in [1, 100]", got)
+	}
+	if got := poolSize(-3, 100); got < 1 {
+		t.Errorf("poolSize(-3, 100) = %d, want >= 1", got)
+	}
+	if got := poolSize(8, 3); got != 3 {
+		t.Errorf("poolSize(8, 3) = %d, want 3 (capped at len(reqs))", got)
+	}
+	if got := poolSize(2, 100); got != 2 {
+		t.Errorf("poolSize(2, 100) = %d, want 2 (explicit positive honored)", got)
+	}
+}

@@ -55,17 +55,21 @@ func (s syntacticSelector) Select(prog *ir.Program, _ *pta.Result, _ *introspect
 }
 
 // variants maps the introspective-variant suffix of a spec string
-// ("IntroA" in "2objH-IntroA") to a Selector factory.
-var variants = map[string]func() Selector{
-	"IntroA":    func() Selector { return HeuristicSelector(introspect.DefaultA()) },
-	"IntroB":    func() Selector { return HeuristicSelector(introspect.DefaultB()) },
-	"syntactic": func() Selector { return SyntacticSelector(introspect.DefaultSyntactic()) },
+// ("IntroA" in "2objH-IntroA") to a Selector factory. The factory
+// receives the Job's Thresholds (possibly nil); factories for variants
+// without tunable constants ignore it.
+var variants = map[string]func(*Thresholds) Selector{
+	"IntroA":    func(t *Thresholds) Selector { return HeuristicSelector(t.heuristicA()) },
+	"IntroB":    func(t *Thresholds) Selector { return HeuristicSelector(t.heuristicB()) },
+	"syntactic": func(*Thresholds) Selector { return SyntacticSelector(introspect.DefaultSyntactic()) },
 }
 
 // RegisterVariant adds a named introspective variant to the spec
-// registry, making "<deep>-<name>" resolvable by NewPipeline. It
-// panics on a duplicate name, like image.RegisterFormat.
-func RegisterVariant(name string, f func() Selector) {
+// registry, making "<deep>-<name>" resolvable by NewPipeline. The
+// factory receives the requesting Job's Thresholds (nil when unset)
+// and may ignore it. It panics on a duplicate name, like
+// image.RegisterFormat.
+func RegisterVariant(name string, f func(*Thresholds) Selector) {
 	if _, dup := variants[name]; dup {
 		panic("analysis: duplicate variant " + name)
 	}
@@ -82,43 +86,62 @@ func Variants() []string {
 	return out
 }
 
-// NewPipeline resolves a Request to a staged Pipeline: it parses the
-// spec, resolves any introspective variant through the registry, and
-// assembles the stage list. This is the single place spec strings are
-// interpreted — CLIs and examples no longer switch on them.
-func NewPipeline(req *Request) (*Pipeline, error) {
-	if (req.Prog == nil) == (req.Source == nil) {
-		return nil, errors.New("analysis: exactly one of Request.Prog and Request.Source is required")
-	}
-	if req.Heuristic != nil && req.Syntactic != nil {
-		return nil, errors.New("analysis: Request.Heuristic and Request.Syntactic are mutually exclusive")
-	}
-
-	spec := req.Spec
+// resolveJob interprets a Job (plus an optional caller-supplied
+// Selector overriding the variant registry) into the parsed deep spec
+// and the Selector to stage, nil for a single-pass analysis. This is
+// the single place spec strings are interpreted — CLIs, the examples,
+// and cmd/ptad never switch on them.
+func resolveJob(job Job, override Selector) (pta.Spec, Selector, error) {
+	spec := job.Spec
 	var sel Selector
 	switch {
-	case req.Heuristic != nil:
-		sel = HeuristicSelector(req.Heuristic)
-	case req.Syntactic != nil:
-		sel = SyntacticSelector(*req.Syntactic)
+	case override != nil:
+		if job.Thresholds != nil || job.Syntactic != nil {
+			return pta.Spec{}, nil, errors.New("analysis: Request.Selector is mutually exclusive with Job.Thresholds and Job.Syntactic")
+		}
+		sel = override
+	case job.Syntactic != nil:
+		if job.Thresholds != nil {
+			return pta.Spec{}, nil, errors.New("analysis: Job.Thresholds and Job.Syntactic are mutually exclusive")
+		}
+		sel = SyntacticSelector(*job.Syntactic)
 	default:
 		if base, suffix, ok := strings.Cut(spec, "-"); ok {
 			f, known := variants[suffix]
 			if !known {
-				return nil, fmt.Errorf("analysis: unknown introspective variant %q in spec %q (registered: %s)",
+				return pta.Spec{}, nil, fmt.Errorf("analysis: unknown introspective variant %q in spec %q (registered: %s)",
 					suffix, spec, strings.Join(Variants(), ", "))
 			}
-			sel = f()
+			sel = f(job.Thresholds)
 			spec = base
+		} else if job.Thresholds != nil {
+			return pta.Spec{}, nil, fmt.Errorf("analysis: Job.Thresholds requires an introspective spec, got %q", spec)
 		}
 	}
 
 	ps, err := pta.ParseSpec(spec)
 	if err != nil {
+		return pta.Spec{}, nil, err
+	}
+	if sel != nil && ps.Flavor == pta.Insensitive {
+		return pta.Spec{}, nil, fmt.Errorf("analysis: introspective deep analysis must be context-sensitive, got %q", spec)
+	}
+	return ps, sel, nil
+}
+
+// NewPipeline resolves a Request to a staged Pipeline: it parses the
+// Job's spec, resolves any introspective variant through the registry
+// (or the Request's Selector), and assembles the stage list.
+func NewPipeline(req *Request) (*Pipeline, error) {
+	if (req.Prog == nil) == (req.Source == nil) {
+		return nil, errors.New("analysis: exactly one of Request.Prog and Request.Source is required")
+	}
+	ps, sel, err := resolveJob(req.Job, req.Selector)
+	if err != nil {
 		return nil, err
 	}
 	if req.First != nil && (sel == nil || !sel.NeedsPrePass()) {
-		return nil, fmt.Errorf("analysis: Request.First requires a pipeline with a pre-pass stage, got %q", req.Spec)
+		return nil, fmt.Errorf("analysis: Request.First requires a pipeline with a pre-pass stage, got %q", req.Job.Spec)
 	}
 
 	p := &Pipeline{req: req}
@@ -129,9 +152,6 @@ func NewPipeline(req *Request) (*Pipeline, error) {
 		p.Name = ps.String()
 		p.stages = append(p.stages, mainPassPlain(ps))
 	} else {
-		if ps.Flavor == pta.Insensitive {
-			return nil, fmt.Errorf("analysis: introspective deep analysis must be context-sensitive, got %q", spec)
-		}
 		p.Name = ps.String() + "-" + sel.Name()
 		if sel.NeedsPrePass() {
 			if req.First != nil {

@@ -99,8 +99,12 @@ func compare(t *testing.T, prog *ir.Program, spec string, h introspect.Heuristic
 	// pipeline runs the full introspective staging; its selection is
 	// then handed verbatim to the Datalog side, so both implementations
 	// refine exactly the same exclusion sets.
+	var sel analysis.Selector
+	if h != nil {
+		sel = analysis.HeuristicSelector(h)
+	}
 	res, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: spec, Heuristic: h, Limits: analysis.Limits{Budget: -1},
+		Prog: prog, Job: analysis.Job{Spec: spec}, Selector: sel, Limits: analysis.Limits{Budget: -1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -219,7 +223,7 @@ func TestDatalogSizes(t *testing.T) {
 		t.Fatal("datalog derived no VarPointsTo facts")
 	}
 	nres, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: "2objH", Limits: analysis.Limits{Budget: -1},
+		Prog: prog, Job: analysis.Job{Spec: "2objH"}, Limits: analysis.Limits{Budget: -1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -247,7 +251,7 @@ func TestDatalogMetricsMatchNative(t *testing.T) {
 		t.Fatal(err)
 	}
 	nres, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: "insens", Limits: analysis.Limits{Budget: -1},
+		Prog: prog, Job: analysis.Job{Spec: "insens"}, Limits: analysis.Limits{Budget: -1},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -31,20 +31,21 @@ type AblationRow struct {
 	Retention float64
 }
 
-// scaledA returns Heuristic A with constants scaled by f.
-func scaledA(f float64) introspect.Heuristic {
+// scaledA returns Heuristic A's constants scaled by f, as serializable
+// threshold overrides.
+func scaledA(f float64) *analysis.Thresholds {
 	d := introspect.DefaultA()
-	return introspect.HeuristicA{
+	return &analysis.Thresholds{
 		K: int(float64(d.K) * f),
 		L: int(float64(d.L) * f),
 		M: int(float64(d.M) * f),
 	}
 }
 
-// scaledB returns Heuristic B with constants scaled by f.
-func scaledB(f float64) introspect.Heuristic {
+// scaledB returns Heuristic B's constants scaled by f.
+func scaledB(f float64) *analysis.Thresholds {
 	d := introspect.DefaultB()
-	return introspect.HeuristicB{
+	return &analysis.Thresholds{
 		P: int(float64(d.P) * f),
 		Q: int(float64(d.Q) * f),
 	}
@@ -82,11 +83,14 @@ func Ablation(cfg Config, deep string, scales []float64) ([]AblationRow, error) 
 
 	var rows []AblationRow
 	for _, scale := range scales {
-		for _, h := range []introspect.Heuristic{scaledA(scale), scaledB(scale)} {
-			row := AblationRow{Scale: scale, Heuristic: h.Name(), Retention: -1}
+		for _, v := range []struct {
+			variant string
+			th      *analysis.Thresholds
+		}{{"IntroA", scaledA(scale)}, {"IntroB", scaledB(scale)}} {
+			row := AblationRow{Scale: scale, Heuristic: v.variant, Retention: -1}
 			reqs := make([]analysis.Request, len(subjects))
 			for i, b := range subjects {
-				reqs[i] = introReq(b, deep, h, cfg.Limits())
+				reqs[i] = introReq(b, deep, v.variant, v.th, cfg.Limits())
 				reqs[i].First = firsts[b]
 			}
 			introRows, err := runAll(cfg, reqs)
@@ -101,8 +105,8 @@ func Ablation(cfg Config, deep string, scales []float64) ([]AblationRow, error) 
 				figRows = append(figRows, ins[b], introRows[i], full[b])
 			}
 			sum := Summary(figRows)
-			if v, ok := sum[bucketOf(h.Name())]; ok {
-				row.Retention = v
+			if r, ok := sum[bucketOf(v.variant)]; ok {
+				row.Retention = r
 			}
 			rows = append(rows, row)
 		}
@@ -128,10 +132,9 @@ func SyntacticBaseline(cfg Config, deep string, benchmarks []string) ([]report.R
 	for i, b := range benchmarks {
 		so := introspect.DefaultSyntactic()
 		reqs[i] = analysis.Request{
-			Source:    &analysis.Source{Bench: b},
-			Spec:      deep,
-			Syntactic: &so,
-			Limits:    cfg.Limits(),
+			Source: &analysis.Source{Bench: b},
+			Job:    analysis.Job{Spec: deep, Syntactic: &so},
+			Limits: cfg.Limits(),
 		}
 	}
 	return runAll(cfg, reqs)

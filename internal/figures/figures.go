@@ -93,38 +93,38 @@ func runAll(cfg Config, reqs []analysis.Request) ([]report.Row, error) {
 func fullReq(name, spec string, lim analysis.Limits) analysis.Request {
 	return analysis.Request{
 		Source: &analysis.Source{Bench: name},
-		Spec:   spec,
+		Job:    analysis.Job{Spec: spec},
 		Limits: lim,
 	}
 }
 
-// introReq builds an introspective-pipeline request.
-func introReq(name, spec string, h introspect.Heuristic, lim analysis.Limits) analysis.Request {
+// introReq builds an introspective-pipeline request: deep analysis
+// plus variant suffix, with optional threshold overrides — everything
+// expressed as serializable Job data, so the figure fleets exercise
+// exactly the requests cmd/ptad accepts on the wire.
+func introReq(name, deep, variant string, th *analysis.Thresholds, lim analysis.Limits) analysis.Request {
 	return analysis.Request{
-		Source:    &analysis.Source{Bench: name},
-		Spec:      spec,
-		Heuristic: h,
-		Limits:    lim,
+		Source: &analysis.Source{Bench: name},
+		Job:    analysis.Job{Spec: deep + "-" + variant, Thresholds: th},
+		Limits: lim,
 	}
 }
 
 // runFull runs a plain analysis on a benchmark.
 func runFull(name, spec string, lim analysis.Limits) (report.Row, error) {
-	row, _, err := run(analysis.Request{
-		Source: &analysis.Source{Bench: name},
-		Spec:   spec,
-		Limits: lim,
-	})
+	row, _, err := run(fullReq(name, spec, lim))
 	return row, err
 }
 
-// runIntro runs the introspective pipeline on a benchmark.
+// runIntro runs the introspective pipeline on a benchmark with a
+// custom in-process heuristic (the extension experiments' scaled and
+// hybrid variants go through here).
 func runIntro(name, spec string, h introspect.Heuristic, lim analysis.Limits) (report.Row, *introspect.Selection, error) {
 	row, res, err := run(analysis.Request{
-		Source:    &analysis.Source{Bench: name},
-		Spec:      spec,
-		Heuristic: h,
-		Limits:    lim,
+		Source:   &analysis.Source{Bench: name},
+		Job:      analysis.Job{Spec: spec},
+		Selector: analysis.HeuristicSelector(h),
+		Limits:   lim,
 	})
 	if err != nil {
 		return report.Row{}, nil, err
@@ -235,8 +235,8 @@ func FigPerf(cfg Config, deep string) ([]report.Row, error) {
 		}
 		insRows[i] = row
 		first := sharedFirst(insRes[i])
-		ra := introReq(b, deep, introspect.DefaultA(), cfg.Limits())
-		rb := introReq(b, deep, introspect.DefaultB(), cfg.Limits())
+		ra := introReq(b, deep, "IntroA", nil, cfg.Limits())
+		rb := introReq(b, deep, "IntroB", nil, cfg.Limits())
 		ra.First, rb.First = first, first
 		rest = append(rest, ra, rb, fullReq(b, deep, cfg.Limits()))
 	}

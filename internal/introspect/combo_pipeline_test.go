@@ -46,7 +46,7 @@ func TestComboAsDriverHeuristic(t *testing.T) {
 		{Metric: introspect.PointedByObjsMetric, Threshold: 1},
 	}}
 	res, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: "2objH", Heuristic: custom,
+		Prog: prog, Job: analysis.Job{Spec: "2objH"}, Selector: analysis.HeuristicSelector(custom),
 		Limits: analysis.Limits{Budget: -1},
 	})
 	if err != nil {
@@ -66,9 +66,12 @@ func TestComboAsDriverHeuristic(t *testing.T) {
 func TestSyntacticPipeline(t *testing.T) {
 	prog := randprog.Generate(1, randprog.Default())
 	res, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: "2objH",
-		Syntactic: &introspect.SyntacticOptions{ExcludeTypeSubstrings: []string{"C1"}},
-		Limits:    analysis.Limits{Budget: -1},
+		Prog: prog,
+		Job: analysis.Job{
+			Spec:      "2objH",
+			Syntactic: &introspect.SyntacticOptions{ExcludeTypeSubstrings: []string{"C1"}},
+		},
+		Limits: analysis.Limits{Budget: -1},
 	})
 	if err != nil {
 		t.Fatal(err)

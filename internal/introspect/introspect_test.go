@@ -15,7 +15,7 @@ import (
 func analyze(t *testing.T, prog *ir.Program, spec string) *pta.Result {
 	t.Helper()
 	res, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: spec, Limits: analysis.Limits{Budget: -1},
+		Prog: prog, Job: analysis.Job{Spec: spec}, Limits: analysis.Limits{Budget: -1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -200,7 +200,7 @@ func TestSelectionStats(t *testing.T) {
 func TestRunPipeline(t *testing.T) {
 	prog, _, _, _ := buildMetricsProgram(t)
 	res, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: "2objH", Heuristic: introspect.DefaultA(),
+		Prog: prog, Job: analysis.Job{Spec: "2objH-IntroA"},
 		Limits: analysis.Limits{Budget: -1},
 	})
 	if err != nil {
@@ -218,12 +218,12 @@ func TestRunPipeline(t *testing.T) {
 
 	// Deep must be context-sensitive.
 	if _, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: "insens", Heuristic: introspect.DefaultA(),
+		Prog: prog, Job: analysis.Job{Spec: "insens"}, Selector: analysis.HeuristicSelector(introspect.DefaultA()),
 	}); err == nil {
 		t.Error("introspective pipeline with insens deep analysis should fail")
 	}
 	if _, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: "bogus", Heuristic: introspect.DefaultA(),
+		Prog: prog, Job: analysis.Job{Spec: "bogus"}, Selector: analysis.HeuristicSelector(introspect.DefaultA()),
 	}); err == nil {
 		t.Error("pipeline with bogus analysis should fail")
 	}
@@ -255,7 +255,7 @@ func TestFullExclusionEqualsInsens(t *testing.T) {
 	ins := analyze(t, prog, "insens")
 
 	res, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: "2objH", Heuristic: allCheap{},
+		Prog: prog, Job: analysis.Job{Spec: "2objH"}, Selector: analysis.HeuristicSelector(allCheap{}),
 		Limits: analysis.Limits{Budget: -1},
 	})
 	if err != nil {

@@ -17,7 +17,7 @@ import (
 // analyze runs one analysis through the pipeline layer, unbudgeted.
 func analyze(prog *ir.Program, spec string) (*pta.Result, error) {
 	res, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: spec, Limits: analysis.Limits{Budget: -1},
+		Prog: prog, Job: analysis.Job{Spec: spec}, Limits: analysis.Limits{Budget: -1},
 	})
 	if err != nil {
 		return nil, err

@@ -13,7 +13,7 @@ import (
 func analyze(prog *ir.Program, spec string) (*pta.Result, error) {
 	res, err := analysis.Run(context.Background(), analysis.Request{
 		Prog:   prog,
-		Spec:   spec,
+		Job:    analysis.Job{Spec: spec},
 		Limits: analysis.Limits{Budget: -1},
 	})
 	if err != nil {

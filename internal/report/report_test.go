@@ -16,7 +16,7 @@ import (
 // analyze runs one analysis through the pipeline layer, unbudgeted.
 func analyze(prog *ir.Program, spec string) (*pta.Result, error) {
 	res, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: spec, Limits: analysis.Limits{Budget: -1},
+		Prog: prog, Job: analysis.Job{Spec: spec}, Limits: analysis.Limits{Budget: -1},
 	})
 	if err != nil {
 		return nil, err
@@ -132,7 +132,7 @@ func TestFormatTable(t *testing.T) {
 func TestTimedOutFlagged(t *testing.T) {
 	prog := lang.MustCompile("report", src)
 	res, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: "2objH", Limits: analysis.Limits{Budget: 3},
+		Prog: prog, Job: analysis.Job{Spec: "2objH"}, Limits: analysis.Limits{Budget: 3},
 	})
 	var be *analysis.BudgetExceededError
 	if !errors.As(err, &be) {

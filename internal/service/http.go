@@ -1,0 +1,124 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"introspect/internal/analysis"
+)
+
+// errorEnvelope is the pta/v1 error body: same schema marker as
+// success responses so clients can switch on one field.
+type errorEnvelope struct {
+	Schema string `json:"schema"`
+	Error  *Error `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/analyze   run (or serve from cache) one analysis
+//	GET  /v1/specs     list analyses and introspective variants
+//	GET  /healthz      liveness
+//	GET  /metrics      cache/queue/latency counters as plain JSON
+//
+// POST /v1/analyze accepts either a JSON Request (Content-Type
+// application/json) or — for curl-friendliness — a raw source body
+// with the job in query parameters:
+//
+//	curl --data-binary @prog.mj 'host/v1/analyze?spec=2objH-IntroA&budget=-1'
+//
+// Query parameters: lang (mj|ir, default mj), name, spec (default
+// 2objH), budget, deadline_ms, provenance (true|false).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /v1/specs", func(w http.ResponseWriter, r *http.Request) {
+		writeBody(w, http.StatusOK, SpecList())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeBody(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeBody(w, http.StatusOK, s.Metrics())
+	})
+	return mux
+}
+
+func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	req, serr := s.decodeAnalyze(r)
+	if serr != nil {
+		s.metrics.add(&s.metrics.requests)
+		s.metrics.add(&s.metrics.rejectedInvalid)
+		writeError(w, serr)
+		return
+	}
+	resp, serr := s.Analyze(r.Context(), req)
+	if serr != nil {
+		writeError(w, serr)
+		return
+	}
+	writeBody(w, http.StatusOK, resp)
+}
+
+// decodeAnalyze supports the two request forms. The body read is
+// capped a little above MaxSourceBytes so an oversized source gets the
+// limit-naming CodeBadRequest from validate, not a truncated parse.
+func (s *Service) decodeAnalyze(r *http.Request) (Request, *Error) {
+	var req Request
+	body := io.LimitReader(r.Body, int64(s.cfg.MaxSourceBytes)*2+4096)
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	if strings.TrimSpace(ct) == "application/json" {
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return req, errf(CodeBadRequest, "decoding request: %v", err)
+		}
+		return req, nil
+	}
+
+	src, err := io.ReadAll(body)
+	if err != nil {
+		return req, errf(CodeBadRequest, "reading body: %v", err)
+	}
+	q := r.URL.Query()
+	req.Source = string(src)
+	req.Lang = q.Get("lang")
+	req.Name = q.Get("name")
+	req.Job = analysis.Job{Spec: q.Get("spec")}
+	if req.Job.Spec == "" {
+		req.Job.Spec = "2objH"
+	}
+	if v := q.Get("budget"); v != "" {
+		if req.Budget, err = strconv.ParseInt(v, 10, 64); err != nil {
+			return req, errf(CodeBadRequest, "budget: %v", err)
+		}
+	}
+	if v := q.Get("deadline_ms"); v != "" {
+		if req.DeadlineMS, err = strconv.ParseInt(v, 10, 64); err != nil {
+			return req, errf(CodeBadRequest, "deadline_ms: %v", err)
+		}
+	}
+	if v := q.Get("provenance"); v != "" {
+		if req.Provenance, err = strconv.ParseBool(v); err != nil {
+			return req, errf(CodeBadRequest, "provenance: %v", err)
+		}
+	}
+	return req, nil
+}
+
+func writeBody(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, serr *Error) {
+	writeBody(w, serr.HTTPStatus(), errorEnvelope{Schema: analysis.SchemaV1, Error: serr})
+}

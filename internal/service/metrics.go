@@ -1,0 +1,153 @@
+package service
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+)
+
+// histBoundsMS are the latency histogram's upper bounds in
+// milliseconds, exponential like Prometheus defaults; observations
+// above the last bound land in the implicit +Inf bucket.
+var histBoundsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+// histogram is a fixed-bucket latency histogram. Cheap enough to
+// update under the metrics mutex.
+type histogram struct {
+	Counts []uint64 // len(histBoundsMS)+1, last is +Inf
+	Sum    float64  // milliseconds
+	N      uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := sort.SearchFloat64s(histBoundsMS, ms)
+	if h.Counts == nil {
+		h.Counts = make([]uint64, len(histBoundsMS)+1)
+	}
+	h.Counts[i]++
+	h.Sum += ms
+	h.N++
+}
+
+// Metrics is the service's observability surface: monotonic counters,
+// point-in-time gauges, and per-stage latency histograms. Snapshot
+// renders it as one plain JSON document (expvar-style — no external
+// metrics dependency), which cmd/ptad serves at GET /metrics.
+type Metrics struct {
+	mu sync.Mutex
+
+	requests        uint64
+	cacheHits       uint64
+	cacheMisses     uint64
+	dedups          uint64
+	solves          uint64 // completed solver runs (== misses that ran)
+	prePassShared   uint64 // introspective runs that reused a cached insensitive pass
+	rejectedInvalid uint64
+	rejectedLoad    uint64 // admission rejections (429)
+	timeouts        uint64 // deadline expiries (504)
+	internalErrs    uint64
+
+	inFlight int // solves currently holding a worker slot
+	queued   int // admitted requests waiting for a worker slot
+
+	stageLatency map[string]*histogram // stage name → wall-time histogram
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{stageLatency: make(map[string]*histogram)}
+}
+
+func (m *Metrics) observeStage(stage string, wall time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.stageLatency[stage]
+	if h == nil {
+		h = &histogram{}
+		m.stageLatency[stage] = h
+	}
+	h.observe(wall)
+}
+
+// add is the one-line counter bump used throughout the service.
+func (m *Metrics) add(c *uint64) {
+	m.mu.Lock()
+	*c++
+	m.mu.Unlock()
+}
+
+// histJSON is a histogram's wire form: cumulative "le" buckets plus
+// count and sum, mirroring the Prometheus text shapes in JSON.
+type histJSON struct {
+	Count   uint64             `json:"count"`
+	SumMS   float64            `json:"sum_ms"`
+	Buckets map[string]uint64  `json:"buckets"` // "le_<bound_ms>" and "le_inf", cumulative
+}
+
+// MetricsSnapshot is the GET /metrics document.
+type MetricsSnapshot struct {
+	Requests uint64 `json:"requests"`
+	Cache    struct {
+		Hits   uint64 `json:"hits"`
+		Misses uint64 `json:"misses"`
+		Dedup  uint64 `json:"dedup"`
+	} `json:"cache"`
+	Solves        uint64 `json:"solves"`
+	PrePassShared uint64 `json:"pre_pass_shared"`
+	Rejected      struct {
+		Invalid  uint64 `json:"invalid"`
+		Overload uint64 `json:"overload"`
+	} `json:"rejected"`
+	Timeouts     uint64 `json:"timeouts"`
+	InternalErrs uint64 `json:"internal_errors"`
+	Queue        struct {
+		InFlight int `json:"in_flight"`
+		Depth    int `json:"depth"`
+		Workers  int `json:"workers"`
+		Capacity int `json:"capacity"` // workers + queue depth limit
+	} `json:"queue"`
+	StageLatencyMS map[string]histJSON `json:"stage_latency_ms"`
+}
+
+// snapshot copies the metrics under the lock. workers/capacity are
+// configuration, passed in by the owning Service.
+func (m *Metrics) snapshot(workers, capacity int) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s MetricsSnapshot
+	s.Requests = m.requests
+	s.Cache.Hits = m.cacheHits
+	s.Cache.Misses = m.cacheMisses
+	s.Cache.Dedup = m.dedups
+	s.Solves = m.solves
+	s.PrePassShared = m.prePassShared
+	s.Rejected.Invalid = m.rejectedInvalid
+	s.Rejected.Overload = m.rejectedLoad
+	s.Timeouts = m.timeouts
+	s.InternalErrs = m.internalErrs
+	s.Queue.InFlight = m.inFlight
+	s.Queue.Depth = m.queued
+	s.Queue.Workers = workers
+	s.Queue.Capacity = capacity
+	s.StageLatencyMS = make(map[string]histJSON, len(m.stageLatency))
+	for stage, h := range m.stageLatency {
+		hj := histJSON{Count: h.N, SumMS: h.Sum, Buckets: make(map[string]uint64, len(h.Counts))}
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			if i < len(histBoundsMS) {
+				hj.Buckets[leLabel(histBoundsMS[i])] = cum
+			} else {
+				hj.Buckets["le_inf"] = cum
+			}
+		}
+		s.StageLatencyMS[stage] = hj
+	}
+	return s
+}
+
+func leLabel(bound float64) string {
+	b, _ := json.Marshal(bound)
+	return "le_" + string(b)
+}

@@ -1,0 +1,453 @@
+// Package service is the daemon half of the analysis layer: it wraps
+// internal/analysis in the machinery a long-running server needs —
+// request validation, a content-addressed result cache, single-flight
+// deduplication of identical in-flight requests, and an admission
+// controller with a bounded worker pool, a bounded queue, and
+// per-request deadlines. cmd/ptad is its HTTP frontend; the package
+// itself is transport-agnostic and fully testable in-process.
+//
+// # Caching
+//
+// Results are cached under a content-addressed key: the SHA-256 of the
+// program source (plus language and name) crossed with the Job's
+// canonical JSON encoding, the resolved work budget, and the
+// provenance flag. The solver is deterministic, so everything that can
+// change the output is in the key and nothing else is — including
+// budget-exhausted outcomes, which for a fixed budget are exactly as
+// deterministic as completed ones. Deadline expiries are the one
+// nondeterministic outcome (they depend on wall-clock scheduling) and
+// are never cached.
+//
+// Parsed programs are cached separately and shared by pointer, which
+// additionally lets one request's context-insensitive result serve as
+// later introspective requests' injected pre-pass
+// (analysis.Request.First): after an "insens" request for a program, a
+// "2objH-IntroA" request for the same source skips its pre-pass solve
+// entirely. This is sound because the pre-pass is a pure function of
+// the program — see DESIGN.md for the argument.
+//
+// # Admission
+//
+// At most Workers solves run concurrently; at most QueueDepth more may
+// wait. A request arriving beyond that is rejected immediately with
+// CodeOverloaded (HTTP 429) having done no work — under overload the
+// server stays responsive and sheds load instead of accumulating
+// goroutines. Every request carries a deadline (default
+// DefaultDeadline, capped at MaxDeadline) that covers queueing,
+// deduplication waits, and its own solve; expiry surfaces as
+// CodeDeadline (HTTP 504).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"introspect/internal/analysis"
+	"introspect/internal/ir"
+	"introspect/internal/lang"
+	"introspect/internal/pta"
+)
+
+// Config sizes the service. The zero value is usable: every field has
+// a sensible default, applied by New.
+type Config struct {
+	// Workers is the number of concurrent solves; <= 0 means
+	// runtime.NumCPU().
+	Workers int
+	// QueueDepth is how many admitted requests may wait for a worker
+	// beyond those in flight; < 0 means 0 (no queue). Default 16.
+	QueueDepth int
+	// DefaultDeadline applies when a request names none. Default 30s.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps request deadlines. Default 5m.
+	MaxDeadline time.Duration
+	// CacheEntries is the result LRU's capacity. Default 256; negative
+	// disables result caching (program caching stays on).
+	CacheEntries int
+	// DefaultBudget is the per-pass work budget applied when a request
+	// names none; 0 means pta.DefaultBudget.
+	DefaultBudget int64
+	// MaxSourceBytes caps request source size. Default 4 MiB.
+	MaxSourceBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 16
+	} else if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 5 * time.Minute
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	} else if c.CacheEntries < 0 {
+		c.CacheEntries = 0
+	}
+	if c.DefaultBudget == 0 {
+		c.DefaultBudget = pta.DefaultBudget
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 4 << 20
+	}
+	return c
+}
+
+// Request is the wire shape of one analysis request — what cmd/ptad's
+// POST /v1/analyze decodes. Everything in it is plain data; the
+// program travels as source text.
+type Request struct {
+	// Lang is the source language: "mj" (Mini-Java) or "ir" (the
+	// textual IR). Empty means "mj".
+	Lang string `json:"lang,omitempty"`
+	// Name labels the program in responses; defaults to "program".
+	Name string `json:"name,omitempty"`
+	// Source is the program text.
+	Source string `json:"source"`
+	// Job names the analysis and its knobs (see analysis.Job).
+	Job analysis.Job `json:"job"`
+	// Budget is the per-pass work budget: 0 means the service default,
+	// negative means unlimited (the deadline still applies).
+	Budget int64 `json:"budget,omitempty"`
+	// DeadlineMS bounds the request's total time in milliseconds,
+	// queueing included: 0 means the service default; values above the
+	// service maximum are clamped.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Provenance enables derivation-witness recording (slower).
+	Provenance bool `json:"provenance,omitempty"`
+}
+
+// Service is the long-running analysis daemon's engine.
+type Service struct {
+	cfg     Config
+	metrics *Metrics
+
+	progs   *progCache
+	results *lruCache
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	pending int           // admitted requests not yet finished
+	slots   chan struct{} // worker pool: buffered to cfg.Workers
+}
+
+// flight is one in-progress computation under single-flight: the first
+// request for a key becomes the owner and solves; identical concurrent
+// requests wait on done and share the outcome.
+type flight struct {
+	done chan struct{}
+	resp *analysis.RunJSON
+	err  *Error
+}
+
+// New builds a Service. The returned service has no background
+// goroutines of its own; it is garbage-collected when dropped.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		progs:   newProgCache(),
+		results: newLRU(cfg.CacheEntries),
+		flights: make(map[string]*flight),
+		slots:   make(chan struct{}, cfg.Workers),
+	}
+}
+
+// Config returns the resolved configuration (defaults applied).
+func (s *Service) Config() Config { return s.cfg }
+
+// Metrics returns the service's metrics snapshot.
+func (s *Service) Metrics() MetricsSnapshot {
+	return s.metrics.snapshot(s.cfg.Workers, s.cfg.Workers+s.cfg.QueueDepth)
+}
+
+// Specs describes what the service can run: the deep-analysis spec
+// grammar by example plus the registered introspective variants.
+type Specs struct {
+	Specs    []string `json:"specs"`
+	Variants []string `json:"variants"`
+}
+
+// SpecList returns the /v1/specs document.
+func SpecList() Specs {
+	return Specs{
+		Specs:    []string{"insens", "1call", "2callH", "1obj", "2objH", "2typeH", "2hybH"},
+		Variants: analysis.Variants(),
+	}
+}
+
+// Analyze runs one request through validation, cache, single-flight,
+// and admission. On success the returned document's Cache field says
+// how it was satisfied: "hit" (served from cache), "miss" (this
+// request solved), or "dedup" (an identical concurrent request
+// solved). The error, when non-nil, is always a *Error.
+func (s *Service) Analyze(ctx context.Context, req Request) (*analysis.RunJSON, *Error) {
+	s.metrics.add(&s.metrics.requests)
+
+	req, serr := s.validate(req)
+	if serr != nil {
+		s.metrics.add(&s.metrics.rejectedInvalid)
+		return nil, serr
+	}
+
+	// The deadline covers everything from here: queueing, dedup waits,
+	// parsing, and the solve itself.
+	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
+	ctx, cancel := context.WithTimeout(ctx, deadline)
+	defer cancel()
+
+	canon, err := req.Job.Canonical()
+	if err != nil {
+		s.metrics.add(&s.metrics.rejectedInvalid)
+		return nil, errf(CodeBadRequest, "encoding job: %v", err)
+	}
+	pk := progKey(req.Lang, req.Name, req.Source)
+	key := resultKey(pk, canon, req.Budget, req.Provenance)
+
+	// Single-flight: exactly one solve per key at a time. The first
+	// request becomes the owner and spawns the solve; identical
+	// concurrent requests wait on the same flight. Admission happens
+	// under the same lock that registers the flight, so capacity checks
+	// and registration are atomic. The loop exists for one case: a
+	// waiter whose flight's owner failed with the OWNER's deadline (a
+	// deadline is per-request, not per-computation) retries with its
+	// own, still-live deadline instead of inheriting the failure.
+	for first := true; ; first = false {
+		if resp, ok := s.results.get(key); ok {
+			s.metrics.add(&s.metrics.cacheHits)
+			return withCache(resp, "hit"), nil
+		}
+
+		s.mu.Lock()
+		f, owner := s.flights[key], false
+		if f == nil {
+			if s.pending >= s.cfg.Workers+s.cfg.QueueDepth {
+				s.mu.Unlock()
+				s.metrics.add(&s.metrics.rejectedLoad)
+				return nil, errf(CodeOverloaded, "at capacity: %d in flight or queued (workers=%d queue=%d)",
+					s.cfg.Workers+s.cfg.QueueDepth, s.cfg.Workers, s.cfg.QueueDepth)
+			}
+			s.pending++
+			f = &flight{done: make(chan struct{})}
+			s.flights[key] = f
+			owner = true
+		}
+		s.mu.Unlock()
+
+		if owner {
+			s.metrics.add(&s.metrics.cacheMisses)
+			// The solve runs detached from the owning connection (but
+			// under the same absolute deadline): if the owner
+			// disconnects, the requests deduplicated behind it still get
+			// their result, and a completed solve still lands in the
+			// cache.
+			dl, _ := ctx.Deadline()
+			solveCtx, cancel := context.WithDeadline(context.WithoutCancel(ctx), dl)
+			s.metrics.mu.Lock()
+			s.metrics.queued++
+			s.metrics.mu.Unlock()
+			go func() {
+				defer cancel()
+				f.resp, f.err = s.solve(solveCtx, req, pk, key)
+				s.mu.Lock()
+				delete(s.flights, key)
+				s.pending--
+				s.mu.Unlock()
+				close(f.done)
+			}()
+		}
+
+		select {
+		case <-f.done:
+			switch {
+			case f.err == nil && owner:
+				return withCache(f.resp, "miss"), nil
+			case f.err == nil:
+				s.metrics.add(&s.metrics.dedups)
+				return withCache(f.resp, "dedup"), nil
+			case owner:
+				return nil, f.err
+			case ctx.Err() != nil:
+				s.metrics.add(&s.metrics.timeouts)
+				return nil, errf(CodeDeadline, "deadline expired waiting for identical in-flight request")
+			default:
+				// The owner failed but this request's deadline is still
+				// live: go around and try to own a fresh flight. A
+				// deterministic failure (e.g. a source that does not
+				// parse) terminates the loop on the next pass, when this
+				// request owns the flight and sees the error firsthand.
+				continue
+			}
+		case <-ctx.Done():
+			s.metrics.add(&s.metrics.timeouts)
+			if first {
+				return nil, errf(CodeDeadline, "deadline expired waiting for identical in-flight request")
+			}
+			return nil, errf(CodeDeadline, "deadline expired")
+		}
+	}
+}
+
+// solve acquires a worker slot, loads the (cached) program, runs the
+// pipeline, and stores a cacheable outcome.
+func (s *Service) solve(ctx context.Context, req Request, pk, key string) (*analysis.RunJSON, *Error) {
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		s.metrics.mu.Lock()
+		s.metrics.queued--
+		s.metrics.timeouts++
+		s.metrics.mu.Unlock()
+		return nil, errf(CodeDeadline, "deadline expired waiting for a worker")
+	}
+	s.metrics.mu.Lock()
+	s.metrics.queued--
+	s.metrics.inFlight++
+	s.metrics.mu.Unlock()
+	defer func() {
+		<-s.slots
+		s.metrics.mu.Lock()
+		s.metrics.inFlight--
+		s.metrics.mu.Unlock()
+	}()
+
+	entry := s.progs.load(pk, func() (*ir.Program, error) { return parseSource(req) })
+	if entry.err != nil {
+		return nil, errf(CodeBadRequest, "parsing source: %v", entry.err)
+	}
+
+	areq := analysis.Request{
+		Prog:       entry.prog,
+		Job:        req.Job,
+		Limits:     analysis.Limits{Budget: req.Budget},
+		Provenance: req.Provenance,
+	}
+	// Pre-pass sharing: inject the program's cached insensitive result
+	// if this pipeline would otherwise solve one. NeedsPrePass is what
+	// the pipeline itself checks, so injection is exactly as valid as a
+	// fresh pre-pass solve. Requests that record provenance skip the
+	// shared result unless it, too, has provenance — witnesses must
+	// stay reconstructible.
+	if first := entry.sharedFirst(); first != nil && req.Job.NeedsPrePass() &&
+		(!req.Provenance || first.ProvenanceEnabled()) {
+		areq.First = first
+		s.metrics.add(&s.metrics.prePassShared)
+	}
+
+	res, runErr := analysis.Run(ctx, areq)
+	s.metrics.add(&s.metrics.solves)
+	if res != nil {
+		for _, st := range res.Stages {
+			s.metrics.observeStage(st.Stage, st.Wall)
+		}
+	}
+
+	if runErr != nil {
+		var be *analysis.BudgetExceededError
+		switch {
+		case errors.As(runErr, &be) && res != nil && res.Main != nil:
+			// Deterministic, reportable outcome (the paper's TIMEOUT
+			// rows): fall through and cache it like a success.
+		case ctx.Err() != nil:
+			s.metrics.add(&s.metrics.timeouts)
+			return nil, errf(CodeDeadline, "deadline expired after %s", deadlineStage(res))
+		default:
+			s.metrics.add(&s.metrics.internalErrs)
+			return nil, errf(CodeInternal, "%v", runErr)
+		}
+	}
+
+	// Share this solve's insensitive pass with future requests for the
+	// same program: an introspective run's pre-pass, or an "insens"
+	// run's main pass — both are the same pure function of the program.
+	if res.First != nil {
+		entry.offerFirst(res.First)
+	} else if res.Main != nil && res.Main.Complete && res.Main.Analysis == "insens" {
+		entry.offerFirst(res.Main)
+	}
+
+	resp := analysis.NewRunJSON(res)
+	s.results.put(key, resp)
+	return resp, nil
+}
+
+// validate normalizes and checks a request, returning the resolved
+// form (defaults applied).
+func (s *Service) validate(req Request) (Request, *Error) {
+	switch req.Lang {
+	case "":
+		req.Lang = "mj"
+	case "mj", "ir":
+	default:
+		return req, errf(CodeBadRequest, "unknown lang %q (have mj, ir)", req.Lang)
+	}
+	if req.Source == "" {
+		return req, errf(CodeBadRequest, "source is required")
+	}
+	if len(req.Source) > s.cfg.MaxSourceBytes {
+		return req, errf(CodeBadRequest, "source is %d bytes, limit %d", len(req.Source), s.cfg.MaxSourceBytes)
+	}
+	if req.Name == "" {
+		req.Name = "program"
+	}
+	if err := req.Job.Validate(); err != nil {
+		return req, errf(CodeBadRequest, "%v", err)
+	}
+	if req.Budget == 0 {
+		req.Budget = s.cfg.DefaultBudget
+	}
+	d := time.Duration(req.DeadlineMS) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultDeadline
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	req.DeadlineMS = int64(d / time.Millisecond)
+	return req, nil
+}
+
+func parseSource(req Request) (*ir.Program, error) {
+	switch req.Lang {
+	case "ir":
+		prog, err := ir.ParseText(strings.NewReader(req.Source))
+		if err != nil {
+			return nil, err
+		}
+		if req.Name != "program" && req.Name != "" {
+			prog.Name = req.Name
+		}
+		return prog, nil
+	default:
+		return lang.Compile(req.Name, req.Source)
+	}
+}
+
+// withCache shallow-copies the document with its Cache label set; the
+// cached value itself is shared and must stay immutable.
+func withCache(r *analysis.RunJSON, label string) *analysis.RunJSON {
+	cp := *r
+	cp.Cache = label
+	return &cp
+}
+
+// deadlineStage names the last stage that ran, for 504 messages.
+func deadlineStage(res *analysis.Result) string {
+	if res == nil || len(res.Stages) == 0 {
+		return "stage frontend"
+	}
+	return fmt.Sprintf("stage %s (work=%d)", res.Stages[len(res.Stages)-1].Stage, res.Stages[len(res.Stages)-1].Work)
+}

@@ -14,7 +14,7 @@ import (
 // analyze runs one analysis through the pipeline layer, unbudgeted.
 func analyze(prog *ir.Program, spec string) (*pta.Result, error) {
 	res, err := analysis.Run(context.Background(), analysis.Request{
-		Prog: prog, Spec: spec, Limits: analysis.Limits{Budget: -1},
+		Prog: prog, Job: analysis.Job{Spec: spec}, Limits: analysis.Limits{Budget: -1},
 	})
 	if err != nil {
 		return nil, err
@@ -158,7 +158,7 @@ func TestBenchmarksAnalyzeInsensitively(t *testing.T) {
 	for _, name := range suite.Names() {
 		prog := suite.MustLoad(name)
 		res, err := analysis.Run(context.Background(), analysis.Request{
-			Prog: prog, Spec: "insens", Limits: analysis.Limits{Budget: 30_000_000},
+			Prog: prog, Job: analysis.Job{Spec: "insens"}, Limits: analysis.Limits{Budget: 30_000_000},
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -14,4 +14,25 @@ elif command -v golangci-lint >/dev/null 2>&1; then
 fi
 go build ./...
 go test ./...
-go test -race ./internal/analysis ./internal/pta ./internal/checkers
+go test -race ./internal/analysis ./internal/pta ./internal/checkers ./internal/service
+
+# Daemon smoke test: boot ptad on an ephemeral port, POST a real
+# program, and assert a pta/v1 response comes back.
+go build -o /tmp/ptad.$$ ./cmd/ptad
+/tmp/ptad.$$ -addr 127.0.0.1:0 >/tmp/ptad.$$.log &
+PTAD_PID=$!
+trap 'kill $PTAD_PID 2>/dev/null || true; rm -f /tmp/ptad.$$ /tmp/ptad.$$.log' EXIT
+# The first stdout line is "ptad: listening on http://HOST:PORT".
+URL=""
+for i in $(seq 1 50); do
+    URL=$(sed -n 's/^ptad: listening on //p' /tmp/ptad.$$.log | head -n1)
+    [ -n "$URL" ] && break
+    sleep 0.1
+done
+[ -n "$URL" ]
+RESP=$(curl -sS --data-binary @examples/ptalint/holder.mj "$URL/v1/analyze?spec=2objH-IntroA")
+echo "$RESP" | grep -q '"schema":"pta/v1"'
+echo "$RESP" | grep -q '"complete":true'
+# A repeat of the same request must be served from the cache.
+curl -sS --data-binary @examples/ptalint/holder.mj "$URL/v1/analyze?spec=2objH-IntroA" | grep -q '"cache":"hit"'
+curl -sS "$URL/metrics" | grep -q '"solves":1'
