@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race bench figures serve
+.PHONY: check vet build test race bench figures serve trace-smoke
 
 # check is what CI runs: vet, build, full tests, race-enabled
-# solver/pipeline tests.
-check: vet build test race
+# solver/pipeline tests, and the trace-export smoke test.
+check: vet build test race trace-smoke
 
 # staticcheck and golangci-lint are optional extras: run whichever is
 # on PATH, skip silently otherwise (the container CI image ships
@@ -22,15 +22,25 @@ test:
 	$(GO) test ./...
 
 # The solver, the pipeline, the checkers that consume their results,
-# and the analysis service have the interesting concurrency surface
-# (context cancellation mid-worklist, shared results across runs,
-# single-flight dedup and admission under load); run their tests under
-# the race detector.
+# the analysis service, and the tracing layer have the interesting
+# concurrency surface (context cancellation mid-worklist, shared
+# results across runs, single-flight dedup and admission under load,
+# observers shared across fleet workers); run their tests under the
+# race detector.
 race:
-	$(GO) test -race ./internal/analysis ./internal/pta ./internal/checkers ./internal/service
+	$(GO) test -race ./internal/analysis ./internal/pta ./internal/checkers ./internal/service ./internal/obs
 
 bench:
 	$(GO) test -bench='Fig|Provenance' -benchtime=1x -run=^$$ .
+
+# trace-smoke solves a real benchmark with tracing on and validates
+# the exported Chrome trace (parses, spans nest, solver snapshots
+# present) — the end-to-end check that the observability layer's file
+# format stays loadable in Perfetto.
+trace-smoke:
+	$(GO) run ./cmd/pta -bench hsqldb -analysis 2objH-IntroA -budget -1 \
+		-trace /tmp/pta-trace-smoke.json -snap-every 262144
+	$(GO) run ./scripts/tracecheck /tmp/pta-trace-smoke.json
 
 figures:
 	$(GO) run ./cmd/introbench

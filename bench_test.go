@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"introspect/internal/figures"
+	"introspect/internal/obs"
 	"introspect/internal/pta"
 	"introspect/internal/report"
 	"introspect/internal/suite"
@@ -87,6 +88,29 @@ func BenchmarkFig4(b *testing.B) {
 
 // BenchmarkFig5 regenerates Figure 5 (2objH variants).
 func BenchmarkFig5(b *testing.B) { benchFig(b, "2objH") }
+
+// BenchmarkFig5Traced is BenchmarkFig5 with the observability layer
+// on: every run records stage spans and sampled solver snapshots onto
+// a shared trace ring. Paired with BenchmarkFig5 it is the tracing
+// overhead gate scripts/bench.sh enforces — the work/peakpt/timeouts
+// metrics must be identical (observers are read-only; tracing cannot
+// perturb the solver) and wall time must stay within noise, since the
+// sampled O(nodes) snapshot scan amortizes over 2^20 work units.
+func BenchmarkFig5Traced(b *testing.B) {
+	tcfg := cfg
+	tcfg.Tracer = obs.NewTracer(0)
+	tcfg.SnapshotEvery = 1 << 20
+	var rows []report.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = figures.FigPerf(tcfg, "2objH")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRows(b, rows)
+	b.ReportMetric(float64(tcfg.Tracer.Len())+float64(tcfg.Tracer.Dropped()), "events")
+}
 
 // BenchmarkFig6 regenerates Figure 6 (2typeH variants).
 func BenchmarkFig6(b *testing.B) { benchFig(b, "2typeH") }

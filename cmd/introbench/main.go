@@ -7,6 +7,7 @@
 //	introbench -fig 5      # just Figure 5 (2objH variants)
 //	introbench -budget N   # override the timeout budget
 //	introbench -parallel N # cap concurrent analysis runs (0 = GOMAXPROCS)
+//	introbench -trace t.json # record the figure fleets as a Chrome trace
 //
 // Figure numbers follow the paper: 1 (insens vs 2objH, all benchmarks),
 // 4 (refinement-exclusion percentages), 5 (2objH variants), 6 (2typeH
@@ -20,6 +21,7 @@ import (
 	"os"
 
 	"introspect/internal/figures"
+	"introspect/internal/obs"
 	"introspect/internal/report"
 )
 
@@ -40,6 +42,7 @@ func run(args []string, out io.Writer) error {
 	parallel := fs.Int("parallel", 0, "concurrent analysis runs per figure (0 = GOMAXPROCS); output is identical at any setting")
 	ablation := fs.Bool("ablation", false, "run the heuristic-constant robustness sweep instead of the figures")
 	syntactic := fs.Bool("syntactic", false, "run the traditional syntactic-heuristics baseline on the pathological benchmarks")
+	traceOut := fs.String("trace", "", "write the figure fleets as a Chrome trace-event JSON file (open in Perfetto); one lane per analysis run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +54,26 @@ func run(args []string, out io.Writer) error {
 	}
 
 	cfg := figures.Config{Budget: *budget, Parallel: *parallel}
+	if *traceOut != "" {
+		cfg.Tracer = obs.NewTracer(0)
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "introbench: writing trace:", err)
+				return
+			}
+			if err := cfg.Tracer.WriteChrome(f, "introbench"); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "introbench: writing trace:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "introbench: trace: %d events -> %s\n", cfg.Tracer.Len(), *traceOut)
+		}()
+	}
 	if *ablation {
 		for _, deep := range []string{"2objH", "2typeH", "2callH"} {
 			rows, err := figures.Ablation(cfg, deep, []float64{0.5, 1, 2})

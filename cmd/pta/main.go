@@ -19,6 +19,12 @@
 // document ("schema":"pta/v1") — byte-identical to what cmd/ptad's
 // POST /v1/analyze returns for the same program and spec — instead of
 // the human-readable text.
+//
+// With -trace out.json, the run additionally records a Chrome
+// trace-event file: one span per pipeline stage plus sampled solver
+// snapshots (worklist depth, |pt|, context counts) as instant events.
+// Load it in Perfetto (ui.perfetto.dev) or chrome://tracing. -snap-every
+// tunes the sampling interval in solver work units.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"os/signal"
 
 	"introspect/internal/analysis"
+	"introspect/internal/obs"
 	"introspect/internal/report"
 	"introspect/internal/suite"
 )
@@ -64,6 +71,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	intro := fs.String("intro", "", "introspective heuristic: A or B (shorthand for -analysis <spec>-IntroA/-IntroB)")
 	budget := fs.Int64("budget", 0, "work budget (0 = default, <0 = unlimited)")
 	jsonOut := fs.Bool("json", false, "emit one pta/v1 JSON document with per-stage stats instead of text")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
+	snapEvery := fs.Int64("snap-every", 0, "solver work units between trace snapshots (0 = default; effective with -trace)")
 	verbose := fs.Bool("v", false, "log stage progress to stderr")
 	list := fs.Bool("list", false, "list benchmarks and exit")
 	dump := fs.Bool("dumpstats", false, "print program statistics only")
@@ -115,8 +124,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			},
 		}
 	}
+	var tracer *obs.Tracer
+	var runSpan *obs.Span
+	if *traceOut != "" {
+		tracer = obs.NewTracer(0)
+		track := tracer.NewTrack(fullSpec)
+		runSpan = track.Begin("run", map[string]any{"spec": fullSpec})
+		req.Observer = analysis.Observers(req.Observer, analysis.TrackObserver(track))
+		req.SnapshotEvery = *snapEvery
+	}
 
 	res, err := analysis.Run(ctx, req)
+	if tracer != nil {
+		runSpan.End()
+		if werr := writeTrace(tracer, *traceOut); werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "pta: trace: %d events -> %s (load in ui.perfetto.dev)\n", tracer.Len(), *traceOut)
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			return err
@@ -152,4 +177,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprint(out, report.MeasureDistribution(res.Main))
 	}
 	return nil
+}
+
+// writeTrace dumps the tracer's retained events as a Chrome trace file.
+func writeTrace(tracer *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	if err := tracer.WriteChrome(f, "pta"); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	return f.Close()
 }

@@ -9,13 +9,23 @@
 //
 //	ptad [-addr 127.0.0.1:8372] [-workers N] [-queue N] [-cache N]
 //	     [-deadline 30s] [-max-deadline 5m] [-budget N]
+//	     [-snap-every N] [-debug-addr 127.0.0.1:0]
 //
 // Endpoints:
 //
 //	POST /v1/analyze   analyze source (JSON request or raw body + query params)
 //	GET  /v1/specs     list analyses and introspective variants
+//	GET  /v1/flights   in-flight requests with live solver snapshots
 //	GET  /healthz      liveness
-//	GET  /metrics      cache/queue/latency counters (plain JSON)
+//	GET  /metrics      cache/queue/latency counters (JSON, or Prometheus
+//	                   text exposition via ?format=prometheus / Accept)
+//
+// With -debug-addr, a second listener serves the operator-only debug
+// surface: net/http/pprof under /debug/pprof/ and the daemon's
+// in-memory ring of recent trace spans as a Chrome trace-event file at
+// /debug/trace (load it in Perfetto). The debug listener is separate
+// from the API address so it can stay loopback-only while the API is
+// exposed.
 //
 // Examples:
 //
@@ -25,6 +35,8 @@
 //	curl -s -X POST -H 'Content-Type: application/json' \
 //	    -d '{"lang":"mj","source":"class Main { ... }","job":{"spec":"2objH"}}' \
 //	    http://127.0.0.1:8372/v1/analyze
+//	curl -s http://127.0.0.1:8372/v1/flights
+//	curl -s 'http://127.0.0.1:8372/metrics?format=prometheus'
 //
 // Responses are versioned pta/v1 documents (analysis.RunJSON), the
 // same shape cmd/pta -json emits, plus a "cache" field: "miss" (this
@@ -39,10 +51,12 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
 
+	"introspect/internal/obs"
 	"introspect/internal/service"
 )
 
@@ -61,7 +75,17 @@ func run() error {
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 	maxDeadline := flag.Duration("max-deadline", 5*time.Minute, "maximum per-request deadline")
 	budget := flag.Int64("budget", 0, "default per-pass work budget (0 = solver default, <0 = unlimited)")
+	snapEvery := flag.Int64("snap-every", 0, "solver work units between progress snapshots (0 = service default, <0 = solver default)")
+	debugAddr := flag.String("debug-addr", "", "if set, serve pprof and /debug/trace on this second listener (e.g. 127.0.0.1:0)")
+	traceRing := flag.Int("trace-ring", 0, "debug trace ring capacity in spans (0 = default)")
 	flag.Parse()
+
+	// The solve tracer feeds /debug/trace; only pay for it when a debug
+	// listener will serve it.
+	var tracer *obs.Tracer
+	if *debugAddr != "" {
+		tracer = obs.NewTracer(*traceRing)
+	}
 
 	svc := service.New(service.Config{
 		Workers:         *workers,
@@ -70,6 +94,8 @@ func run() error {
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		DefaultBudget:   *budget,
+		SnapshotEvery:   *snapEvery,
+		Tracer:          tracer,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -81,8 +107,19 @@ func run() error {
 	fmt.Printf("ptad: listening on http://%s\n", ln.Addr())
 
 	srv := &http.Server{Handler: svc.Handler()}
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() { errc <- srv.Serve(ln) }()
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		fmt.Printf("ptad: debug on http://%s (pprof: /debug/pprof/, trace: /debug/trace)\n", dln.Addr())
+		debugSrv = &http.Server{Handler: debugMux(tracer)}
+		go func() { errc <- debugSrv.Serve(dln) }()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -94,9 +131,30 @@ func run() error {
 		fmt.Println("ptad: shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if debugSrv != nil {
+			debugSrv.Shutdown(shutdownCtx)
+		}
 		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			return err
 		}
 		return nil
 	}
+}
+
+// debugMux builds the -debug-addr surface: the standard pprof handlers
+// (mounted by hand — the flag-gated listener means we avoid the
+// DefaultServeMux side-effect import) and the retained trace window.
+func debugMux(tracer *obs.Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="ptad-trace.json"`)
+		tracer.WriteChrome(w, "ptad")
+	})
+	return mux
 }

@@ -80,9 +80,16 @@ type Request struct {
 	// which internal/checkers attaches to diagnostics. Costs extra
 	// solver time and memory; leave off for pure figure runs.
 	Provenance bool
-	// Observer receives stage lifecycle and progress callbacks; nil
-	// means NopObserver.
+	// Observer receives stage lifecycle, progress, and solver-snapshot
+	// callbacks; nil means NopObserver. See Observer for the
+	// concurrency contract when one instance is shared across RunAll.
 	Observer Observer
+	// SnapshotEvery is the minimum solver work-unit interval between
+	// Observer.SolveSnapshot callbacks; 0 means
+	// pta.DefaultSnapshotEvery. Smaller intervals give denser traces
+	// and fresher heartbeats at the cost of one O(nodes) scan per
+	// sample; it never affects analysis results.
+	SnapshotEvery int64
 }
 
 // Result bundles every artifact a pipeline produced. Stages that did
@@ -288,6 +295,8 @@ func solvePass(ctx context.Context, stageName string, req *Request, prog *ir.Pro
 	opts.Provenance = req.Provenance
 	if obs := req.Observer; obs != nil {
 		opts.Progress = func(work int64) { obs.Progress(stageName, work) }
+		opts.Snapshot = func(sn pta.Snapshot) { obs.SolveSnapshot(stageName, sn) }
+		opts.SnapshotEvery = req.SnapshotEvery
 	}
 	r, err := pta.Solve(ctx, prog, pol, tab, opts)
 	st := collectStats(r)

@@ -30,6 +30,11 @@ type RunResult struct {
 // started are not started — their slot reports the context error.
 // Each run is fully isolated (own pta.Table, own solver state), so
 // concurrent results are bit-for-bit identical to sequential ones.
+//
+// Observer callbacks are NOT serialized across the fleet: an Observer
+// instance attached to several requests is invoked from up to
+// `workers` goroutines concurrently and must be safe for concurrent
+// use — see the Observer contract.
 func RunAll(ctx context.Context, reqs []Request, workers int) []RunResult {
 	workers = poolSize(workers, len(reqs))
 

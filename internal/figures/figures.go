@@ -17,6 +17,7 @@ import (
 
 	"introspect/internal/analysis"
 	"introspect/internal/introspect"
+	"introspect/internal/obs"
 	"introspect/internal/pta"
 	"introspect/internal/report"
 	"introspect/internal/suite"
@@ -32,6 +33,15 @@ type Config struct {
 	// output is identical at any setting — runs are isolated and
 	// rows are assembled in request order.
 	Parallel int
+	// Tracer, if non-nil, records the figure fleets onto it: one track
+	// per analysis run ("<bench> <spec>") with a span per pipeline
+	// stage and sampled solver snapshots as instant events. Tracing
+	// never changes figure output — observers are read-only.
+	Tracer *obs.Tracer
+	// SnapshotEvery is the solver work-unit interval between trace
+	// snapshots; 0 means the solver default. Effective only with
+	// Tracer set.
+	SnapshotEvery int64
 }
 
 // DefaultBudget reproduces the paper's timeout behavior on this suite:
@@ -75,9 +85,24 @@ func rowOf(req analysis.Request, rr analysis.RunResult) (report.Row, error) {
 	return report.Row{Benchmark: req.Source.Bench, Precision: *rr.Result.Precision}, nil
 }
 
+// instrument attaches the Config's tracer to a fleet: each request
+// gets its own track (so concurrent runs render on separate lanes) on
+// top of any observer it already carries. A nil tracer is a no-op.
+func (c Config) instrument(reqs []analysis.Request) {
+	if c.Tracer == nil {
+		return
+	}
+	for i := range reqs {
+		track := c.Tracer.NewTrack(reqs[i].Source.Bench + " " + reqs[i].Job.Spec)
+		reqs[i].Observer = analysis.Observers(reqs[i].Observer, analysis.TrackObserver(track))
+		reqs[i].SnapshotEvery = c.SnapshotEvery
+	}
+}
+
 // runAll executes the requests through the bounded-parallel fleet
 // runner and renders each outcome as a table row, in request order.
 func runAll(cfg Config, reqs []analysis.Request) ([]report.Row, error) {
+	cfg.instrument(reqs)
 	rows := make([]report.Row, len(reqs))
 	for i, rr := range analysis.RunAll(context.Background(), reqs, cfg.Parallel) {
 		row, err := rowOf(reqs[i], rr)
@@ -160,6 +185,7 @@ func Fig4(cfg Config) ([]Fig4Row, error) {
 	for i, b := range subjects {
 		reqs[i] = fullReq(b, "insens", cfg.Limits())
 	}
+	cfg.instrument(reqs)
 	var rows []Fig4Row
 	for i, rr := range analysis.RunAll(context.Background(), reqs, cfg.Parallel) {
 		if rr.Err != nil {
@@ -224,6 +250,7 @@ func FigPerf(cfg Config, deep string) ([]report.Row, error) {
 	for i, b := range subjects {
 		insReqs[i] = fullReq(b, "insens", cfg.Limits())
 	}
+	cfg.instrument(insReqs)
 	insRes := analysis.RunAll(context.Background(), insReqs, cfg.Parallel)
 
 	insRows := make([]report.Row, len(subjects))

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPromWriterGolden pins the exact exposition-format output —
+// HELP/TYPE headers, label encoding, cumulative buckets, +Inf, sum and
+// count lines.
+func TestPromWriterGolden(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Counter("ptad_requests_total", "Total requests.", 3)
+	p.Gauge("ptad_in_flight", "Solves holding a worker slot.", 2)
+	h := p.HistogramFamily("stage_ms", "Stage wall time.")
+	h.Series(Labels{"stage": "main-pass"}, []float64{1, 5}, []uint64{2, 1, 1}, 12.5, 4)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := strings.Join([]string{
+		"# HELP ptad_requests_total Total requests.",
+		"# TYPE ptad_requests_total counter",
+		"ptad_requests_total 3",
+		"# HELP ptad_in_flight Solves holding a worker slot.",
+		"# TYPE ptad_in_flight gauge",
+		"ptad_in_flight 2",
+		"# HELP stage_ms Stage wall time.",
+		"# TYPE stage_ms histogram",
+		`stage_ms_bucket{stage="main-pass",le="1"} 2`,
+		`stage_ms_bucket{stage="main-pass",le="5"} 3`,
+		`stage_ms_bucket{stage="main-pass",le="+Inf"} 4`,
+		`stage_ms_sum{stage="main-pass"} 12.5`,
+		`stage_ms_count{stage="main-pass"} 4`,
+		"",
+	}, "\n")
+	if got := sb.String(); got != want {
+		t.Errorf("exposition output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPromWriterShortCounts zero-pads a counts slice shorter than
+// bounds+1 instead of panicking.
+func TestPromWriterShortCounts(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.HistogramFamily("h", "h.").Series(nil, []float64{1, 2, 3}, []uint64{1}, 1, 1)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `h_bucket{le="+Inf"} 1`) {
+		t.Errorf("short counts mishandled:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,83 @@
+package pta
+
+import (
+	"context"
+	"testing"
+
+	"introspect/internal/randprog"
+)
+
+// TestSnapshotHook checks the sampled solver snapshots: they fire when
+// installed, carry monotonically non-decreasing work/derivation
+// counters, report live population sizes consistent with the final
+// result, and — the zero-overhead contract — do not perturb the solve:
+// work, derivations, and the final relations are bit-identical with
+// and without the hook.
+func TestSnapshotHook(t *testing.T) {
+	prog := randprog.Generate(11, randprog.Default())
+
+	base, err := Analyze(context.Background(), prog, "2objH", Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snaps []Snapshot
+	opts := Options{
+		Budget:        -1,
+		SnapshotEvery: 1, // sample at every eligible pop
+		Snapshot:      func(sn Snapshot) { snaps = append(snaps, sn) },
+	}
+	res, err := Analyze(context.Background(), prog, "2objH", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(snaps) == 0 {
+		t.Fatal("snapshot hook never fired")
+	}
+	for i := 1; i < len(snaps); i++ {
+		prev, cur := snaps[i-1], snaps[i]
+		if cur.Work < prev.Work || cur.Derivations < prev.Derivations ||
+			cur.Nodes < prev.Nodes || cur.PTTotal < prev.PTTotal {
+			t.Fatalf("snapshot %d regressed: %+v -> %+v", i, prev, cur)
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.Work > res.Work || last.Derivations > res.Derivations {
+		t.Errorf("last snapshot exceeds final counters: snap %+v, result work=%d derivations=%d",
+			last, res.Work, res.Derivations)
+	}
+	// Every derivation inserts exactly one fact into exactly one pt
+	// set, so the live totals must agree in every sample.
+	for i, sn := range snaps {
+		if sn.PTTotal != sn.Derivations {
+			t.Fatalf("snapshot %d: PTTotal=%d != Derivations=%d", i, sn.PTTotal, sn.Derivations)
+		}
+	}
+
+	// Observing must not perturb: identical deterministic outcome.
+	if res.Work != base.Work || res.Derivations != base.Derivations ||
+		res.VarPTSize() != base.VarPTSize() || res.FieldPTSize() != base.FieldPTSize() ||
+		res.NumCallGraphEdges() != base.NumCallGraphEdges() {
+		t.Errorf("snapshot hook changed the solve: with=%+v without=%+v",
+			res.Stats(), base.Stats())
+	}
+}
+
+// TestSnapshotDisabledByDefault pins that no snapshot machinery runs
+// without the hook: Options with only a budget leaves the snapshot
+// function nil (the single disabled-mode check).
+func TestSnapshotDisabledByDefault(t *testing.T) {
+	prog := randprog.Generate(12, randprog.Default())
+	fired := false
+	_, err := Analyze(context.Background(), prog, "insens", Options{
+		Budget:        -1,
+		SnapshotEvery: 1, // interval alone must not enable sampling
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("snapshot fired without a hook installed")
+	}
+}

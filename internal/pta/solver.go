@@ -29,6 +29,18 @@ type Options struct {
 	// ProgressEvery is the minimum number of work units between
 	// Progress calls. 0 means DefaultProgressEvery.
 	ProgressEvery int64
+	// Snapshot, if non-nil, is called periodically from the worklist
+	// loop with a point-in-time Snapshot of the solve — the hook the
+	// observability layer uses for solver-level tracing and live
+	// heartbeats. Disabled it costs one nil check per worklist pop
+	// (the same pattern as the provenance recorder); enabled, each
+	// sample scans the per-node length arrays, so the cost is
+	// O(nodes / SnapshotEvery) per work unit and is controlled
+	// entirely by the sampling interval.
+	Snapshot func(Snapshot)
+	// SnapshotEvery is the minimum number of work units between
+	// Snapshot calls. 0 means DefaultSnapshotEvery.
+	SnapshotEvery int64
 	// Provenance enables the derivation-witness recorder: for every
 	// points-to fact the solver notes the constraint edge that first
 	// derived it, so Result.Explain can reconstruct a shortest
@@ -46,6 +58,45 @@ const DefaultBudget int64 = 150_000_000
 // DefaultProgressEvery is the default work-unit interval between
 // Options.Progress callbacks.
 const DefaultProgressEvery int64 = 1 << 22
+
+// DefaultSnapshotEvery is the default work-unit interval between
+// Options.Snapshot callbacks. It matches DefaultProgressEvery: a
+// snapshot costs an O(nodes) scan, so the default keeps sampling well
+// under 1% of solve time even on exploding runs.
+const DefaultSnapshotEvery int64 = 1 << 22
+
+// Snapshot is a point-in-time picture of a running solve, emitted
+// through Options.Snapshot. It is what makes a context-sensitivity
+// explosion visible while it happens instead of after: worklist depth,
+// interned-node counts, and points-to volume, sampled on the work-unit
+// clock so identical runs snapshot at identical points.
+type Snapshot struct {
+	// Work / Derivations / Propagations are the running values of the
+	// counters Result reports at the end of the solve.
+	Work         int64 `json:"work"`
+	Derivations  int64 `json:"derivations"`
+	Propagations int64 `json:"propagations"`
+	// Pops is the number of worklist iterations so far.
+	Pops int64 `json:"pops"`
+	// Worklist and PendingMethods are the current queue depths: nodes
+	// awaiting a delta flush and (method, context) pairs awaiting
+	// constraint generation.
+	Worklist       int `json:"worklist"`
+	PendingMethods int `json:"pending_methods"`
+	// Nodes and Edges are the current constraint-graph size.
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// HeapContexts / MethodContexts / ReachableMethods are the current
+	// interned-population sizes.
+	HeapContexts     int `json:"heap_contexts"`
+	MethodContexts   int `json:"method_contexts"`
+	ReachableMethods int `json:"reachable_methods"`
+	// PTTotal is Σ|pt| over all nodes (the paper's analysis-size
+	// indicator, mid-flight); DeltaPending is Σ|delta| — facts derived
+	// but not yet flushed across outgoing edges.
+	PTTotal      int64 `json:"pt_total"`
+	DeltaPending int64 `json:"delta_pending"`
+}
 
 // checkCtxEvery is how often (in worklist pops) the solver polls its
 // context for cancellation; a power of two so the check is a mask.
@@ -184,6 +235,9 @@ type solver struct {
 	progress     func(work int64)
 	progEvery    int64
 	lastProg     int64
+	snapshot     func(Snapshot)
+	snapEvery    int64
+	lastSnap     int64
 
 	// finalize() products
 	varNodes map[ir.VarID][]int32
@@ -214,9 +268,14 @@ func Solve(ctx context.Context, prog *ir.Program, pol Policy, tab *Table, opts O
 		ctx:         ctx,
 		progress:    opts.Progress,
 		progEvery:   opts.ProgressEvery,
+		snapshot:    opts.Snapshot,
+		snapEvery:   opts.SnapshotEvery,
 	}
 	if s.progEvery <= 0 {
 		s.progEvery = DefaultProgressEvery
+	}
+	if s.snapEvery <= 0 {
+		s.snapEvery = DefaultSnapshotEvery
 	}
 	if opts.Provenance {
 		s.prov = &provRecorder{}
@@ -619,7 +678,36 @@ func (s *solver) interrupted() bool {
 		s.lastProg = s.work
 		s.progress(s.work)
 	}
+	if s.snapshot != nil && s.work-s.lastSnap >= s.snapEvery {
+		s.lastSnap = s.work
+		s.snapshot(s.takeSnapshot())
+	}
 	return false
+}
+
+// takeSnapshot materializes a Snapshot of the current solver state.
+// Only called when Options.Snapshot is installed; the Σ|pt| / Σ|delta|
+// totals scan the incremental per-node length arrays, so one sample is
+// O(nodes) with no effect on solver state or work accounting.
+func (s *solver) takeSnapshot() Snapshot {
+	sn := Snapshot{
+		Work:             s.work,
+		Derivations:      s.derivations,
+		Propagations:     s.propagations,
+		Pops:             int64(s.popCount),
+		Worklist:         len(s.wl),
+		PendingMethods:   len(s.pendingMC),
+		Nodes:            len(s.kind),
+		Edges:            s.edgeSeen.len(),
+		HeapContexts:     len(s.hcHeap),
+		MethodContexts:   len(s.mcMeth),
+		ReachableMethods: s.reachMeths.Len(),
+	}
+	for i := range s.ptLen {
+		sn.PTTotal += int64(s.ptLen[i])
+		sn.DeltaPending += int64(s.deltaLen[i])
+	}
+	return sn
 }
 
 func (s *solver) run() {

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"introspect/internal/analysis"
+	"introspect/internal/pta"
+)
+
+// flightMeta is the live-progress record of one admitted solve: what
+// GET /v1/flights reports. The immutable identity fields are set at
+// registration; stage and snapshot are updated from the solve's
+// observer callbacks under the record's own mutex, so a heartbeat
+// write never contends with the service lock.
+type flightMeta struct {
+	id         uint64
+	program    string
+	spec       string
+	provenance bool
+	started    time.Time
+
+	mu     sync.Mutex
+	stage  string
+	snap   pta.Snapshot
+	snapAt time.Time // zero until the first snapshot arrives
+}
+
+func (f *flightMeta) setStage(stage string) {
+	f.mu.Lock()
+	f.stage = stage
+	f.mu.Unlock()
+}
+
+func (f *flightMeta) setSnapshot(snap pta.Snapshot) {
+	f.mu.Lock()
+	f.snap = snap
+	f.snapAt = time.Now()
+	f.mu.Unlock()
+}
+
+// observer adapts the flight record to the pipeline's Observer
+// interface. Progress (the cheap high-frequency callback) keeps the
+// work counter fresh between full snapshots.
+type flightObserver struct{ fl *flightMeta }
+
+func (o flightObserver) StageStart(stage string) { o.fl.setStage(stage) }
+
+func (o flightObserver) StageFinish(string, analysis.Stats, error) {}
+
+func (o flightObserver) Progress(stage string, work int64) {
+	o.fl.mu.Lock()
+	if work > o.fl.snap.Work {
+		o.fl.snap.Work = work
+	}
+	o.fl.mu.Unlock()
+}
+
+func (o flightObserver) SolveSnapshot(stage string, snap pta.Snapshot) {
+	o.fl.setSnapshot(snap)
+}
+
+// registerFlight adds a record for one admitted solve; the caller must
+// deregister it (deferred) when the solve returns.
+func (s *Service) registerFlight(req Request) *flightMeta {
+	fl := &flightMeta{
+		program:    req.Name,
+		spec:       req.Job.Spec,
+		provenance: req.Provenance,
+		started:    time.Now(),
+		stage:      "queued",
+	}
+	s.mu.Lock()
+	s.flightSeq++
+	fl.id = s.flightSeq
+	if s.active == nil {
+		s.active = make(map[uint64]*flightMeta)
+	}
+	s.active[fl.id] = fl
+	s.mu.Unlock()
+	return fl
+}
+
+func (s *Service) deregisterFlight(fl *flightMeta) {
+	s.mu.Lock()
+	delete(s.active, fl.id)
+	s.mu.Unlock()
+}
+
+// FlightInfo is one in-flight request as reported by GET /v1/flights:
+// identity, age, current stage, and the latest sampled solver
+// snapshot. A request whose snapshot fields are zero has not yet
+// reached its first sampling interval (or is still queued/parsing).
+type FlightInfo struct {
+	ID         uint64 `json:"id"`
+	Program    string `json:"program"`
+	Spec       string `json:"spec"`
+	Provenance bool   `json:"provenance,omitempty"`
+	// AgeMS is milliseconds since the solve was admitted (queue time
+	// included).
+	AgeMS int64 `json:"age_ms"`
+	// Stage is the request's current position: "queued", "parse", or a
+	// pipeline stage name ("pre-pass", "main-pass", ...).
+	Stage string `json:"stage"`
+	// Snapshot is the latest sampled solver state, if any arrived;
+	// SnapshotAgeMS says how stale it is. A long-running flight whose
+	// snapshot age keeps growing is stuck outside the solver; one
+	// whose work grows without the stage advancing is the paper's
+	// context explosion, live.
+	Snapshot      *pta.Snapshot `json:"snapshot,omitempty"`
+	SnapshotAgeMS int64         `json:"snapshot_age_ms,omitempty"`
+}
+
+// Flights reports the currently admitted solves, oldest first. Fast
+// and lock-light: callers may poll it at heartbeat frequency.
+func (s *Service) Flights() []FlightInfo {
+	s.mu.Lock()
+	metas := make([]*flightMeta, 0, len(s.active))
+	for _, fl := range s.active {
+		metas = append(metas, fl)
+	}
+	s.mu.Unlock()
+	sort.Slice(metas, func(i, j int) bool { return metas[i].id < metas[j].id })
+
+	now := time.Now()
+	out := make([]FlightInfo, len(metas))
+	for i, fl := range metas {
+		fl.mu.Lock()
+		info := FlightInfo{
+			ID:         fl.id,
+			Program:    fl.program,
+			Spec:       fl.spec,
+			Provenance: fl.provenance,
+			AgeMS:      now.Sub(fl.started).Milliseconds(),
+			Stage:      fl.stage,
+		}
+		if fl.snap.Work > 0 {
+			snap := fl.snap
+			info.Snapshot = &snap
+			if !fl.snapAt.IsZero() {
+				info.SnapshotAgeMS = now.Sub(fl.snapAt).Milliseconds()
+			}
+		}
+		fl.mu.Unlock()
+		out[i] = info
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package service_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"introspect/internal/analysis"
+	"introspect/internal/obs"
+	"introspect/internal/randprog"
+	"introspect/internal/service"
+	"introspect/internal/suite"
+)
+
+// flightsDoc is the GET /v1/flights wire shape.
+type flightsDoc struct {
+	Schema  string               `json:"schema"`
+	Flights []service.FlightInfo `json:"flights"`
+}
+
+func getFlights(t *testing.T, base string) flightsDoc {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc flightsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestFlightsVisibleDuringSolve drives a slow solve (jython under
+// 2objH) through the HTTP handler while polling GET /v1/flights from
+// another connection: the flight must become visible with a live
+// solver snapshot while the solve runs, and the listing must be empty
+// again once it finishes.
+func TestFlightsVisibleDuringSolve(t *testing.T) {
+	tracer := obs.NewTracer(1 << 12)
+	svc := service.New(service.Config{
+		Workers:       1,
+		SnapshotEvery: 1 << 20, // ~400 snapshots over jython-2objH's ~439M work units
+		Tracer:        tracer,
+	})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	src := irText(t, suite.MustLoad("jython"))
+	done := make(chan error, 1)
+	go func() {
+		body := strings.NewReader(src)
+		url := srv.URL + "/v1/analyze?lang=ir&name=jy-flight&spec=2objH&budget=-1&deadline_ms=120000"
+		resp, err := http.Post(url, "text/plain", body)
+		if err != nil {
+			done <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			done <- fmt.Errorf("analyze: status %d: %s", resp.StatusCode, b)
+			return
+		}
+		done <- nil
+	}()
+
+	// Poll until the flight shows up with a solver snapshot. The solve
+	// takes hundreds of milliseconds; each poll is a fast local HTTP
+	// round-trip, so this observes many intermediate states.
+	var seen *service.FlightInfo
+	deadline := time.Now().Add(60 * time.Second)
+poll:
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			break poll // solve finished before a snapshot was seen
+		default:
+		}
+		doc := getFlights(t, srv.URL)
+		for i, fl := range doc.Flights {
+			if fl.Program == "jy-flight" && fl.Snapshot != nil {
+				seen = &doc.Flights[i]
+				break poll
+			}
+		}
+	}
+	if seen == nil {
+		t.Fatal("flight never became visible with a solver snapshot on /v1/flights")
+	}
+	if seen.ID == 0 {
+		t.Error("flight id = 0, want allocated")
+	}
+	if seen.Spec != "2objH" {
+		t.Errorf("flight spec = %q, want 2objH", seen.Spec)
+	}
+	if seen.Stage == "" || seen.Stage == "queued" {
+		t.Errorf("flight stage = %q, want an active stage", seen.Stage)
+	}
+	if seen.Snapshot.Work <= 0 {
+		t.Errorf("snapshot work = %d, want > 0", seen.Snapshot.Work)
+	}
+	if seen.Snapshot.Nodes <= 0 || seen.Snapshot.PTTotal <= 0 {
+		t.Errorf("snapshot counters empty: nodes=%d pt_total=%d", seen.Snapshot.Nodes, seen.Snapshot.PTTotal)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	doc := getFlights(t, srv.URL)
+	if doc.Schema != analysis.SchemaV1 {
+		t.Errorf("flights schema = %q, want %q", doc.Schema, analysis.SchemaV1)
+	}
+	if len(doc.Flights) != 0 {
+		t.Errorf("flights after completion = %+v, want empty", doc.Flights)
+	}
+	// The service tracer captured the solve: at least the stage spans
+	// and snapshot instants for one track.
+	if tracer.Len() == 0 {
+		t.Error("service tracer recorded no events")
+	}
+}
+
+// TestMetricsContentNegotiation checks that GET /metrics keeps serving
+// JSON by default and switches to the Prometheus text exposition when
+// asked via ?format=prometheus or an Accept header.
+func TestMetricsContentNegotiation(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// One real solve so the counters are non-zero.
+	src := irText(t, randprog.Generate(3, randprog.Default()))
+	resp, err := http.Post(srv.URL+"/v1/analyze?lang=ir&spec=insens&budget=-1", "text/plain", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: status %d", resp.StatusCode)
+	}
+
+	// Default: JSON, as before.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap service.MetricsSnapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("default /metrics is not JSON: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("default /metrics content-type = %q", ct)
+	}
+	if snap.Requests == 0 || snap.Solves == 0 {
+		t.Errorf("metrics counters empty after a solve: %+v", snap)
+	}
+
+	for _, tc := range []struct {
+		name   string
+		url    string
+		accept string
+	}{
+		{"query", srv.URL + "/metrics?format=prometheus", ""},
+		{"accept-text-plain", srv.URL + "/metrics", "text/plain;version=0.0.4"},
+		{"accept-openmetrics", srv.URL + "/metrics", "application/openmetrics-text;version=1.0.0"},
+	} {
+		req, _ := http.NewRequest("GET", tc.url, nil)
+		if tc.accept != "" {
+			req.Header.Set("Accept", tc.accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("%s: content-type = %q, want text/plain", tc.name, ct)
+		}
+		text := string(body)
+		for _, want := range []string{
+			"# TYPE ptad_requests_total counter",
+			"ptad_requests_total 1",
+			"ptad_solves_total 1",
+			"# TYPE ptad_stage_latency_ms histogram",
+			`ptad_stage_latency_ms_bucket{stage="main-pass",le="+Inf"} 1`,
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s: exposition missing %q in:\n%s", tc.name, want, text)
+			}
+		}
+	}
+}

@@ -21,8 +21,14 @@ type errorEnvelope struct {
 //
 //	POST /v1/analyze   run (or serve from cache) one analysis
 //	GET  /v1/specs     list analyses and introspective variants
+//	GET  /v1/flights   in-flight requests with live solver snapshots
 //	GET  /healthz      liveness
-//	GET  /metrics      cache/queue/latency counters as plain JSON
+//	GET  /metrics      cache/queue/latency counters (JSON or Prometheus)
+//
+// GET /metrics defaults to the JSON snapshot; it serves the Prometheus
+// text exposition instead when the client asks for it — ?format=prometheus,
+// or an Accept header naming text/plain or application/openmetrics-text
+// (what Prometheus scrapers send).
 //
 // POST /v1/analyze accepts either a JSON Request (Content-Type
 // application/json) or — for curl-friendliness — a raw source body
@@ -41,10 +47,34 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeBody(w, http.StatusOK, map[string]bool{"ok": true})
 	})
+	mux.HandleFunc("GET /v1/flights", func(w http.ResponseWriter, r *http.Request) {
+		writeBody(w, http.StatusOK, map[string]any{
+			"schema":  analysis.SchemaV1,
+			"flights": s.Flights(),
+		})
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantsPrometheus(r) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.WriteHeader(http.StatusOK)
+			s.WritePrometheus(w)
+			return
+		}
 		writeBody(w, http.StatusOK, s.Metrics())
 	})
 	return mux
+}
+
+// wantsPrometheus decides the /metrics representation: explicit
+// ?format=prometheus, or an Accept header naming a text exposition
+// type. JSON stays the default so existing tooling is unaffected.
+func wantsPrometheus(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
 }
 
 func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,55 @@
+package service
+
+import (
+	"io"
+	"sort"
+
+	"introspect/internal/obs"
+)
+
+// WritePrometheus renders the service metrics in the Prometheus text
+// exposition format — the same registry GET /metrics serves as JSON,
+// mapped to stable metric names. cmd/ptad serves this when a scraper
+// asks for it (Accept: text/plain / application/openmetrics-text, or
+// ?format=prometheus).
+//
+// The metric names and label sets below are a compatibility surface
+// (dashboards and alerts reference them); the exposition golden test
+// pins them. Add new metrics freely, rename existing ones never.
+func (s *Service) WritePrometheus(w io.Writer) error {
+	return s.metrics.writePrometheus(w, s.cfg.Workers, s.cfg.Workers+s.cfg.QueueDepth)
+}
+
+func (m *Metrics) writePrometheus(w io.Writer, workers, capacity int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := obs.NewPromWriter(w)
+
+	p.Counter("ptad_requests_total", "Analysis requests received.", float64(m.requests))
+	p.Counter("ptad_cache_hits_total", "Requests served from the result cache.", float64(m.cacheHits))
+	p.Counter("ptad_cache_misses_total", "Requests that required a solve.", float64(m.cacheMisses))
+	p.Counter("ptad_cache_dedup_total", "Requests coalesced onto an identical in-flight solve.", float64(m.dedups))
+	p.Counter("ptad_solves_total", "Completed solver runs.", float64(m.solves))
+	p.Counter("ptad_pre_pass_shared_total", "Introspective runs that reused a cached insensitive pre-pass.", float64(m.prePassShared))
+	p.Counter("ptad_rejected_invalid_total", "Requests rejected as invalid (HTTP 400).", float64(m.rejectedInvalid))
+	p.Counter("ptad_rejected_overload_total", "Requests shed by admission control (HTTP 429).", float64(m.rejectedLoad))
+	p.Counter("ptad_timeouts_total", "Requests whose deadline expired (HTTP 504).", float64(m.timeouts))
+	p.Counter("ptad_internal_errors_total", "Requests failed by internal errors (HTTP 500).", float64(m.internalErrs))
+
+	p.Gauge("ptad_in_flight", "Solves currently holding a worker slot.", float64(m.inFlight))
+	p.Gauge("ptad_queued", "Admitted requests waiting for a worker slot.", float64(m.queued))
+	p.Gauge("ptad_workers", "Configured worker-pool size.", float64(workers))
+	p.Gauge("ptad_capacity", "Admission capacity (workers + queue depth).", float64(capacity))
+
+	stages := make([]string, 0, len(m.stageLatency))
+	for stage := range m.stageLatency {
+		stages = append(stages, stage)
+	}
+	sort.Strings(stages)
+	h := p.HistogramFamily("ptad_stage_latency_ms", "Pipeline stage wall time in milliseconds.")
+	for _, stage := range stages {
+		hist := m.stageLatency[stage]
+		h.Series(obs.Labels{"stage": stage}, histBoundsMS, hist.Counts, hist.Sum, hist.N)
+	}
+	return p.Err()
+}

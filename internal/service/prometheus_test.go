@@ -1,0 +1,120 @@
+package service
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPrometheusExpositionGolden pins the exposition byte-for-byte:
+// metric names, HELP strings, label sets, and bucket layout are a
+// compatibility surface for dashboards and alerts. If this test fails
+// because you renamed or dropped a metric, that is the bug — add new
+// metrics instead.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	m := newMetrics()
+	m.requests = 7
+	m.cacheHits = 2
+	m.cacheMisses = 4
+	m.dedups = 1
+	m.solves = 4
+	m.prePassShared = 1
+	m.rejectedInvalid = 1
+	m.rejectedLoad = 2
+	m.timeouts = 1
+	m.inFlight = 1
+	m.queued = 2
+	// Deterministic bucket placement: 7ms → le=10, 40ms → le=50,
+	// 0.5ms → le=1.
+	m.observeStage("main-pass", 7*time.Millisecond)
+	m.observeStage("main-pass", 40*time.Millisecond)
+	m.observeStage("pre-pass", 500*time.Microsecond)
+
+	var sb strings.Builder
+	if err := m.writePrometheus(&sb, 4, 20); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != promGolden {
+		t.Errorf("exposition drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, promGolden)
+	}
+}
+
+const promGolden = `# HELP ptad_requests_total Analysis requests received.
+# TYPE ptad_requests_total counter
+ptad_requests_total 7
+# HELP ptad_cache_hits_total Requests served from the result cache.
+# TYPE ptad_cache_hits_total counter
+ptad_cache_hits_total 2
+# HELP ptad_cache_misses_total Requests that required a solve.
+# TYPE ptad_cache_misses_total counter
+ptad_cache_misses_total 4
+# HELP ptad_cache_dedup_total Requests coalesced onto an identical in-flight solve.
+# TYPE ptad_cache_dedup_total counter
+ptad_cache_dedup_total 1
+# HELP ptad_solves_total Completed solver runs.
+# TYPE ptad_solves_total counter
+ptad_solves_total 4
+# HELP ptad_pre_pass_shared_total Introspective runs that reused a cached insensitive pre-pass.
+# TYPE ptad_pre_pass_shared_total counter
+ptad_pre_pass_shared_total 1
+# HELP ptad_rejected_invalid_total Requests rejected as invalid (HTTP 400).
+# TYPE ptad_rejected_invalid_total counter
+ptad_rejected_invalid_total 1
+# HELP ptad_rejected_overload_total Requests shed by admission control (HTTP 429).
+# TYPE ptad_rejected_overload_total counter
+ptad_rejected_overload_total 2
+# HELP ptad_timeouts_total Requests whose deadline expired (HTTP 504).
+# TYPE ptad_timeouts_total counter
+ptad_timeouts_total 1
+# HELP ptad_internal_errors_total Requests failed by internal errors (HTTP 500).
+# TYPE ptad_internal_errors_total counter
+ptad_internal_errors_total 0
+# HELP ptad_in_flight Solves currently holding a worker slot.
+# TYPE ptad_in_flight gauge
+ptad_in_flight 1
+# HELP ptad_queued Admitted requests waiting for a worker slot.
+# TYPE ptad_queued gauge
+ptad_queued 2
+# HELP ptad_workers Configured worker-pool size.
+# TYPE ptad_workers gauge
+ptad_workers 4
+# HELP ptad_capacity Admission capacity (workers + queue depth).
+# TYPE ptad_capacity gauge
+ptad_capacity 20
+# HELP ptad_stage_latency_ms Pipeline stage wall time in milliseconds.
+# TYPE ptad_stage_latency_ms histogram
+ptad_stage_latency_ms_bucket{stage="main-pass",le="1"} 0
+ptad_stage_latency_ms_bucket{stage="main-pass",le="2"} 0
+ptad_stage_latency_ms_bucket{stage="main-pass",le="5"} 0
+ptad_stage_latency_ms_bucket{stage="main-pass",le="10"} 1
+ptad_stage_latency_ms_bucket{stage="main-pass",le="25"} 1
+ptad_stage_latency_ms_bucket{stage="main-pass",le="50"} 2
+ptad_stage_latency_ms_bucket{stage="main-pass",le="100"} 2
+ptad_stage_latency_ms_bucket{stage="main-pass",le="250"} 2
+ptad_stage_latency_ms_bucket{stage="main-pass",le="500"} 2
+ptad_stage_latency_ms_bucket{stage="main-pass",le="1000"} 2
+ptad_stage_latency_ms_bucket{stage="main-pass",le="2500"} 2
+ptad_stage_latency_ms_bucket{stage="main-pass",le="5000"} 2
+ptad_stage_latency_ms_bucket{stage="main-pass",le="10000"} 2
+ptad_stage_latency_ms_bucket{stage="main-pass",le="30000"} 2
+ptad_stage_latency_ms_bucket{stage="main-pass",le="+Inf"} 2
+ptad_stage_latency_ms_sum{stage="main-pass"} 47
+ptad_stage_latency_ms_count{stage="main-pass"} 2
+ptad_stage_latency_ms_bucket{stage="pre-pass",le="1"} 1
+ptad_stage_latency_ms_bucket{stage="pre-pass",le="2"} 1
+ptad_stage_latency_ms_bucket{stage="pre-pass",le="5"} 1
+ptad_stage_latency_ms_bucket{stage="pre-pass",le="10"} 1
+ptad_stage_latency_ms_bucket{stage="pre-pass",le="25"} 1
+ptad_stage_latency_ms_bucket{stage="pre-pass",le="50"} 1
+ptad_stage_latency_ms_bucket{stage="pre-pass",le="100"} 1
+ptad_stage_latency_ms_bucket{stage="pre-pass",le="250"} 1
+ptad_stage_latency_ms_bucket{stage="pre-pass",le="500"} 1
+ptad_stage_latency_ms_bucket{stage="pre-pass",le="1000"} 1
+ptad_stage_latency_ms_bucket{stage="pre-pass",le="2500"} 1
+ptad_stage_latency_ms_bucket{stage="pre-pass",le="5000"} 1
+ptad_stage_latency_ms_bucket{stage="pre-pass",le="10000"} 1
+ptad_stage_latency_ms_bucket{stage="pre-pass",le="30000"} 1
+ptad_stage_latency_ms_bucket{stage="pre-pass",le="+Inf"} 1
+ptad_stage_latency_ms_sum{stage="pre-pass"} 0.5
+ptad_stage_latency_ms_count{stage="pre-pass"} 1
+`

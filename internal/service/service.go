@@ -50,6 +50,7 @@ import (
 	"introspect/internal/analysis"
 	"introspect/internal/ir"
 	"introspect/internal/lang"
+	"introspect/internal/obs"
 	"introspect/internal/pta"
 )
 
@@ -74,7 +75,26 @@ type Config struct {
 	DefaultBudget int64
 	// MaxSourceBytes caps request source size. Default 4 MiB.
 	MaxSourceBytes int
+	// SnapshotEvery is the solver work-unit interval between the
+	// progress snapshots that feed GET /v1/flights (and the trace
+	// ring). 0 means DefaultSnapshotEvery — denser than the solver
+	// default so heartbeats stay fresh on exploding runs; negative
+	// means the solver default (pta.DefaultSnapshotEvery).
+	SnapshotEvery int64
+	// Tracer, if non-nil, records every solve onto it: one track per
+	// request with a span per pipeline stage and the sampled solver
+	// snapshots as instant events. Give it a bounded ring (see
+	// obs.NewTracer) — cmd/ptad exposes the retained window at its
+	// debug listener's /debug/trace.
+	Tracer *obs.Tracer
 }
+
+// DefaultSnapshotEvery is the service's default solver-snapshot
+// interval: fine enough that a stuck or exploding request shows a
+// fresh heartbeat within tens of milliseconds, coarse enough that the
+// O(nodes) sample stays invisible next to the 2^20 work units it
+// covers.
+const DefaultSnapshotEvery int64 = 1 << 20
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
@@ -101,6 +121,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSourceBytes <= 0 {
 		c.MaxSourceBytes = 4 << 20
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = DefaultSnapshotEvery
+	} else if c.SnapshotEvery < 0 {
+		c.SnapshotEvery = 0 // solver default
 	}
 	return c
 }
@@ -141,6 +166,10 @@ type Service struct {
 	flights map[string]*flight
 	pending int           // admitted requests not yet finished
 	slots   chan struct{} // worker pool: buffered to cfg.Workers
+
+	// Live-progress registry behind GET /v1/flights (see flights.go).
+	flightSeq uint64
+	active    map[uint64]*flightMeta
 }
 
 // flight is one in-progress computation under single-flight: the first
@@ -304,6 +333,9 @@ func (s *Service) Analyze(ctx context.Context, req Request) (*analysis.RunJSON, 
 // solve acquires a worker slot, loads the (cached) program, runs the
 // pipeline, and stores a cacheable outcome.
 func (s *Service) solve(ctx context.Context, req Request, pk, key string) (*analysis.RunJSON, *Error) {
+	fl := s.registerFlight(req)
+	defer s.deregisterFlight(fl)
+
 	select {
 	case s.slots <- struct{}{}:
 	case <-ctx.Done():
@@ -324,16 +356,28 @@ func (s *Service) solve(ctx context.Context, req Request, pk, key string) (*anal
 		s.metrics.mu.Unlock()
 	}()
 
+	fl.setStage("parse")
 	entry := s.progs.load(pk, func() (*ir.Program, error) { return parseSource(req) })
 	if entry.err != nil {
 		return nil, errf(CodeBadRequest, "parsing source: %v", entry.err)
 	}
 
+	// Heartbeats (GET /v1/flights) always; trace spans when the service
+	// has a tracer. One track per solve keeps concurrent requests on
+	// separate lanes in the viewer.
+	observer := analysis.Observer(flightObserver{fl})
+	if s.cfg.Tracer != nil {
+		track := s.cfg.Tracer.NewTrack(fmt.Sprintf("#%d %s %s", fl.id, req.Name, req.Job.Spec))
+		observer = analysis.Observers(observer, analysis.TrackObserver(track))
+	}
+
 	areq := analysis.Request{
-		Prog:       entry.prog,
-		Job:        req.Job,
-		Limits:     analysis.Limits{Budget: req.Budget},
-		Provenance: req.Provenance,
+		Prog:          entry.prog,
+		Job:           req.Job,
+		Limits:        analysis.Limits{Budget: req.Budget},
+		Provenance:    req.Provenance,
+		Observer:      observer,
+		SnapshotEvery: s.cfg.SnapshotEvery,
 	}
 	// Pre-pass sharing: inject the program's cached insensitive result
 	// if this pipeline would otherwise solve one. NeedsPrePass is what

@@ -15,6 +15,14 @@
 # Provenance/off stays within noise of historical Fig runs (the
 # disabled recorder costs one nil check per derived fact).
 #
+# The Fig5 and Fig5Traced pair is the tracing overhead gate: with the
+# observability layer on (stage spans + sampled solver snapshots) the
+# deterministic work/peakpt/timeouts metrics must be IDENTICAL to the
+# untraced run (observers are read-only), the untraced run's work must
+# match the most recent committed BENCH_*.json (tracing support cost
+# the disabled path nothing), and traced wall time must stay within
+# noise. Set BENCH_GATE=off to record numbers without enforcing.
+#
 # Usage: scripts/bench.sh [count]   (default: 3 runs per figure)
 
 set -eu
@@ -25,7 +33,44 @@ out="BENCH_$(date +%Y-%m-%d).json"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
+# Baseline Fig5 work from the newest recorded bench file (possibly
+# about to be overwritten), captured before the run.
+prev_work=""
+prev=$(ls BENCH_*.json 2>/dev/null | sort | tail -n1 || true)
+if [ -n "$prev" ]; then
+    prev_work=$(grep -o '"Fig5": \[[^]]*\]' "$prev" | grep -o '"work": [0-9]*' | head -n1 | grep -o '[0-9]*' || true)
+fi
+
 go test -bench='Fig|Provenance' -benchtime=1x -count="$count" -run '^$' . | tee "$raw"
+
+if [ "${BENCH_GATE:-on}" != "off" ]; then
+    awk -v prev_work="$prev_work" '
+    /^BenchmarkFig5(Traced)?([-\t ]|$)/ {
+        name = $1
+        sub(/^Benchmark/, "", name)
+        sub(/-[0-9]+$/, "", name)
+        if (!(name in minns) || $3 < minns[name]) minns[name] = $3
+        for (i = 3; i < NF; i += 2) if ($(i+1) == "work") work[name] = $i
+    }
+    END {
+        if (!("Fig5" in minns) || !("Fig5Traced" in minns)) {
+            print "bench gate: FAIL: Fig5/Fig5Traced rows missing from output"; exit 1
+        }
+        if (work["Fig5"] != work["Fig5Traced"]) {
+            printf "bench gate: FAIL: tracing changed solver work (%s vs %s)\n", work["Fig5"], work["Fig5Traced"]; exit 1
+        }
+        if (prev_work != "" && work["Fig5"] != prev_work) {
+            printf "bench gate: FAIL: Fig5 work %s drifted from recorded baseline %s\n", work["Fig5"], prev_work; exit 1
+        }
+        ratio = minns["Fig5Traced"] / minns["Fig5"]
+        # %.0f, not %d: ns/op exceeds 32-bit int in some awks (mawk).
+        printf "bench gate: OK: work identical (%s), sampled tracing wall overhead x%.3f (min ns/op %.0f -> %.0f)\n", \
+            work["Fig5"], ratio, minns["Fig5"], minns["Fig5Traced"]
+        if (ratio > 1.25) {
+            print "bench gate: FAIL: traced run more than 1.25x slower than untraced"; exit 1
+        }
+    }' "$raw"
+fi
 
 awk -v date="$(date +%Y-%m-%d)" -v count="$count" -v gover="$(go env GOVERSION)" '
 /^Benchmark/ {

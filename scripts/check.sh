@@ -14,12 +14,20 @@ elif command -v golangci-lint >/dev/null 2>&1; then
 fi
 go build ./...
 go test ./...
-go test -race ./internal/analysis ./internal/pta ./internal/checkers ./internal/service
+go test -race ./internal/analysis ./internal/pta ./internal/checkers ./internal/service ./internal/obs
 
-# Daemon smoke test: boot ptad on an ephemeral port, POST a real
-# program, and assert a pta/v1 response comes back.
+# Trace-export smoke test (same commands as `make trace-smoke`): solve
+# with tracing on, then validate the Chrome trace file end to end.
+go run ./cmd/pta -bench hsqldb -analysis 2objH-IntroA -budget -1 \
+    -trace /tmp/pta-trace-smoke.$$.json -snap-every 262144
+go run ./scripts/tracecheck /tmp/pta-trace-smoke.$$.json
+rm -f /tmp/pta-trace-smoke.$$.json
+
+# Daemon smoke test: boot ptad on an ephemeral port (debug listener
+# included), POST a real program, and assert a pta/v1 response comes
+# back; then hit the observability surfaces.
 go build -o /tmp/ptad.$$ ./cmd/ptad
-/tmp/ptad.$$ -addr 127.0.0.1:0 >/tmp/ptad.$$.log &
+/tmp/ptad.$$ -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 >/tmp/ptad.$$.log &
 PTAD_PID=$!
 trap 'kill $PTAD_PID 2>/dev/null || true; rm -f /tmp/ptad.$$ /tmp/ptad.$$.log' EXIT
 # The first stdout line is "ptad: listening on http://HOST:PORT".
@@ -36,3 +44,15 @@ echo "$RESP" | grep -q '"complete":true'
 # A repeat of the same request must be served from the cache.
 curl -sS --data-binary @examples/ptalint/holder.mj "$URL/v1/analyze?spec=2objH-IntroA" | grep -q '"cache":"hit"'
 curl -sS "$URL/metrics" | grep -q '"solves":1'
+# Observability surfaces: flights listing (idle daemon -> empty),
+# Prometheus exposition by query param and by Accept header, and the
+# debug listener's pprof index and retained trace window.
+curl -sS "$URL/v1/flights" | grep -q '"flights":\[\]'
+curl -sS "$URL/metrics?format=prometheus" | grep -q '^ptad_solves_total 1$'
+curl -sS -H 'Accept: text/plain' "$URL/metrics" | grep -q '^# TYPE ptad_requests_total counter$'
+DEBUG_URL=$(sed -n 's/^ptad: debug on \(http:\/\/[^ ]*\).*/\1/p' /tmp/ptad.$$.log | head -n1)
+[ -n "$DEBUG_URL" ]
+curl -sS "$DEBUG_URL/debug/pprof/" | grep -qi 'profile'
+curl -sS "$DEBUG_URL/debug/trace" >/tmp/ptad-trace.$$.json
+go run ./scripts/tracecheck -require-snapshots=false /tmp/ptad-trace.$$.json
+rm -f /tmp/ptad-trace.$$.json
