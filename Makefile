@@ -21,17 +21,17 @@ build:
 test:
 	$(GO) test ./...
 
-# The solver, the pipeline, the checkers that consume their results,
-# the analysis service, and the tracing layer have the interesting
-# concurrency surface (context cancellation mid-worklist, shared
-# results across runs, single-flight dedup and admission under load,
-# observers shared across fleet workers); run their tests under the
-# race detector.
+# The solver, the pipeline, the cut-shortcut strategy it loads, the
+# checkers that consume their results, the analysis service, and the
+# tracing layer have the interesting concurrency surface (context
+# cancellation mid-worklist, shared results across runs, single-flight
+# dedup and admission under load, observers shared across fleet
+# workers); run their tests under the race detector.
 race:
-	$(GO) test -race ./internal/analysis ./internal/pta ./internal/checkers ./internal/service ./internal/obs
+	$(GO) test -race ./internal/analysis ./internal/pta ./internal/cutshortcut ./internal/checkers ./internal/service ./internal/obs
 
 bench:
-	$(GO) test -bench='Fig|Provenance' -benchtime=1x -run=^$$ .
+	$(GO) test -bench='Fig|Provenance|CutShortcut' -benchtime=1x -run=^$$ .
 
 # trace-smoke solves a real benchmark with tracing on and validates
 # the exported Chrome trace (parses, spans nest, solver snapshots

@@ -15,8 +15,10 @@ package introspect_test
 
 import (
 	"context"
+	"errors"
 	"testing"
 
+	"introspect/internal/analysis"
 	"introspect/internal/figures"
 	"introspect/internal/obs"
 	"introspect/internal/pta"
@@ -145,6 +147,44 @@ func BenchmarkProvenance(b *testing.B) {
 			}
 			b.ReportMetric(float64(res.Work), "work")
 			b.ReportMetric(float64(res.NumProvenanceFacts()), "witnessed")
+		})
+	}
+}
+
+// BenchmarkCutShortcut prices the cut-shortcut analysis against its
+// two reference points over all nine benchmarks: the insensitive
+// analysis (cs adds pattern detection plus graph edits to the same
+// context-free solve — the work delta is the whole overhead) and full
+// 2objH (the context-sensitive configuration cs replaces; its row
+// carries the two budget-exhausted runs). scripts/bench.sh records all
+// three rows in BENCH_<date>.json, so cost-vs-insens drift and the
+// cs-below-2objH invariant are tracked across commits.
+func BenchmarkCutShortcut(b *testing.B) {
+	lim := analysis.Limits{Budget: figures.DefaultBudget}
+	for _, spec := range []string{"insens", "cs", "2objH"} {
+		b.Run(spec, func(b *testing.B) {
+			var rows []report.Row
+			for i := 0; i < b.N; i++ {
+				reqs := make([]analysis.Request, len(suite.Names()))
+				for j, name := range suite.Names() {
+					reqs[j] = analysis.Request{
+						Source: &analysis.Source{Bench: name},
+						Job:    analysis.Job{Spec: spec},
+						Limits: lim,
+					}
+				}
+				rows = rows[:0]
+				for _, rr := range analysis.RunAll(context.Background(), reqs, 0) {
+					if rr.Err != nil {
+						var be *analysis.BudgetExceededError
+						if !errors.As(rr.Err, &be) || rr.Result == nil || rr.Result.Precision == nil {
+							b.Fatal(rr.Err)
+						}
+					}
+					rows = append(rows, report.Row{Precision: *rr.Result.Precision})
+				}
+			}
+			reportRows(b, rows)
 		})
 	}
 }

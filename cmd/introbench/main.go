@@ -11,7 +11,9 @@
 //
 // Figure numbers follow the paper: 1 (insens vs 2objH, all benchmarks),
 // 4 (refinement-exclusion percentages), 5 (2objH variants), 6 (2typeH
-// variants), 7 (2callH variants).
+// variants), 7 (2callH variants). Figure 8 is the reproduction's
+// extension figure with no paper counterpart: introspective A/B vs
+// cut-shortcut vs full 2objH over all nine benchmarks.
 package main
 
 import (
@@ -37,7 +39,7 @@ func main() {
 // asserts the figure tables byte-for-byte).
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("introbench", flag.ContinueOnError)
-	fig := fs.Int("fig", 0, "figure to regenerate (1, 4, 5, 6, 7); 0 = all")
+	fig := fs.Int("fig", 0, "figure to regenerate (1, 4, 5, 6, 7, or 8 for the cut-shortcut extension); 0 = all")
 	budget := fs.Int64("budget", 0, "work budget standing in for the paper's 90min timeout (0 = default)")
 	parallel := fs.Int("parallel", 0, "concurrent analysis runs per figure (0 = GOMAXPROCS); output is identical at any setting")
 	ablation := fs.Bool("ablation", false, "run the heuristic-constant robustness sweep instead of the figures")
@@ -48,9 +50,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	switch *fig {
-	case 0, 1, 4, 5, 6, 7:
+	case 0, 1, 4, 5, 6, 7, 8:
 	default:
-		return fmt.Errorf("no figure %d (have 1, 4, 5, 6, 7)", *fig)
+		return fmt.Errorf("no figure %d (have 1, 4, 5, 6, 7, 8)", *fig)
 	}
 
 	cfg := figures.Config{Budget: *budget, Parallel: *parallel}
@@ -126,6 +128,17 @@ func run(args []string, out io.Writer) error {
 		sum := figures.Summary(rows)
 		fmt.Fprintf(out, "precision retained vs full %s (where full terminates): IntroA %.0f%%, IntroB %.0f%%\n\n",
 			deep, 100*sum["A"], 100*sum["B"])
+	}
+	if want(8) {
+		rows, err := figures.FigCS(cfg)
+		if err != nil {
+			return err
+		}
+		figures.SortRowsCS(rows)
+		fmt.Fprintln(out, report.FormatTable(
+			"Figure 8 (extension): introspective 2objH vs cut-shortcut, all benchmarks", rows))
+		fmt.Fprint(out, figures.FormatFigCSTrailer(rows))
+		fmt.Fprintln(out)
 	}
 	return nil
 }

@@ -27,17 +27,29 @@ var msColumn = regexp.MustCompile(`(?m) +\d+$`)
 // Refresh after an intentional change with:
 //
 //	go test ./cmd/introbench -run Fig5Golden -args -update
-func TestFig5Golden(t *testing.T) {
+func TestFig5Golden(t *testing.T) { testFigGolden(t, "5", "fig5.golden") }
+
+// TestFigCSGolden pins the cut-shortcut extension figure the same way:
+// the solver is deterministic, so the whole table (work units,
+// precision counters, timeout pattern) must reproduce byte-for-byte.
+//
+// Refresh after an intentional change with:
+//
+//	go test ./cmd/introbench -run FigCSGolden -args -update
+func TestFigCSGolden(t *testing.T) { testFigGolden(t, "8", "figcs.golden") }
+
+func testFigGolden(t *testing.T, fig, file string) {
+	t.Helper()
 	if testing.Short() {
 		t.Skip("regenerates a full figure; skipped with -short")
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"-fig", "5"}, &buf); err != nil {
+	if err := run([]string{"-fig", fig}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	got := msColumn.ReplaceAll(buf.Bytes(), []byte("        -"))
 
-	golden := filepath.Join("testdata", "fig5.golden")
+	golden := filepath.Join("testdata", file)
 	if *updateGolden {
 		if err := os.WriteFile(golden, got, 0o644); err != nil {
 			t.Fatal(err)
@@ -49,6 +61,6 @@ func TestFig5Golden(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, want) {
-		t.Errorf("figure 5 output differs from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+		t.Errorf("figure %s output differs from golden.\n--- got ---\n%s\n--- want ---\n%s", fig, got, want)
 	}
 }

@@ -9,8 +9,9 @@
 //	pta -ir prog.ir -analysis 2callH-IntroB -json
 //
 // The -analysis spec resolves through the internal/analysis registry:
-// plain analyses ("insens", "2objH", "2typeH", "2callH", "1call", ...)
-// run as a single pass, introspective variants ("2objH-IntroA",
+// plain analyses ("insens", "2objH", "2typeH", "2callH", "1call", and
+// the context-free cut-shortcut analysis "cs") run as a single pass,
+// introspective variants ("2objH-IntroA",
 // "2objH-IntroB", "2objH-syntactic") run the full staged pipeline
 // (insensitive pre-pass, metrics, selection, refined main pass).
 // -intro A|B is shorthand for appending -IntroA/-IntroB to the spec.
@@ -36,6 +37,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 
 	"introspect/internal/analysis"
 	"introspect/internal/obs"
@@ -67,7 +69,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	bench := fs.String("bench", "", "suite benchmark name (e.g. jython); see -list")
 	mjFile := fs.String("mj", "", "Mini-Java source file to analyze")
 	irFile := fs.String("ir", "", "textual IR file to analyze")
-	spec := fs.String("analysis", "insens", "analysis spec: insens, 2objH, 2objH-IntroA, 2typeH, 2callH, 1call, ...")
+	spec := fs.String("analysis", "insens",
+		"analysis spec: "+strings.Join(analysis.RegisteredSpecs(), ", ")+", or <spec>-IntroA/-IntroB")
 	intro := fs.String("intro", "", "introspective heuristic: A or B (shorthand for -analysis <spec>-IntroA/-IntroB)")
 	budget := fs.Int64("budget", 0, "work budget (0 = default, <0 = unlimited)")
 	jsonOut := fs.Bool("json", false, "emit one pta/v1 JSON document with per-stage stats instead of text")

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"regexp"
 	"testing"
+
+	"introspect/internal/analysis"
 )
 
 // updateGolden refreshes testdata goldens instead of comparing. Pass
@@ -108,5 +110,22 @@ func TestTextSmoke(t *testing.T) {
 	}
 	if !bytes.Contains(buf.Bytes(), []byte("precision:")) {
 		t.Errorf("text output missing precision line:\n%s", buf.Bytes())
+	}
+}
+
+// TestRegisteredSpecsRun drives every spec the registry advertises
+// through the CLI end-to-end — the flag help text is generated from the
+// same list, so a registered spec this command cannot run (cs included)
+// fails here rather than surprising a user who copied it from -help.
+func TestRegisteredSpecsRun(t *testing.T) {
+	for _, spec := range analysis.RegisteredSpecs() {
+		var buf bytes.Buffer
+		if err := run(context.Background(), []string{"-mj", demo, "-analysis", spec}, &buf); err != nil {
+			t.Errorf("-analysis %s: %v", spec, err)
+			continue
+		}
+		if !bytes.Contains(buf.Bytes(), []byte("precision:")) {
+			t.Errorf("-analysis %s: output missing precision line:\n%s", spec, buf.Bytes())
+		}
 	}
 }

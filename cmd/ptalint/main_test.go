@@ -190,6 +190,22 @@ func TestChecksFlag(t *testing.T) {
 	}
 }
 
+// TestCutShortcutSpec lints the demo under the cut-shortcut analysis.
+// cs reaches ptalint purely through the analysis registry — no lint
+// code names it — so this pins the -spec plumbing: the run succeeds,
+// and the genuine bad cast is still reported (cs is at least as precise
+// as insensitive, whose points-to sets also contain the real bug).
+func TestCutShortcutSpec(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-mj", demo, "-analysis", "cs", "-checks", "may-fail-cast"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "may-fail-cast") {
+		t.Errorf("-analysis cs lost the demo's genuine bad cast:\n%s", out)
+	}
+}
+
 // TestProvenanceOff checks that disabling provenance drops witnesses
 // but keeps the findings.
 func TestProvenanceOff(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"introspect/internal/cutshortcut"
 	"introspect/internal/introspect"
 	"introspect/internal/ir"
 	"introspect/internal/pta"
@@ -255,12 +256,24 @@ func selectionStage(sel Selector) stage {
 func mainPassPlain(spec pta.Spec) stage {
 	return stage{name: StageMainPass, run: func(ctx context.Context, p *Pipeline, res *Result) (Stats, error) {
 		tab := pta.NewTable()
-		pol := pta.NewPolicy(spec, res.Prog, tab)
-		r, st, err := solvePass(ctx, StageMainPass, p.req, res.Prog, pol, tab)
+		strat := strategyFor(spec, res.Prog, tab)
+		r, st, err := solvePass(ctx, StageMainPass, p.req, res.Prog, strat, tab)
 		res.Main = r
 		res.Analysis = r.Analysis
 		return st, err
 	}}
+}
+
+// strategyFor builds the solve strategy for a resolved spec: the
+// cut-shortcut family gets its detected edit set attached, every pure
+// context family is the policy alone. This is the only place the
+// analysis layer distinguishes graph-editing families — new ones plug
+// in here and nowhere else.
+func strategyFor(spec pta.Spec, prog *ir.Program, tab *pta.Table) pta.Strategy {
+	if spec.Flavor == pta.CutShortcut {
+		return cutshortcut.New(prog, tab)
+	}
+	return pta.NewPolicy(spec, prog, tab)
 }
 
 func mainPassIntrospective(deep pta.Spec) stage {
@@ -290,7 +303,7 @@ func reportStage() stage {
 // solvePass runs one solver pass with the request's limits and
 // observer wiring, and converts solver errors into the pipeline's
 // typed errors.
-func solvePass(ctx context.Context, stageName string, req *Request, prog *ir.Program, pol pta.Policy, tab *pta.Table) (*pta.Result, Stats, error) {
+func solvePass(ctx context.Context, stageName string, req *Request, prog *ir.Program, strat pta.Strategy, tab *pta.Table) (*pta.Result, Stats, error) {
 	opts := req.Limits.opts()
 	opts.Provenance = req.Provenance
 	if obs := req.Observer; obs != nil {
@@ -298,7 +311,7 @@ func solvePass(ctx context.Context, stageName string, req *Request, prog *ir.Pro
 		opts.Snapshot = func(sn pta.Snapshot) { obs.SolveSnapshot(stageName, sn) }
 		opts.SnapshotEvery = req.SnapshotEvery
 	}
-	r, err := pta.Solve(ctx, prog, pol, tab, opts)
+	r, err := pta.Solve(ctx, prog, strat, tab, opts)
 	st := collectStats(r)
 	if err != nil {
 		if errors.Is(err, pta.ErrBudgetExceeded) {

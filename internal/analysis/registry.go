@@ -86,6 +86,25 @@ func Variants() []string {
 	return out
 }
 
+// baseSpecs is the curated set of base analysis configurations the
+// project exposes by name: the paper's configurations plus the
+// cut-shortcut family. ParseSpec accepts more (any depth up to its
+// maximum), but these are the names services list, CLIs advertise, and
+// the experiments use.
+var baseSpecs = []string{
+	"insens", "1call", "2callH", "1obj", "2objH", "2typeH", "2hybH", "cs",
+}
+
+// RegisteredSpecs returns the canonical spec names, sorted — the
+// single source of truth behind `GET /v1/specs`, the CLI help texts,
+// and registry diagnostics. Every name round-trips through
+// pta.ParseSpec and resolves through NewPipeline.
+func RegisteredSpecs() []string {
+	out := append([]string(nil), baseSpecs...)
+	sort.Strings(out)
+	return out
+}
+
 // resolveJob interprets a Job (plus an optional caller-supplied
 // Selector overriding the variant registry) into the parsed deep spec
 // and the Selector to stage, nil for a single-pass analysis. This is
@@ -121,9 +140,12 @@ func resolveJob(job Job, override Selector) (pta.Spec, Selector, error) {
 
 	ps, err := pta.ParseSpec(spec)
 	if err != nil {
-		return pta.Spec{}, nil, err
+		return pta.Spec{}, nil, fmt.Errorf("%w (registered specs: %s)", err, strings.Join(RegisteredSpecs(), ", "))
 	}
-	if sel != nil && ps.Flavor == pta.Insensitive {
+	if sel != nil && (ps.Flavor == pta.Insensitive || ps.Flavor == pta.CutShortcut) {
+		// Introspection refines the contexts of a deep analysis;
+		// insensitive and cut-shortcut analyses have no contexts to
+		// refine.
 		return pta.Spec{}, nil, fmt.Errorf("analysis: introspective deep analysis must be context-sensitive, got %q", spec)
 	}
 	return ps, sel, nil

@@ -1,0 +1,53 @@
+package analysis_test
+
+import (
+	"sort"
+	"testing"
+
+	"introspect/internal/analysis"
+	"introspect/internal/pta"
+)
+
+// TestRegisteredSpecsRoundTrip walks every registered spec family and
+// checks the grammar's round-trip invariant: the canonical name parses,
+// its Spec renders back to the same canonical name, and parsing that
+// yields an identical Spec. The registry list is the single source of
+// truth for spec names, so drift between it and the pta grammar — a
+// registered name that stopped parsing, or a Spec whose String picked a
+// different spelling — fails here.
+func TestRegisteredSpecsRoundTrip(t *testing.T) {
+	specs := analysis.RegisteredSpecs()
+	if !sort.StringsAreSorted(specs) {
+		t.Errorf("RegisteredSpecs() not sorted: %v", specs)
+	}
+	seen := map[pta.Spec]string{}
+	for _, name := range specs {
+		spec, err := pta.ParseSpec(name)
+		if err != nil {
+			t.Errorf("registered spec %q does not parse: %v", name, err)
+			continue
+		}
+		if prev, dup := seen[spec]; dup {
+			t.Errorf("registered specs %q and %q parse to the same Spec %+v", prev, name, spec)
+		}
+		seen[spec] = name
+		if got := spec.String(); got != name {
+			t.Errorf("ParseSpec(%q).String() = %q; registry name is canonical", name, got)
+		}
+		back, err := pta.ParseSpec(spec.String())
+		if err != nil || back != spec {
+			t.Errorf("round trip of %q failed: %+v vs %+v (err %v)", name, spec, back, err)
+		}
+	}
+	// The alias spellings collapse onto registered canonical names.
+	for alias, canon := range map[string]string{"ci": "insens", "cs+insens": "cs"} {
+		spec, err := pta.ParseSpec(alias)
+		if err != nil {
+			t.Errorf("alias %q does not parse: %v", alias, err)
+			continue
+		}
+		if got := spec.String(); got != canon {
+			t.Errorf("alias %q canonicalizes to %q, want %q", alias, got, canon)
+		}
+	}
+}

@@ -109,6 +109,8 @@ func TestParseSpec(t *testing.T) {
 		{"2typeH", Spec{Flavor: TypeSens, K: 2, HeapK: 1}},
 		{"1obj", Spec{Flavor: Object, K: 1}},
 		{"2cfa", Spec{Flavor: CallSite, K: 2}},
+		{"cs", Spec{Flavor: CutShortcut}},
+		{"cs+insens", Spec{Flavor: CutShortcut}},
 	}
 	for _, tc := range cases {
 		got, err := ParseSpec(tc.name)
@@ -133,6 +135,7 @@ func TestSpecString(t *testing.T) {
 		"2objH":  {Flavor: Object, K: 2, HeapK: 1},
 		"1call":  {Flavor: CallSite, K: 1},
 		"2typeH": {Flavor: TypeSens, K: 2, HeapK: 1},
+		"cs":     {Flavor: CutShortcut},
 	}
 	for want, spec := range cases {
 		if got := spec.String(); got != want {

@@ -30,6 +30,16 @@ const (
 	// invocation site instead of merely propagating the caller's
 	// context. Context elements of both kinds mix in one context.
 	Hybrid
+	// CutShortcut runs with no contexts at all (every context empty,
+	// like Insensitive) and instead recovers precision through
+	// pre-solve constraint-graph edits: imprecision-introducing flow
+	// edges at method boundaries are cut and compensated by direct
+	// shortcut edges at each call site (Ma et al., "Context
+	// Sensitivity without Contexts: A Cut-Shortcut Approach", PLDI
+	// 2023). The context half is a plain insensitive policy; the edit
+	// set comes from the pattern detector in internal/cutshortcut,
+	// composed via WithEdits.
+	CutShortcut
 )
 
 func (f Flavor) String() string {
@@ -44,6 +54,8 @@ func (f Flavor) String() string {
 		return "type"
 	case Hybrid:
 		return "hyb"
+	case CutShortcut:
+		return "cs"
 	}
 	return "unknown"
 }
@@ -57,8 +69,11 @@ type Spec struct {
 }
 
 // String renders the conventional analysis name, e.g. "2objH", "1call",
-// "insens".
+// "insens", "cs".
 func (s Spec) String() string {
+	if s.Flavor == CutShortcut {
+		return "cs"
+	}
 	if s.Flavor == Insensitive || s.K == 0 {
 		return "insens"
 	}
@@ -69,10 +84,16 @@ func (s Spec) String() string {
 	return name
 }
 
-// ParseSpec parses names like "insens", "2objH", "1call", "2typeH".
+// ParseSpec parses names like "insens", "2objH", "1call", "2typeH",
+// "cs". "cs+insens" is an accepted alias for "cs": cut-shortcut runs
+// with insensitive contexts by construction, so the suffix only spells
+// out the fallback the family already implies.
 func ParseSpec(name string) (Spec, error) {
 	if name == "insens" || name == "ci" || name == "" {
 		return Spec{Flavor: Insensitive}, nil
+	}
+	if name == "cs" || name == "cs+insens" {
+		return Spec{Flavor: CutShortcut}, nil
 	}
 	rest := name
 	heap := false
@@ -142,9 +163,14 @@ type basePolicy struct {
 	heapClass []int32
 }
 
-// NewPolicy builds a Policy implementing spec for prog, creating
-// contexts in tab.
-func NewPolicy(spec Spec, prog *ir.Program, tab *Table) Policy {
+// NewPolicy builds the context policy implementing spec for prog,
+// creating contexts in tab. The result is a Strategy with no graph
+// edits (Edits() == nil); families that edit the constraint graph
+// compose their edit set on top with WithEdits. For CutShortcut the
+// context half is insensitive by construction — callers wanting the
+// full cut-shortcut analysis should use internal/cutshortcut, which
+// attaches the detected edit set.
+func NewPolicy(spec Spec, prog *ir.Program, tab *Table) Strategy {
 	p := &basePolicy{spec: spec, tab: tab}
 	if spec.Flavor == TypeSens {
 		p.heapClass = make([]int32, prog.NumHeaps())
@@ -159,7 +185,7 @@ func NewPolicy(spec Spec, prog *ir.Program, tab *Table) Policy {
 func (p *basePolicy) Name() string { return p.spec.String() }
 
 func (p *basePolicy) Record(heap ir.HeapID, ctx Ctx) HCtx {
-	if p.spec.Flavor == Insensitive || p.spec.HeapK == 0 {
+	if p.spec.Flavor == Insensitive || p.spec.Flavor == CutShortcut || p.spec.HeapK == 0 {
 		return EmptyHCtx
 	}
 	// The heap context is the most significant part of the allocating
@@ -185,7 +211,7 @@ func (p *basePolicy) MergeStatic(invo ir.InvoID, toMeth ir.MethodID, callerCtx C
 	switch p.spec.Flavor {
 	case CallSite, Hybrid:
 		return p.tab.Cons(elemInvo(int32(invo)), callerCtx, p.spec.K)
-	case Insensitive:
+	case Insensitive, CutShortcut:
 		return EmptyCtx
 	default:
 		return callerCtx
@@ -230,8 +256,9 @@ type introspective struct {
 
 // NewIntrospective builds the introspective policy: program elements in
 // ref (the refinement-excluded sets) are analyzed with cheap; all other
-// elements with deep. Pass name for display (e.g. "2objH-IntroA").
-func NewIntrospective(deep, cheap Policy, ref *Refinement, name string) Policy {
+// elements with deep. Pass name for display (e.g. "2objH-IntroA"). The
+// result is a pure context strategy (Edits() == nil).
+func NewIntrospective(deep, cheap Policy, ref *Refinement, name string) Strategy {
 	if name == "" {
 		name = deep.Name() + "-intro"
 	}

@@ -176,6 +176,12 @@ type solver struct {
 	prog *ir.Program
 	pol  Policy
 	tab  *Table
+	// edits is the strategy's pre-solve constraint-graph edit set (nil
+	// for pure context policies). Consulted once per call-graph edge
+	// and per dispatch; nil costs one pointer check there and leaves
+	// work accounting untouched, which is what keeps the figure goldens
+	// bit-identical across the Policy → Strategy migration.
+	edits *Edits
 
 	// Context-qualified heap objects, interned to dense ids ("hc ids").
 	hcIdx  internTable
@@ -244,24 +250,26 @@ type solver struct {
 	peakPT   int
 }
 
-// Solve runs the analysis over prog with the given context policy,
-// creating contexts in tab. The worklist loop polls ctx every
-// checkCtxEvery iterations, so cancellation (or a context deadline)
-// stops the run promptly.
+// Solve runs the analysis over prog with the given strategy (a context
+// policy plus optional pre-solve constraint-graph edits), creating
+// contexts in tab. The worklist loop polls ctx every checkCtxEvery
+// iterations, so cancellation (or a context deadline) stops the run
+// promptly.
 //
 // Solve always returns a non-nil Result. On a clean fixpoint the error
 // is nil; if the work budget runs out first, the error wraps
 // ErrBudgetExceeded; if ctx is cancelled or its deadline passes, the
 // error wraps ctx.Err(). In both failure cases the Result is a
 // sound-in-progress under-approximation (Complete is false).
-func Solve(ctx context.Context, prog *ir.Program, pol Policy, tab *Table, opts Options) (*Result, error) {
+func Solve(ctx context.Context, prog *ir.Program, strat Strategy, tab *Table, opts Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	s := &solver{
 		prog:        prog,
-		pol:         pol,
+		pol:         strat,
 		tab:         tab,
+		edits:       strat.Edits(),
 		filters:     make(map[ir.TypeID]*filterCache),
 		invoTargets: make([]map[ir.MethodID]struct{}, prog.NumInvos()),
 		budget:      opts.budget(),
@@ -285,7 +293,7 @@ func Solve(ctx context.Context, prog *ir.Program, pol Policy, tab *Table, opts O
 	s.finalize()
 	res := &Result{
 		Prog:         prog,
-		Analysis:     pol.Name(),
+		Analysis:     strat.Name(),
 		Complete:     !s.exceeded && s.ctxErr == nil,
 		Work:         s.work,
 		Derivations:  s.derivations,
@@ -295,21 +303,31 @@ func Solve(ctx context.Context, prog *ir.Program, pol Policy, tab *Table, opts O
 	}
 	switch {
 	case s.ctxErr != nil:
-		return res, fmt.Errorf("pta: %s interrupted: %w", pol.Name(), s.ctxErr)
+		return res, fmt.Errorf("pta: %s interrupted: %w", strat.Name(), s.ctxErr)
 	case s.exceeded:
-		return res, fmt.Errorf("pta: %s: %w after %d work units", pol.Name(), ErrBudgetExceeded, s.work)
+		return res, fmt.Errorf("pta: %s: %w after %d work units", strat.Name(), ErrBudgetExceeded, s.work)
 	}
 	return res, nil
 }
 
 // Analyze is a convenience wrapper: parse the analysis name, build the
-// policy, and solve. Error semantics are those of Solve: on budget
+// strategy, and solve. Error semantics are those of Solve: on budget
 // exhaustion or cancellation the partial Result is returned alongside
 // the error.
+//
+// Analyze covers the pure context families only. "cs" is rejected
+// here: its edit set comes from the pattern detector in
+// internal/cutshortcut (which pta cannot import), so running it
+// through NewPolicy alone would silently degrade to an insensitive
+// analysis under a misleading name. Use internal/cutshortcut.New or
+// the analysis registry instead.
 func Analyze(ctx context.Context, prog *ir.Program, analysis string, opts Options) (*Result, error) {
 	spec, err := ParseSpec(analysis)
 	if err != nil {
 		return nil, err
+	}
+	if spec.Flavor == CutShortcut {
+		return nil, fmt.Errorf("pta: %q needs the cut-shortcut edit set; build the strategy with internal/cutshortcut.New (or go through the analysis registry)", analysis)
 	}
 	tab := NewTable()
 	return Solve(ctx, prog, NewPolicy(spec, prog, tab), tab, opts)
@@ -618,6 +636,38 @@ func (s *solver) dispatch(c *ir.Call, callerCtx Ctx, hc int32) {
 		s.addTo(s.varNodeID(tm.This, calleeCtx), hc)
 	}
 	s.linkCall(c, callerCtx, toMeth, calleeCtx)
+	// Receiver-dependent shortcut edges: dispatch runs once per
+	// receiver object per call site, which is exactly the granularity
+	// the cut-shortcut compensation needs (linkCall is deduplicated on
+	// contexts, not receivers).
+	if s.edits != nil {
+		if ed := s.edits.ForMethod(toMeth); ed != nil {
+			s.applyDispatchEdits(c, callerCtx, hc, ed)
+		}
+	}
+}
+
+// applyDispatchEdits installs the shortcut edges that depend on the
+// concrete receiver object hc: setter writes (argument → receiver
+// field), getter reads (receiver field → result) and returned-receiver
+// bindings. Each compensates a cut made in linkCall, restoring the
+// exact value flow without routing it through the callee's merged
+// context-insensitive variables.
+func (s *solver) applyDispatchEdits(c *ir.Call, callerCtx Ctx, hc int32, ed *MethodEdit) {
+	for _, st := range ed.Stores {
+		if int(st.Arg) < len(c.Args) {
+			s.addEdge(s.varNodeID(c.Args[st.Arg], callerCtx), s.fieldNodeID(hc, st.Field), ir.None)
+		}
+	}
+	if c.Ret == ir.None {
+		return
+	}
+	if ed.RetThis {
+		s.addTo(s.varNodeID(c.Ret, callerCtx), hc)
+	}
+	for _, f := range ed.RetFields {
+		s.addEdge(s.fieldNodeID(hc, f), s.varNodeID(c.Ret, callerCtx), ir.None)
+	}
 }
 
 // linkCall installs the interprocedural assignments for a call-graph
@@ -636,14 +686,42 @@ func (s *solver) linkCall(c *ir.Call, callerCtx Ctx, toMeth ir.MethodID, calleeC
 	s.invoTargets[c.Invo][toMeth] = struct{}{}
 
 	tm := &s.prog.Methods[toMeth]
+	var ed *MethodEdit
+	if s.edits != nil {
+		ed = s.edits.ForMethod(toMeth)
+	}
 	n := len(c.Args)
 	if n > len(tm.Formals) {
 		n = len(tm.Formals)
 	}
 	for i := 0; i < n; i++ {
+		if ed != nil && ed.cutsArg(i) {
+			// Setter cut: the argument reaches the receiver's field
+			// directly through the per-dispatch shortcut instead of
+			// through the merged formal.
+			continue
+		}
 		s.addEdge(s.varNodeID(c.Args[i], callerCtx), s.varNodeID(tm.Formals[i], calleeCtx), ir.None)
 	}
-	if c.Ret != ir.None && tm.Ret != ir.None {
+	cutRet := false
+	if ed != nil && ed.CutReturn {
+		// The return cut is only safe when every returned-parameter
+		// shortcut can actually be wired at this call edge; a caller
+		// passing fewer arguments than the detector saw formals keeps
+		// the ordinary return link instead.
+		cutRet = true
+		for _, fi := range ed.RetFormals {
+			if int(fi) >= n {
+				cutRet = false
+			}
+		}
+		if cutRet && c.Ret != ir.None {
+			for _, fi := range ed.RetFormals {
+				s.addEdge(s.varNodeID(c.Args[fi], callerCtx), s.varNodeID(c.Ret, callerCtx), ir.None)
+			}
+		}
+	}
+	if !cutRet && c.Ret != ir.None && tm.Ret != ir.None {
 		s.addEdge(s.varNodeID(tm.Ret, calleeCtx), s.varNodeID(c.Ret, callerCtx), ir.None)
 	}
 	// Exceptions escaping the callee propagate to the caller's Exc and

@@ -1,0 +1,35 @@
+package pta
+
+import "testing"
+
+// FuzzParseSpec checks the spec grammar's round-trip invariant on
+// arbitrary inputs: whenever ParseSpec accepts a string, the resulting
+// Spec's String() form must itself parse back to the identical Spec.
+// The seed corpus covers one spelling per registered family, both
+// accepted aliases ("ci", "cs+insens"), and near-miss rejections.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"insens", "ci",
+		"1call", "2callH", "2cfa",
+		"1obj", "2objH", "3objH",
+		"2typeH", "2hybH",
+		"cs", "cs+insens",
+		"0call", "9obj", "objH", "2frob", "", "cs+2objH",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		canon := spec.String()
+		back, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q) = %+v, but its String %q does not parse: %v", s, spec, canon, err)
+		}
+		if back != spec {
+			t.Fatalf("round-trip drift: ParseSpec(%q) = %+v, ParseSpec(%q) = %+v", s, spec, canon, back)
+		}
+	})
+}

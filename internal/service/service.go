@@ -210,10 +210,13 @@ type Specs struct {
 	Variants []string `json:"variants"`
 }
 
-// SpecList returns the /v1/specs document.
+// SpecList returns the /v1/specs document. Both lists come from the
+// analysis registry (the single source of truth for spec names) and
+// are sorted, so the document is stable across runs and cannot drift
+// from what NewPipeline actually resolves.
 func SpecList() Specs {
 	return Specs{
-		Specs:    []string{"insens", "1call", "2callH", "1obj", "2objH", "2typeH", "2hybH"},
+		Specs:    analysis.RegisteredSpecs(),
 		Variants: analysis.Variants(),
 	}
 }

@@ -15,6 +15,11 @@
 # Provenance/off stays within noise of historical Fig runs (the
 # disabled recorder costs one nil check per derived fact).
 #
+# The CutShortcut/{insens,cs,2objH} trio records the cut-shortcut
+# analysis's cost against its two reference points over all nine
+# benchmarks: cs work must sit near the insensitive floor (the edits
+# are the only overhead) and far below 2objH's budget-capped total.
+#
 # The Fig5 and Fig5Traced pair is the tracing overhead gate: with the
 # observability layer on (stage spans + sampled solver snapshots) the
 # deterministic work/peakpt/timeouts metrics must be IDENTICAL to the
@@ -41,7 +46,7 @@ if [ -n "$prev" ]; then
     prev_work=$(grep -o '"Fig5": \[[^]]*\]' "$prev" | grep -o '"work": [0-9]*' | head -n1 | grep -o '[0-9]*' || true)
 fi
 
-go test -bench='Fig|Provenance' -benchtime=1x -count="$count" -run '^$' . | tee "$raw"
+go test -bench='Fig|Provenance|CutShortcut' -benchtime=1x -count="$count" -run '^$' . | tee "$raw"
 
 if [ "${BENCH_GATE:-on}" != "off" ]; then
     awk -v prev_work="$prev_work" '

@@ -14,7 +14,7 @@ elif command -v golangci-lint >/dev/null 2>&1; then
 fi
 go build ./...
 go test ./...
-go test -race ./internal/analysis ./internal/pta ./internal/checkers ./internal/service ./internal/obs
+go test -race ./internal/analysis ./internal/pta ./internal/cutshortcut ./internal/checkers ./internal/service ./internal/obs
 
 # Trace-export smoke test (same commands as `make trace-smoke`): solve
 # with tracing on, then validate the Chrome trace file end to end.
