@@ -7,6 +7,7 @@
 //	pta -bench jython -analysis 2objH [-intro A|B] [-budget N]
 //	pta -mj prog.mj -analysis 2objH
 //	pta -ir prog.ir -analysis 2callH-IntroB -json
+//	pta -bench jython -analysis 2objH -workers 4
 //
 // The -analysis spec resolves through the internal/analysis registry:
 // plain analyses ("insens", "2objH", "2typeH", "2callH", "1call", and
@@ -73,6 +74,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"analysis spec: "+strings.Join(analysis.RegisteredSpecs(), ", ")+", or <spec>-IntroA/-IntroB")
 	intro := fs.String("intro", "", "introspective heuristic: A or B (shorthand for -analysis <spec>-IntroA/-IntroB)")
 	budget := fs.Int64("budget", 0, "work budget (0 = default, <0 = unlimited)")
+	workers := fs.Int("workers", 0, "shard goroutines inside each solver pass (0 or 1 = serial solver); points-to results are identical at any setting")
 	jsonOut := fs.Bool("json", false, "emit one pta/v1 JSON document with per-stage stats instead of text")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
 	snapEvery := fs.Int64("snap-every", 0, "solver work units between trace snapshots (0 = default; effective with -trace)")
@@ -114,7 +116,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	req := analysis.Request{
 		Source: src,
-		Job:    analysis.Job{Spec: fullSpec},
+		Job:    analysis.Job{Spec: fullSpec, Workers: *workers},
 		Limits: analysis.Limits{Budget: *budget},
 	}
 	if *verbose {

@@ -40,3 +40,17 @@ func (e *BudgetExceededError) Error() string {
 // Unwrap ties the typed error to the solver's sentinel, so
 // errors.Is(err, pta.ErrBudgetExceeded) matches.
 func (e *BudgetExceededError) Unwrap() error { return pta.ErrBudgetExceeded }
+
+// InvalidWorkersError reports a Job.Workers value outside
+// [0, pta.MaxWorkers]. It is raised at validation time (Job.Validate /
+// NewPipeline), so a malformed job fails fast with a typed error a
+// server can map to HTTP 400 — instead of surfacing as a solve-time
+// failure deep inside a worker.
+type InvalidWorkersError struct {
+	// Workers is the rejected value.
+	Workers int
+}
+
+func (e *InvalidWorkersError) Error() string {
+	return fmt.Sprintf("analysis: Job.Workers %d out of range [0, %d]", e.Workers, pta.MaxWorkers)
+}

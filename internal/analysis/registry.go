@@ -111,6 +111,9 @@ func RegisteredSpecs() []string {
 // the single place spec strings are interpreted — CLIs, the examples,
 // and cmd/ptad never switch on them.
 func resolveJob(job Job, override Selector) (pta.Spec, Selector, error) {
+	if job.Workers < 0 || job.Workers > pta.MaxWorkers {
+		return pta.Spec{}, nil, &InvalidWorkersError{Workers: job.Workers}
+	}
 	spec := job.Spec
 	var sel Selector
 	switch {

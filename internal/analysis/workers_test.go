@@ -1,0 +1,162 @@
+package analysis_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"introspect/internal/analysis"
+	"introspect/internal/pta"
+	"introspect/internal/randprog"
+)
+
+// TestJobWorkersValidate pins the typed rejection of out-of-range
+// Workers values — the contract cmd/ptad's 400 path rests on — and
+// that every in-range value (serial settings included) resolves.
+func TestJobWorkersValidate(t *testing.T) {
+	for _, bad := range []int{-1, -100, pta.MaxWorkers + 1, 1000} {
+		err := analysis.Job{Spec: "2objH-IntroA", Workers: bad}.Validate()
+		var iwe *analysis.InvalidWorkersError
+		if !errors.As(err, &iwe) {
+			t.Errorf("Workers=%d: err = %v, want *InvalidWorkersError", bad, err)
+		} else if iwe.Workers != bad {
+			t.Errorf("Workers=%d: error reports %d", bad, iwe.Workers)
+		}
+	}
+	for _, ok := range []int{0, 1, 2, pta.MaxWorkers} {
+		if err := (analysis.Job{Spec: "insens", Workers: ok}.Validate()); err != nil {
+			t.Errorf("Workers=%d: unexpected error %v", ok, err)
+		}
+	}
+}
+
+// TestJobWorkersCanonical pins cache-key stability: a Job that never
+// sets Workers encodes to the same canonical bytes as before the field
+// existed, so a service upgrade does not invalidate its cache — while
+// any parallel setting changes the key.
+func TestJobWorkersCanonical(t *testing.T) {
+	plain, err := analysis.Job{Spec: "2objH"}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(plain), `{"spec":"2objH"}`; got != want {
+		t.Fatalf("serial canonical encoding = %s, want %s", got, want)
+	}
+	par, err := analysis.Job{Spec: "2objH", Workers: 4}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(par) == string(plain) {
+		t.Error("Workers=4 canonical encoding equals the serial one; cache keys would collide")
+	}
+}
+
+// TestPipelineWorkers runs a full introspective pipeline with parallel
+// solver passes and checks (a) every solver stage records the
+// parallelism, (b) the analysis outcome — precision counts and the
+// schedule-independent counters — is identical to the serial run.
+func TestPipelineWorkers(t *testing.T) {
+	prog := randprog.Generate(7, randprog.Default())
+	req := func(w int) analysis.Request {
+		return analysis.Request{
+			Prog: prog, Job: analysis.Job{Spec: "2objH-IntroA", Workers: w},
+			Limits: analysis.Limits{Budget: -1},
+		}
+	}
+	serial, err := analysis.Run(context.Background(), req(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := analysis.Run(context.Background(), req(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var solverStages int
+	for _, st := range par.Stages {
+		if st.Derivations == 0 {
+			continue // frontend/metrics/selection/report stages
+		}
+		solverStages++
+		if st.Workers != 3 {
+			t.Errorf("stage %s workers = %d, want 3", st.Stage, st.Workers)
+		}
+	}
+	if solverStages != 2 {
+		t.Errorf("solver stages = %d, want 2 (pre-pass + main)", solverStages)
+	}
+	for _, st := range serial.Stages {
+		if st.Workers != 0 {
+			t.Errorf("serial stage %s records workers = %d, want 0 (omitted)", st.Stage, st.Workers)
+		}
+	}
+
+	if serial.Main.Derivations != par.Main.Derivations ||
+		serial.Main.Propagations != par.Main.Propagations {
+		t.Errorf("main pass counters diverge: serial %d/%d parallel %d/%d",
+			serial.Main.Derivations, serial.Main.Propagations,
+			par.Main.Derivations, par.Main.Propagations)
+	}
+	// Precision counts must agree exactly; Work is the operational
+	// counter and follows each mode's schedule, so it is scrubbed
+	// (alongside wall time) before the struct comparison.
+	sp, pp := *serial.Precision, *par.Precision
+	sp.Work, pp.Work = 0, 0
+	sp.ElapsedMS, pp.ElapsedMS = 0, 0
+	if sp != pp {
+		t.Errorf("precision diverges:\nserial   %+v\nparallel %+v", sp, pp)
+	}
+	if serial.Selection.Refinement.Methods.Len() != par.Selection.Refinement.Methods.Len() ||
+		serial.Selection.Refinement.Heaps.Len() != par.Selection.Refinement.Heaps.Len() {
+		t.Error("introspective selections diverge across parallelism")
+	}
+}
+
+// TestInjectedPrePassWorkersMismatch pins the Request.First guard: a
+// pre-pass result solved at a different parallelism is rejected rather
+// than silently mixing two schedules' Work accounting in one document.
+func TestInjectedPrePassWorkersMismatch(t *testing.T) {
+	prog := randprog.Generate(7, randprog.Default())
+	first, err := pta.Analyze(context.Background(), prog, "insens", pta.Options{Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Workers != 1 {
+		t.Fatalf("serial pre-pass Workers = %d, want 1", first.Workers)
+	}
+	_, err = analysis.Run(context.Background(), analysis.Request{
+		Prog: prog, First: first,
+		Job:    analysis.Job{Spec: "2objH-IntroA", Workers: 2},
+		Limits: analysis.Limits{Budget: -1},
+	})
+	if err == nil {
+		t.Fatal("injecting a serial pre-pass into a parallel job should fail")
+	}
+	// The matching case works, and keeps the injected result.
+	res, err := analysis.Run(context.Background(), analysis.Request{
+		Prog: prog, First: first,
+		Job:    analysis.Job{Spec: "2objH-IntroA"},
+		Limits: analysis.Limits{Budget: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.First != first {
+		t.Error("matching injection did not reuse the provided result")
+	}
+}
+
+// TestWorkersProvenanceConflict pins that the incompatibility
+// surfaces as an error from the pipeline, not a panic, and leaves no
+// half-built result.
+func TestWorkersProvenanceConflict(t *testing.T) {
+	prog := randprog.Generate(7, randprog.Default())
+	_, err := analysis.Run(context.Background(), analysis.Request{
+		Prog: prog, Job: analysis.Job{Spec: "insens", Workers: 2},
+		Limits:     analysis.Limits{Budget: -1},
+		Provenance: true,
+	})
+	if err == nil {
+		t.Fatal("parallel workers with provenance recording should fail")
+	}
+}

@@ -63,6 +63,7 @@ func Ablation(cfg Config, deep string, scales []float64) ([]AblationRow, error) 
 	for _, b := range subjects {
 		shared = append(shared, fullReq(b, "insens", cfg.Limits()), fullReq(b, deep, cfg.Limits()))
 	}
+	cfg.instrument(shared)
 	sharedRes := analysis.RunAll(context.Background(), shared, cfg.Parallel)
 	ins := map[string]report.Row{}
 	full := map[string]report.Row{}

@@ -1,0 +1,155 @@
+package pta
+
+import (
+	"introspect/internal/ir"
+)
+
+// partition assigns constraint-graph nodes to parallel-solve shards.
+//
+// The assignment is computed once, up front, from the program's static
+// copy/flow graph (Moves and Casts over context-free variables): the
+// graph's strongly connected components are condensed, and every
+// context-qualified node of a variable lands on the shard of the
+// variable's SCC. Nodes of one SCC cycle refine each other's points-to
+// sets repeatedly until they agree, so splitting a cycle across shards
+// would turn its internal churn into cross-shard mailbox traffic;
+// keeping the whole component on one shard makes that churn shard-local
+// and leaves only the (acyclic, small-delta) condensation edges as
+// boundary crossings. Context qualification still spreads one SCC's
+// many contexts across shards — the hash covers (scc, ctx) — so a
+// context explosion does not serialize onto a single shard.
+//
+// Field and static nodes are created dynamically as heap contexts are
+// discovered; they have no static SCC, so they fall back to hashing
+// their interning key. The whole scheme is a pure function of the
+// program and the shard count: a node's shard never depends on
+// discovery order, which is one of the two legs determinism stands on
+// (the other is the barrier's fixed merge order, see parallel.go).
+type partition struct {
+	nshards uint64
+	// sccOf maps each static variable to its component in the
+	// condensed copy/flow graph.
+	sccOf []int32
+}
+
+// newPartition condenses prog's static Move/Cast graph with an
+// iterative Tarjan SCC pass (explicit stacks — synthetic programs have
+// copy chains deep enough to overflow a recursive one).
+func newPartition(prog *ir.Program, nshards int) *partition {
+	nv := prog.NumVars()
+	// Compressed adjacency of the copy/flow graph.
+	type arc struct{ from, to int32 }
+	var arcs []arc
+	for mi := range prog.Methods {
+		m := &prog.Methods[mi]
+		for _, mv := range m.Moves {
+			arcs = append(arcs, arc{int32(mv.From), int32(mv.To)})
+		}
+		for _, c := range m.Casts {
+			arcs = append(arcs, arc{int32(c.From), int32(c.To)})
+		}
+	}
+	start := make([]int32, nv+1)
+	for _, a := range arcs {
+		start[a.from+1]++
+	}
+	for i := 0; i < nv; i++ {
+		start[i+1] += start[i]
+	}
+	adj := make([]int32, len(arcs))
+	pos := make([]int32, nv)
+	copy(pos, start[:nv])
+	for _, a := range arcs {
+		adj[pos[a.from]] = a.to
+		pos[a.from]++
+	}
+
+	const undef = int32(-1)
+	index := make([]int32, nv)
+	lowlink := make([]int32, nv)
+	onStack := make([]bool, nv)
+	sccOf := make([]int32, nv)
+	for i := range index {
+		index[i] = undef
+	}
+	var (
+		counter int32
+		nscc    int32
+		stack   []int32
+	)
+	type frame struct {
+		v  int32
+		ei int32
+	}
+	var call []frame
+	for root := 0; root < nv; root++ {
+		if index[root] != undef {
+			continue
+		}
+		call = append(call[:0], frame{int32(root), 0})
+		index[root], lowlink[root] = counter, counter
+		counter++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.ei < start[v+1]-start[v] {
+				w := adj[start[v]+f.ei]
+				f.ei++
+				if index[w] == undef {
+					index[w], lowlink[w] = counter, counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{w, 0})
+				} else if onStack[w] && index[w] < lowlink[v] {
+					lowlink[v] = index[w]
+				}
+				continue
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				if p := call[len(call)-1].v; lowlink[v] < lowlink[p] {
+					lowlink[p] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					sccOf[w] = nscc
+					if w == v {
+						break
+					}
+				}
+				nscc++
+			}
+		}
+	}
+	return &partition{nshards: uint64(nshards), sccOf: sccOf}
+}
+
+// mix64 is the splitmix64 finalizer — a cheap full-avalanche hash so
+// shard assignment is uniform even though SCC ids and contexts are
+// both small dense integers.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// shard maps a constraint node (by its interning coordinates) to its
+// owning shard: var nodes hash (SCC, ctx), field/static nodes hash
+// their interning key.
+func (p *partition) shard(k nodeKind, a, b int32) uint8 {
+	var h uint64
+	if k == varNode {
+		h = mix64(uint64(uint32(p.sccOf[a]))<<32 | uint64(uint32(b)))
+	} else {
+		h = mix64(nodeKey(k, a, b))
+	}
+	return uint8(h % p.nshards)
+}

@@ -37,7 +37,8 @@ type errorEnvelope struct {
 //	curl --data-binary @prog.mj 'host/v1/analyze?spec=2objH-IntroA&budget=-1'
 //
 // Query parameters: lang (mj|ir, default mj), name, spec (default
-// 2objH), budget, deadline_ms, provenance (true|false).
+// 2objH), budget, deadline_ms, provenance (true|false), workers
+// (intra-solve shard goroutines per pass, 0..pta.MaxWorkers).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
@@ -137,6 +138,11 @@ func (s *Service) decodeAnalyze(r *http.Request) (Request, *Error) {
 	if v := q.Get("provenance"); v != "" {
 		if req.Provenance, err = strconv.ParseBool(v); err != nil {
 			return req, errf(CodeBadRequest, "provenance: %v", err)
+		}
+	}
+	if v := q.Get("workers"); v != "" {
+		if req.Job.Workers, err = strconv.Atoi(v); err != nil {
+			return req, errf(CodeBadRequest, "workers: %v", err)
 		}
 	}
 	return req, nil

@@ -387,9 +387,13 @@ func (s *Service) solve(ctx context.Context, req Request, pk, key string) (*anal
 	// the pipeline itself checks, so injection is exactly as valid as a
 	// fresh pre-pass solve. Requests that record provenance skip the
 	// shared result unless it, too, has provenance — witnesses must
-	// stay reconstructible.
+	// stay reconstructible. The solve mode must match as well (the
+	// pipeline enforces it, so a mismatched injection would fail the
+	// request rather than contaminate it): a serial request never
+	// reports a parallel pre-pass's Work, and vice versa.
 	if first := entry.sharedFirst(); first != nil && req.Job.NeedsPrePass() &&
-		(!req.Provenance || first.ProvenanceEnabled()) {
+		(!req.Provenance || first.ProvenanceEnabled()) &&
+		first.Workers == effectiveJobWorkers(req.Job.Workers) {
 		areq.First = first
 		s.metrics.add(&s.metrics.prePassShared)
 	}
@@ -453,6 +457,9 @@ func (s *Service) validate(req Request) (Request, *Error) {
 	if err := req.Job.Validate(); err != nil {
 		return req, errf(CodeBadRequest, "%v", err)
 	}
+	if req.Provenance && req.Job.Workers > 1 {
+		return req, errf(CodeBadRequest, "provenance recording requires a serial solve (workers <= 1, got %d)", req.Job.Workers)
+	}
 	if req.Budget == 0 {
 		req.Budget = s.cfg.DefaultBudget
 	}
@@ -497,4 +504,14 @@ func deadlineStage(res *analysis.Result) string {
 		return "stage frontend"
 	}
 	return fmt.Sprintf("stage %s (work=%d)", res.Stages[len(res.Stages)-1].Stage, res.Stages[len(res.Stages)-1].Work)
+}
+
+// effectiveJobWorkers mirrors the solver's normalization of
+// Job.Workers (what pta.Result.Workers reports): any serial setting —
+// 0 or 1 — is effectively 1.
+func effectiveJobWorkers(w int) int {
+	if w < 1 {
+		return 1
+	}
+	return w
 }

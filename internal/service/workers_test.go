@@ -1,0 +1,194 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"introspect/internal/analysis"
+	"introspect/internal/randprog"
+	"introspect/internal/service"
+)
+
+// postJSON sends a JSON-encoded Request to POST /v1/analyze and
+// returns the status code plus raw body.
+func postJSON(t *testing.T, base string, req service.Request) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/analyze", "application/json", strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestWorkersHTTPValidation drives the Workers knob through the HTTP
+// surface: out-of-range and malformed values are 400s with a
+// bad_request envelope (never a panic), and a valid setting solves.
+func TestWorkersHTTPValidation(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	src := irText(t, randprog.Generate(11, randprog.Default()))
+
+	badBodies := []service.Request{
+		{Lang: "ir", Source: src, Job: analysis.Job{Spec: "insens", Workers: -2}, Budget: -1},
+		{Lang: "ir", Source: src, Job: analysis.Job{Spec: "insens", Workers: 1000}, Budget: -1},
+		// Parallel workers and provenance recording are mutually
+		// exclusive: the solver would have to give up word-level merges.
+		{Lang: "ir", Source: src, Job: analysis.Job{Spec: "insens", Workers: 2}, Budget: -1, Provenance: true},
+	}
+	for i, req := range badBodies {
+		status, body := postJSON(t, srv.URL, req)
+		if status != http.StatusBadRequest {
+			t.Errorf("bad body %d: status = %d, want 400; body %s", i, status, body)
+		}
+		var env struct {
+			Error *service.Error `json:"error"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil || env.Error == nil {
+			t.Errorf("bad body %d: not an error envelope: %s", i, body)
+		} else if env.Error.Code != service.CodeBadRequest {
+			t.Errorf("bad body %d: code = %q, want bad_request", i, env.Error.Code)
+		}
+	}
+
+	// Query-parameter form: a non-integer workers value is the
+	// requester's fault, an in-range one runs the sharded solver.
+	resp, err := http.Post(srv.URL+"/v1/analyze?lang=ir&spec=insens&budget=-1&workers=abc",
+		"text/plain", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("workers=abc: status = %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Post(srv.URL+"/v1/analyze?lang=ir&spec=insens&budget=-1&workers=3",
+		"text/plain", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("workers=3: status = %d, body %s", resp.StatusCode, b)
+	}
+	var doc analysis.RunJSON
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Complete {
+		t.Error("workers=3 solve did not complete")
+	}
+	found := false
+	for _, st := range doc.Stages {
+		if st.Workers == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no stage recorded workers=3: %+v", doc.Stages)
+	}
+}
+
+// TestWorkersCacheKey pins that Workers is part of the cache identity:
+// the same program and spec at a different parallelism is a miss, not
+// a hit — but the two responses agree on every deterministic counter
+// except the schedule-dependent Work (scrubbed along with wall times).
+func TestWorkersCacheKey(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2})
+	src := irText(t, randprog.Generate(12, randprog.Default()))
+	serial := service.Request{Lang: "ir", Source: src, Job: analysis.Job{Spec: "2objH"}, Budget: -1}
+	par := serial
+	par.Job.Workers = 4
+
+	cold, serr := svc.Analyze(context.Background(), serial)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	pcold, serr := svc.Analyze(context.Background(), par)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if cold.Cache != "miss" || pcold.Cache != "miss" {
+		t.Fatalf("cache labels = %q/%q, want miss/miss (Workers must be in the key)",
+			cold.Cache, pcold.Cache)
+	}
+	if again, _ := svc.Analyze(context.Background(), par); again == nil || again.Cache != "hit" {
+		t.Errorf("repeat parallel request should hit its own entry")
+	}
+
+	// Deterministic counters agree across parallelism.
+	last := func(doc *analysis.RunJSON) analysis.Stats {
+		for i := len(doc.Stages) - 1; i >= 0; i-- {
+			if doc.Stages[i].Derivations > 0 {
+				return doc.Stages[i]
+			}
+		}
+		t.Fatal("no solver stage in document")
+		return analysis.Stats{}
+	}
+	s, p := last(cold), last(pcold)
+	if s.Derivations != p.Derivations || s.Propagations != p.Propagations ||
+		s.VarPTSize != p.VarPTSize || s.CallGraphEdges != p.CallGraphEdges {
+		t.Errorf("deterministic counters diverge: serial %+v parallel %+v", s, p)
+	}
+	if p.Workers != 4 || s.Workers != 0 {
+		t.Errorf("stage workers = %d/%d, want 0 (omitted, serial) / 4", s.Workers, p.Workers)
+	}
+}
+
+// TestWorkersPrePassSharing pins the sharing gate: a cached insens
+// result solved at a different parallelism is NOT injected as another
+// job's pre-pass (its Work counter followed the other schedule), while
+// a matching one is.
+func TestWorkersPrePassSharing(t *testing.T) {
+	src := holderMJ(t)
+
+	// Serial insens in cache, parallel introspective request: no share.
+	svc := service.New(service.Config{Workers: 1})
+	if _, serr := svc.Analyze(context.Background(), service.Request{
+		Source: src, Job: analysis.Job{Spec: "insens"}, Budget: -1,
+	}); serr != nil {
+		t.Fatal(serr)
+	}
+	if _, serr := svc.Analyze(context.Background(), service.Request{
+		Source: src, Job: analysis.Job{Spec: "2objH-IntroA", Workers: 2}, Budget: -1,
+	}); serr != nil {
+		t.Fatal(serr)
+	}
+	if m := svc.Metrics(); m.PrePassShared != 0 {
+		t.Errorf("pre_pass_shared = %d, want 0 (serial insens must not seed a parallel job)", m.PrePassShared)
+	}
+
+	// Parallel insens in cache, parallel introspective request: share.
+	svc = service.New(service.Config{Workers: 1})
+	if _, serr := svc.Analyze(context.Background(), service.Request{
+		Source: src, Job: analysis.Job{Spec: "insens", Workers: 2}, Budget: -1,
+	}); serr != nil {
+		t.Fatal(serr)
+	}
+	if _, serr := svc.Analyze(context.Background(), service.Request{
+		Source: src, Job: analysis.Job{Spec: "2objH-IntroA", Workers: 2}, Budget: -1,
+	}); serr != nil {
+		t.Fatal(serr)
+	}
+	if m := svc.Metrics(); m.PrePassShared != 1 {
+		t.Errorf("pre_pass_shared = %d, want 1 (matching parallelism should share)", m.PrePassShared)
+	}
+}
