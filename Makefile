@@ -6,14 +6,20 @@ GO ?= go
 # solver/pipeline tests, and the trace-export smoke test.
 check: vet build test race trace-smoke
 
-# staticcheck and golangci-lint are optional extras: run whichever is
-# on PATH, skip silently otherwise (the container CI image ships
-# neither; only go vet is mandatory).
+# introvet is the repo's own determinism linter (see cmd/introvet):
+# mandatory, stdlib-only, so it runs everywhere go does. staticcheck,
+# golangci-lint and govulncheck are optional extras: run whichever is
+# on PATH, skip silently otherwise (the GitHub Actions workflow
+# installs pinned staticcheck/govulncheck; the local container ships
+# neither, and go vet + introvet are the mandatory floor).
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/introvet
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	elif command -v golangci-lint >/dev/null 2>&1; then golangci-lint run ./...; \
 	else echo "vet: staticcheck/golangci-lint not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "vet: govulncheck not installed; skipping"; fi
 
 build:
 	$(GO) build ./...

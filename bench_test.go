@@ -213,6 +213,38 @@ func BenchmarkCutShortcut(b *testing.B) {
 	}
 }
 
+// BenchmarkTaint regenerates Figure 9: the taint client over all nine
+// kernel-grafted benchmarks under the five-policy spectrum. Besides
+// wall time it reports the figure's deterministic aggregates — total
+// solver work, timeouts, and the total reported/false-positive sink
+// sites across solved runs — so BENCH_<date>.json tracks the taint
+// client's cost and precision spread across commits.
+func BenchmarkTaint(b *testing.B) {
+	var rows []figures.TaintRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = figures.FigTaint(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var work int64
+	timeouts, reported, falsePos := 0, 0, 0
+	for _, r := range rows {
+		work += r.Work
+		if r.TimedOut {
+			timeouts++
+			continue
+		}
+		reported += r.Reported
+		falsePos += r.FalsePos
+	}
+	b.ReportMetric(float64(work), "work")
+	b.ReportMetric(float64(timeouts), "timeouts")
+	b.ReportMetric(float64(reported), "reports")
+	b.ReportMetric(float64(falsePos), "falsepos")
+}
+
 // benchFig regenerates one of Figures 5-7: four analysis variants over
 // the six experimental subjects.
 func benchFig(b *testing.B, deep string) {

@@ -12,9 +12,11 @@
 //
 // Figure numbers follow the paper: 1 (insens vs 2objH, all benchmarks),
 // 4 (refinement-exclusion percentages), 5 (2objH variants), 6 (2typeH
-// variants), 7 (2callH variants). Figure 8 is the reproduction's
-// extension figure with no paper counterpart: introspective A/B vs
-// cut-shortcut vs full 2objH over all nine benchmarks.
+// variants), 7 (2callH variants). Figures 8 and 9 are the
+// reproduction's extension figures with no paper counterpart:
+// introspective A/B vs cut-shortcut vs full 2objH over all nine
+// benchmarks (8), and the taint-analysis client's true/false sink
+// reports per context policy over the kernel-seeded benchmarks (9).
 package main
 
 import (
@@ -40,7 +42,7 @@ func main() {
 // asserts the figure tables byte-for-byte).
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("introbench", flag.ContinueOnError)
-	fig := fs.Int("fig", 0, "figure to regenerate (1, 4, 5, 6, 7, or 8 for the cut-shortcut extension); 0 = all")
+	fig := fs.Int("fig", 0, "figure to regenerate (1, 4, 5, 6, 7, 8 for the cut-shortcut extension, or 9 for the taint client); 0 = all")
 	budget := fs.Int64("budget", 0, "work budget standing in for the paper's 90min timeout (0 = default)")
 	parallel := fs.Int("parallel", 0, "concurrent analysis runs per figure (0 = GOMAXPROCS); output is identical at any setting")
 	parSolve := fs.Int("parallel-solve", 0, "worker shards inside each solver pass (0 or 1 = serial solver); points-to output is identical at any setting, only the work column follows the schedule")
@@ -52,9 +54,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	switch *fig {
-	case 0, 1, 4, 5, 6, 7, 8:
+	case 0, 1, 4, 5, 6, 7, 8, 9:
 	default:
-		return fmt.Errorf("no figure %d (have 1, 4, 5, 6, 7, 8)", *fig)
+		return fmt.Errorf("no figure %d (have 1, 4, 5, 6, 7, 8, 9)", *fig)
 	}
 
 	cfg := figures.Config{Budget: *budget, Parallel: *parallel, Workers: *parSolve}
@@ -140,6 +142,14 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, report.FormatTable(
 			"Figure 8 (extension): introspective 2objH vs cut-shortcut, all benchmarks", rows))
 		fmt.Fprint(out, figures.FormatFigCSTrailer(rows))
+		fmt.Fprintln(out)
+	}
+	if want(9) {
+		rows, err := figures.FigTaint(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, figures.FormatFigTaint(rows))
 		fmt.Fprintln(out)
 	}
 	return nil

@@ -38,6 +38,16 @@ func TestFig5Golden(t *testing.T) { testFigGolden(t, "5", "fig5.golden") }
 //	go test ./cmd/introbench -run FigCSGolden -args -update
 func TestFigCSGolden(t *testing.T) { testFigGolden(t, "8", "figcs.golden") }
 
+// TestFigTaintGolden pins the taint-client extension figure. Every
+// number in it is deterministic (work units and report counts; there
+// is no ms column), so the byte-compare asserts the full per-policy
+// true/false-positive spread against the kernel ground truth.
+//
+// Refresh after an intentional change with:
+//
+//	go test ./cmd/introbench -run FigTaintGolden -args -update
+func TestFigTaintGolden(t *testing.T) { testFigGolden(t, "9", "figtaint.golden") }
+
 // TestFig5ParGolden pins the sharded solver's figure output:
 // Figure 5 regenerated with -parallel-solve 4 against its own golden.
 // Everything except the schedule-dependent work column must match

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFixtureFindings runs the checker over the testdata fixture and
+// asserts each finding class fires exactly where seeded — and nowhere
+// the fixture annotates or stays out of scope.
+func TestFixtureFindings(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"testdata/demo"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"demo.go:8: import of math/rand",
+		"demo.go:19: range over map",
+		"demo.go:22: call of time.Now",
+		"demo.go:43: introvet:allow without a reason",
+		"demo.go:44: range over map",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing finding %q in:\n%s", want, got)
+		}
+	}
+	// The annotated range and time.Since in Allowed and the slice
+	// range in Fine must not be reported.
+	for _, banned := range []string{"demo.go:31", "demo.go:35", "demo.go:53", "time.Since"} {
+		if strings.Contains(got, banned) {
+			t.Errorf("unexpected finding %q in:\n%s", banned, got)
+		}
+	}
+	if lines := strings.Count(got, "\n"); lines != 5 {
+		t.Errorf("finding count = %d, want 5:\n%s", lines, got)
+	}
+}
+
+// TestRealPackagesClean is the self-gate: the determinism-critical
+// packages must stay free of unannotated findings. A failure here
+// means a change introduced a map range, wall-clock read, or
+// math/rand use without arguing (in an //introvet:allow) why the
+// solver's bit-reproducibility survives it.
+func TestRealPackagesClean(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-root", "../.."}, &out, &errOut); code != 0 {
+		t.Fatalf("introvet reports findings in the determinism-critical packages (exit %d):\n%s%s",
+			code, out.String(), errOut.String())
+	}
+}

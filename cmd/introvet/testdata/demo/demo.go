@@ -1,0 +1,57 @@
+// Package demo is introvet's test fixture: one instance of every
+// finding class, plus annotated and out-of-scope uses the checker must
+// leave alone. The go tool ignores testdata directories, so the
+// violations never reach the real build.
+package demo
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Counts is a map a result-affecting path might traverse.
+var Counts = map[string]int{}
+
+// Bad ranges a map with no annotation and reads the wall clock.
+func Bad() []string {
+	var keys []string
+	for k := range Counts {
+		keys = append(keys, k)
+	}
+	_ = time.Now()
+	_ = rand.Int()
+	return keys
+}
+
+// Allowed carries annotations for the same patterns.
+func Allowed() []string {
+	var keys []string
+	//introvet:allow sorted immediately below
+	for k := range Counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	elapsed := time.Since(time.Time{}) //introvet:allow reporting only
+	_ = elapsed
+	return keys
+}
+
+// Reasonless has an annotation with no justification: itself a finding,
+// and it does not suppress the range beneath it.
+func Reasonless() {
+	//introvet:allow
+	for k := range Counts {
+		_ = k
+	}
+}
+
+// Fine ranges a slice and uses time values without reading the clock:
+// none of this is in scope.
+func Fine(xs []int, d time.Duration) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total + int(d)
+}

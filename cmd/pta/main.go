@@ -44,6 +44,7 @@ import (
 	"introspect/internal/obs"
 	"introspect/internal/report"
 	"introspect/internal/suite"
+	"introspect/internal/taint"
 )
 
 func main() {
@@ -75,6 +76,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	intro := fs.String("intro", "", "introspective heuristic: A or B (shorthand for -analysis <spec>-IntroA/-IntroB)")
 	budget := fs.Int64("budget", 0, "work budget (0 = default, <0 = unlimited)")
 	workers := fs.Int("workers", 0, "shard goroutines inside each solver pass (0 or 1 = serial solver); points-to results are identical at any setting")
+	taintSources := fs.String("taint-sources", "", "comma-separated taint source methods; injects taint objects before solving (see cmd/ptalint)")
+	taintSinks := fs.String("taint-sinks", "", "comma-separated taint sink methods (required with -taint-sources)")
+	taintSans := fs.String("taint-sanitizers", "", "comma-separated taint sanitizer methods")
 	jsonOut := fs.Bool("json", false, "emit one pta/v1 JSON document with per-stage stats instead of text")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
 	snapEvery := fs.Int64("snap-every", 0, "solver work units between trace snapshots (0 = default; effective with -trace)")
@@ -118,6 +122,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Source: src,
 		Job:    analysis.Job{Spec: fullSpec, Workers: *workers},
 		Limits: analysis.Limits{Budget: *budget},
+	}
+	if *taintSources != "" || *taintSinks != "" || *taintSans != "" {
+		req.Job.Taint = &taint.Spec{
+			Sources:    splitList(*taintSources),
+			Sinks:      splitList(*taintSinks),
+			Sanitizers: splitList(*taintSans),
+		}
 	}
 	if *verbose {
 		req.Observer = analysis.ObserverFuncs{
@@ -195,4 +206,16 @@ func writeTrace(tracer *obs.Tracer, path string) error {
 		return fmt.Errorf("writing trace: %w", err)
 	}
 	return f.Close()
+}
+
+// splitList parses a comma-separated flag value, trimming whitespace
+// and dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -16,9 +16,11 @@ import (
 	"introspect/internal/analysis"
 	"introspect/internal/service"
 	"introspect/internal/suite"
+	"introspect/internal/taint"
 )
 
 const demo = "../../examples/ptalint/holder.mj"
+const taintDemo = "../../examples/ptalint/taintdemo.mj"
 
 func newServer(t *testing.T, cfg service.Config) (*httptest.Server, *service.Service) {
 	t.Helper()
@@ -278,6 +280,61 @@ func TestJSONRequestBody(t *testing.T) {
 	defer resp2.Body.Close()
 	if resp2.StatusCode != http.StatusBadRequest {
 		t.Errorf("unknown field: status %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestTaintJobHTTP exercises taint configuration over the daemon
+// surface: a Job carrying a taint spec solves the instrumented
+// program, joins the cache key (same source without taint is a
+// different entry), and an invalid spec is rejected with a typed 400
+// before admission.
+func TestTaintJobHTTP(t *testing.T) {
+	srv, _ := newServer(t, service.Config{Workers: 1})
+	src, err := os.ReadFile(taintDemo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(job analysis.Job) (*http.Response, []byte) {
+		t.Helper()
+		reqBody, _ := json.Marshal(service.Request{
+			Lang: "mj", Name: "taintdemo", Source: string(src), Job: job, Budget: -1,
+		})
+		resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, b
+	}
+
+	tainted := analysis.Job{Spec: "2objH", Taint: &taint.Spec{
+		Sources: []string{"Net.fetch"}, Sinks: []string{"Net.publish"}, Sanitizers: []string{"Net.scrub"},
+	}}
+	resp, body := post(tainted)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("taint job: status %d: %s", resp.StatusCode, body)
+	}
+	if doc := decodeRun(t, body); doc.Cache != "miss" || !doc.Complete {
+		t.Fatalf("taint job: cache=%q complete=%v", doc.Cache, doc.Complete)
+	}
+
+	// Identical taint job: cache hit. Same source, no taint: its own
+	// entry — the spec is part of the canonical Job and so of the key.
+	if _, body = post(tainted); decodeRun(t, body).Cache != "hit" {
+		t.Errorf("repeat taint job: cache = %q, want hit", decodeRun(t, body).Cache)
+	}
+	if _, body = post(analysis.Job{Spec: "2objH"}); decodeRun(t, body).Cache != "miss" {
+		t.Errorf("untainted job shares the tainted entry: cache = %q, want miss", decodeRun(t, body).Cache)
+	}
+
+	// Sources without sinks is rejected by Job validation → typed 400.
+	resp, body = post(analysis.Job{Spec: "2objH", Taint: &taint.Spec{Sources: []string{"Net.fetch"}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid taint spec: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte(`"bad_request"`)) || !bytes.Contains(body, []byte("taint")) {
+		t.Errorf("invalid taint spec: body lacks typed taint error: %s", body)
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"introspect/internal/analysis"
 	"introspect/internal/checkers"
 	"introspect/internal/pta"
+	"introspect/internal/taint"
 )
 
 func main() {
@@ -63,6 +64,9 @@ func run(args []string, out io.Writer) error {
 	budget := fs.Int64("budget", 0, "work budget per solver pass (0 = default, <0 = unlimited)")
 	provenance := fs.Bool("provenance", true, "record derivation witnesses and attach them to diagnostics")
 	baseline := fs.Bool("baseline", true, "solve an insensitive baseline for the conflation checker when the pipeline has none")
+	sources := fs.String("taint-sources", "", "comma-separated taint source methods (name, Type.name, or name/arity); enables the taint checkers")
+	sinks := fs.String("taint-sinks", "", "comma-separated taint sink methods (required with -taint-sources)")
+	sanitizers := fs.String("taint-sanitizers", "", "comma-separated taint sanitizer methods")
 	list := fs.Bool("list", false, "list the available checkers and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,9 +91,18 @@ func run(args []string, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	job := analysis.Job{Spec: *spec}
+	if *sources != "" || *sinks != "" || *sanitizers != "" {
+		job.Taint = &taint.Spec{
+			Sources:    splitList(*sources),
+			Sinks:      splitList(*sinks),
+			Sanitizers: splitList(*sanitizers),
+		}
+	}
+
 	res, err := analysis.Run(ctx, analysis.Request{
 		Source:     &analysis.Source{Bench: *bench, MJFile: *mjFile, IRFile: *irFile},
-		Job:        analysis.Job{Spec: *spec},
+		Job:        job,
 		Limits:     analysis.Limits{Budget: *budget},
 		Provenance: *provenance,
 	})
@@ -103,7 +116,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(os.Stderr, "ptalint: warning:", err)
 	}
 
-	tgt := &checkers.Target{Prog: res.Prog, Res: res.Main, Baseline: res.First}
+	tgt := &checkers.Target{Prog: res.Prog, Res: res.Main, Baseline: res.First, Taint: res.TaintInfo}
 	if tgt.Baseline == nil && *baseline && res.Main.Analysis != "insens" {
 		b, err := pta.Analyze(ctx, res.Prog, "insens", pta.Options{Budget: *budget})
 		if err != nil {
@@ -127,6 +140,18 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown format %q (have text, json, sarif)", *format)
 	}
+}
+
+// splitList parses a comma-separated flag value, trimming whitespace
+// and dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // lintJSON is ptalint's pta/v1 document: the shared analysis.RunJSON

@@ -16,6 +16,7 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite golden files instead of comparing")
 
 const demo = "../../examples/ptalint/holder.mj"
+const taintDemo = "../../examples/ptalint/taintdemo.mj"
 
 // TestPtalintGolden lints the demo program in-process and byte-compares
 // the text report against testdata/ptalint.golden. The report carries
@@ -42,6 +43,115 @@ func TestPtalintGolden(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Errorf("ptalint output differs from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestTaintDemoGolden lints the taint demo with the taint spec flags
+// and byte-compares the text report against testdata/ptaint.golden.
+// The demo seeds two flows through the same source; the golden pins
+// that only the unsanitized one is reported — once as a taint-flow
+// error and once as a sanitizer-bypass warning (the source is
+// cleansed on the other path) — with the witness rooted at the
+// synthetic taint$ allocation inside Net.fetch.
+//
+// Refresh after an intentional change with:
+//
+//	go test ./cmd/ptalint -args -update
+func TestTaintDemoGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-mj", taintDemo, "-analysis", "2objH", "-baseline=false",
+		"-taint-sources", "Net.fetch", "-taint-sinks", "Net.publish",
+		"-taint-sanitizers", "Net.scrub",
+		"-checks", "taint-flow,sanitizer-bypass"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "ptaint.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("taint demo output differs from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// Structural floor independent of the golden: the sanitized sink
+	// call (invo2, publish(clean)) must not appear at all.
+	out := buf.String()
+	if strings.Contains(out, "invo2") {
+		t.Errorf("sanitized sink call reported:\n%s", out)
+	}
+	if !strings.Contains(out, "[taint-flow]") || !strings.Contains(out, "[sanitizer-bypass]") {
+		t.Errorf("expected one taint-flow and one sanitizer-bypass finding:\n%s", out)
+	}
+}
+
+// TestTaintSARIF checks the taint checkers through the SARIF emitter:
+// the two taint rules appear in the driver, and the taint-flow result
+// carries the witness from the synthetic allocation.
+func TestTaintSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-mj", taintDemo, "-baseline=false",
+		"-taint-sources", "Net.fetch", "-taint-sinks", "Net.publish",
+		"-taint-sanitizers", "Net.scrub", "-format", "sarif"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Runs []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID     string `json:"ruleId"`
+				Level      string `json:"level"`
+				Properties struct {
+					Witness []string `json:"witness"`
+				} `json:"properties"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	rules := map[string]bool{}
+	for _, r := range log.Runs[0].Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	if !rules["taint-flow"] || !rules["sanitizer-bypass"] {
+		t.Errorf("taint rules missing from SARIF driver: %v", rules)
+	}
+	var flows, bypasses int
+	for _, r := range log.Runs[0].Results {
+		switch r.RuleID {
+		case "taint-flow":
+			flows++
+			if r.Level != "error" {
+				t.Errorf("taint-flow level = %q, want error", r.Level)
+			}
+			if len(r.Properties.Witness) == 0 || !strings.Contains(r.Properties.Witness[0], "taint$") {
+				t.Errorf("taint-flow witness should start at the taint$ alloc, got %v", r.Properties.Witness)
+			}
+		case "sanitizer-bypass":
+			bypasses++
+			if r.Level != "warning" {
+				t.Errorf("sanitizer-bypass level = %q, want warning", r.Level)
+			}
+		}
+	}
+	if flows != 1 || bypasses != 1 {
+		t.Errorf("got %d taint-flow + %d sanitizer-bypass results, want 1 + 1", flows, bypasses)
 	}
 }
 
@@ -183,7 +293,7 @@ func TestChecksFlag(t *testing.T) {
 	if err := run([]string{"-list"}, &buf); err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"may-fail-cast", "empty-deref", "dead-method", "devirtualize", "conflation-hotspot"} {
+	for _, name := range []string{"may-fail-cast", "empty-deref", "dead-method", "devirtualize", "conflation-hotspot", "taint-flow", "sanitizer-bypass"} {
 		if !strings.Contains(buf.String(), name) {
 			t.Errorf("-list missing %s:\n%s", name, buf.String())
 		}

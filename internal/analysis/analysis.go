@@ -11,6 +11,7 @@ import (
 	"introspect/internal/ir"
 	"introspect/internal/pta"
 	"introspect/internal/report"
+	"introspect/internal/taint"
 )
 
 // Stage names, in canonical pipeline order. A single-pass analysis is
@@ -18,6 +19,7 @@ import (
 // introspective analysis runs all six stages.
 const (
 	StageFrontend  = "frontend"
+	StageTaint     = "taint-inject"
 	StagePrePass   = "pre-pass"
 	StageMetrics   = "metrics"
 	StageSelection = "selection"
@@ -115,6 +117,12 @@ type Result struct {
 	// Precision holds the paper's three precision metrics over Main.
 	Precision *report.Precision
 
+	// TaintInfo describes the taint injection when the job carried a
+	// taint spec (Job.Taint): the synthetic class, heaps, and matched
+	// method sets. Prog (and every pass result) then refers to the
+	// instrumented program, not the request's input.
+	TaintInfo *taint.Injection
+
 	// Stages records per-stage Stats in execution order.
 	Stages []Stats
 }
@@ -204,6 +212,23 @@ func frontendStage(src *Source) stage {
 		}
 		res.Prog = prog
 		return Stats{Analysis: prog.Name}, nil
+	}}
+}
+
+// taintStage derives the taint-instrumented program per the Job's
+// taint spec and swaps it in as the pipeline's subject: every later
+// stage — pre-pass, metrics, selection, main pass — runs over the
+// instrumented program, so taint objects take part in the unified
+// analysis exactly like real ones (the P/Taint architecture).
+func taintStage(spec *taint.Spec) stage {
+	return stage{name: StageTaint, run: func(ctx context.Context, p *Pipeline, res *Result) (Stats, error) {
+		prog, inj, err := taint.Inject(res.Prog, spec)
+		if err != nil {
+			return Stats{}, fmt.Errorf("analysis: stage %s: %w", StageTaint, err)
+		}
+		res.Prog = prog
+		res.TaintInfo = inj
+		return Stats{}, nil
 	}}
 }
 

@@ -54,3 +54,19 @@ type InvalidWorkersError struct {
 func (e *InvalidWorkersError) Error() string {
 	return fmt.Sprintf("analysis: Job.Workers %d out of range [0, %d]", e.Workers, pta.MaxWorkers)
 }
+
+// InvalidTaintError reports a malformed Job.Taint spec (no sources, no
+// sinks, blank or duplicate patterns, a pattern playing conflicting
+// roles). Like InvalidWorkersError it is raised at validation time, so
+// servers map it to HTTP 400 before admitting the job to a worker.
+type InvalidTaintError struct {
+	// Err is the underlying taint.Spec validation error.
+	Err error
+}
+
+func (e *InvalidTaintError) Error() string {
+	return fmt.Sprintf("analysis: invalid Job.Taint: %v", e.Err)
+}
+
+// Unwrap exposes the underlying validation error.
+func (e *InvalidTaintError) Unwrap() error { return e.Err }

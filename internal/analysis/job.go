@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"introspect/internal/introspect"
+	"introspect/internal/taint"
 )
 
 // Job is the serializable half of a Request: it describes WHAT
@@ -53,6 +54,19 @@ type Job struct {
 	// an *InvalidWorkersError. Parallel workers are incompatible with
 	// provenance recording, which needs element-wise propagation.
 	Workers int `json:"workers,omitempty"`
+
+	// Taint, if non-nil, runs the job as a unified taint analysis
+	// (internal/taint): the pipeline gains a taint-inject stage that
+	// derives a taint-instrumented copy of the program per this spec,
+	// and the solve — under whatever context policy Spec names — then
+	// propagates taint objects like any other heap objects. The spec is
+	// plain data and part of the canonical encoding: two jobs differing
+	// only in taint configuration are different cache entries, because
+	// they analyze different (derived) programs. Malformed specs are
+	// rejected by Validate with an *InvalidTaintError. Incompatible
+	// with Request.First: an injected pre-pass was solved over the
+	// uninstrumented program.
+	Taint *taint.Spec `json:"taint,omitempty"`
 }
 
 // Canonical returns the Job's canonical JSON encoding, the form

@@ -114,6 +114,11 @@ func resolveJob(job Job, override Selector) (pta.Spec, Selector, error) {
 	if job.Workers < 0 || job.Workers > pta.MaxWorkers {
 		return pta.Spec{}, nil, &InvalidWorkersError{Workers: job.Workers}
 	}
+	if job.Taint != nil {
+		if err := job.Taint.Validate(); err != nil {
+			return pta.Spec{}, nil, &InvalidTaintError{Err: err}
+		}
+	}
 	spec := job.Spec
 	var sel Selector
 	switch {
@@ -168,10 +173,19 @@ func NewPipeline(req *Request) (*Pipeline, error) {
 	if req.First != nil && (sel == nil || !sel.NeedsPrePass()) {
 		return nil, fmt.Errorf("analysis: Request.First requires a pipeline with a pre-pass stage, got %q", req.Job.Spec)
 	}
+	if req.First != nil && req.Job.Taint != nil {
+		// An injected pre-pass was solved over the uninstrumented
+		// program; the taint stage swaps the subject, so the pointer
+		// identity check in injectPrePassStage could never pass.
+		return nil, errors.New("analysis: Request.First is incompatible with Job.Taint (the pre-pass must solve the taint-instrumented program)")
+	}
 
 	p := &Pipeline{req: req}
 	if req.Source != nil {
 		p.stages = append(p.stages, frontendStage(req.Source))
+	}
+	if req.Job.Taint != nil {
+		p.stages = append(p.stages, taintStage(req.Job.Taint))
 	}
 	if sel == nil {
 		p.Name = ps.String()

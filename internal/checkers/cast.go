@@ -34,6 +34,24 @@ func CastMayFail(res *pta.Result, c ir.Cast) (ir.HeapID, bool) {
 	return conflict, conflict != ir.None
 }
 
+// castMayFailReal is CastMayFail restricted to real program objects:
+// when the target carries a taint injection, synthetic taint$ heaps
+// are not admissible witnesses (see MayFailCastChecker.Check).
+func castMayFailReal(t *Target, c ir.Cast) (ir.HeapID, bool) {
+	prog := t.Prog
+	conflict := ir.HeapID(ir.None)
+	t.Res.VarHeaps(c.From).ForEach(func(h int32) {
+		if conflict != ir.None || prog.SubtypeOf(prog.HeapType(ir.HeapID(h)), c.Type) {
+			return
+		}
+		if t.Taint != nil && t.Taint.IsTaintHeap(ir.HeapID(h)) {
+			return
+		}
+		conflict = ir.HeapID(h)
+	})
+	return conflict, conflict != ir.None
+}
+
 // MayFailCastChecker reports every reachable cast instruction whose
 // operand may hold an object incompatible with the target type — the
 // paper's "may-fail casts" precision metric, as individual diagnostics
@@ -49,6 +67,13 @@ func (MayFailCastChecker) Desc() string {
 }
 
 // Check scans the reachable methods' casts.
+//
+// Under a taint run (Target.Taint non-nil) synthetic taint$ objects
+// are ignored as witnesses: taint$ is deliberately outside the Object
+// hierarchy, so it "fails" every cast — most visibly the sanitizer's
+// own injected `ret$clean = (Object) ret` rewrite, where the failing
+// cast IS the sanitization mechanism, not a program defect. A cast is
+// reported only if a real (program) object may fail it.
 func (MayFailCastChecker) Check(t *Target) []Diagnostic {
 	prog := t.Prog
 	var out []Diagnostic
@@ -58,7 +83,7 @@ func (MayFailCastChecker) Check(t *Target) []Diagnostic {
 			continue
 		}
 		for _, c := range m.Casts {
-			h, fail := CastMayFail(t.Res, c)
+			h, fail := castMayFailReal(t, c)
 			if !fail {
 				continue
 			}

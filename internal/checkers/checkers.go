@@ -24,6 +24,7 @@ import (
 
 	"introspect/internal/ir"
 	"introspect/internal/pta"
+	"introspect/internal/taint"
 )
 
 // Severity ranks a diagnostic's importance.
@@ -100,6 +101,11 @@ type Target struct {
 	// program, used by difference checkers (conflation hotspots). Nil
 	// disables them.
 	Baseline *pta.Result
+	// Taint is the taint injection the result was solved under
+	// (analysis.Result.TaintInfo), consumed by the taint checkers. Nil
+	// disables them; Prog and Res must then still agree with each
+	// other, but need no taint instrumentation.
+	Taint *taint.Injection
 }
 
 // Checker is one client analysis over a Target.
@@ -122,6 +128,8 @@ func All() []Checker {
 		DeadMethodChecker{},
 		DevirtChecker{},
 		ConflationChecker{},
+		TaintFlowChecker{},
+		SanitizerBypassChecker{},
 	}
 }
 

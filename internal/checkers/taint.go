@@ -1,0 +1,215 @@
+package checkers
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"introspect/internal/ir"
+	"introspect/internal/taint"
+)
+
+// SinkFlow is one tainted-argument-at-sink fact: invocation site i may
+// dispatch to sink method Sink, and argument Arg (the Pos-th actual)
+// may hold taint object Heap. It is the unit of taint reporting — the
+// refinement property tests compare sets of these across policies.
+type SinkFlow struct {
+	Invo ir.InvoID
+	Sink ir.MethodID
+	Pos  int
+	Arg  ir.VarID
+	Heap ir.HeapID
+}
+
+// SinkFlows computes every tainted sink-argument fact of a result, in
+// deterministic order: methods ascending, calls in program order,
+// arguments left to right, taint heaps ascending. For a virtual call
+// resolving to several sink methods the flow is attributed to the
+// lowest-numbered one (the report is about the call site, not the
+// dispatch spread). Nil when the target has no taint injection.
+func SinkFlows(t *Target) []SinkFlow {
+	if t.Taint == nil {
+		return nil
+	}
+	prog := t.Prog
+	var out []SinkFlow
+	for mi := range prog.Methods {
+		if !t.Res.MethodReachable(ir.MethodID(mi)) {
+			continue
+		}
+		for _, c := range prog.Methods[mi].Calls {
+			sink := sinkTarget(t, c)
+			if sink == ir.None {
+				continue
+			}
+			for pos, arg := range c.Args {
+				var heaps []ir.HeapID
+				t.Res.VarHeaps(arg).ForEach(func(h int32) {
+					if t.Taint.IsTaintHeap(ir.HeapID(h)) {
+						heaps = append(heaps, ir.HeapID(h))
+					}
+				})
+				sort.Slice(heaps, func(i, j int) bool { return heaps[i] < heaps[j] })
+				for _, h := range heaps {
+					out = append(out, SinkFlow{Invo: c.Invo, Sink: sink, Pos: pos, Arg: arg, Heap: h})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sinkTarget resolves whether call c may dispatch to a sink method,
+// returning the lowest-numbered matching target (None if none).
+func sinkTarget(t *Target, c ir.Call) ir.MethodID {
+	if c.Kind == ir.Direct {
+		if t.Taint.IsSink(c.Target) {
+			return c.Target
+		}
+		return ir.None
+	}
+	for _, m := range t.Res.InvoTargets(c.Invo) { // sorted ascending
+		if t.Taint.IsSink(m) {
+			return m
+		}
+	}
+	return ir.None
+}
+
+// TaintFlowChecker reports every source→sink taint flow the analysis
+// cannot rule out: an argument of a (possibly virtual) call to a sink
+// method that may hold a taint object. With provenance recorded, the
+// witness reconstructs the full path from the synthetic allocation in
+// the source method to the sink argument.
+type TaintFlowChecker struct{}
+
+// Name returns the checker's rule id.
+func (TaintFlowChecker) Name() string { return "taint-flow" }
+
+// Desc describes the checker.
+func (TaintFlowChecker) Desc() string {
+	return "sink-call arguments that may carry tainted data from a configured source"
+}
+
+// Check reports one diagnostic per (sink call, argument, taint source).
+func (TaintFlowChecker) Check(t *Target) []Diagnostic {
+	prog := t.Prog
+	var out []Diagnostic
+	for _, f := range SinkFlows(t) {
+		src, _ := t.Taint.SourceOf(f.Heap)
+		out = append(out, Diagnostic{
+			Checker:  TaintFlowChecker{}.Name(),
+			Severity: Error,
+			Site:     fmt.Sprintf("%s arg%d", prog.InvoName(f.Invo), f.Pos),
+			Message: fmt.Sprintf("argument %d of call to sink %s may carry taint from source %s",
+				f.Pos, prog.MethodName(f.Sink), prog.MethodName(src)),
+			Witness: witnessFor(t, f.Arg, f.Heap),
+		})
+	}
+	return out
+}
+
+// SanitizerBypassChecker reports tainted sink arguments whose taint
+// source IS sanitized somewhere in the program — some path routes the
+// same source through a configured sanitizer — yet this path reaches
+// the sink unsanitized. These are the highest-value taint findings: the
+// program knows the data needs cleansing and has the machinery, but a
+// code path bypasses it. Flows from never-sanitized sources are left to
+// taint-flow alone.
+type SanitizerBypassChecker struct{}
+
+// Name returns the checker's rule id.
+func (SanitizerBypassChecker) Name() string { return "sanitizer-bypass" }
+
+// Desc describes the checker.
+func (SanitizerBypassChecker) Desc() string {
+	return "tainted sink arguments whose source is sanitized on some other path but not this one"
+}
+
+// Check reports one diagnostic per sink flow whose taint heap also
+// reaches a sanitizer's input.
+func (SanitizerBypassChecker) Check(t *Target) []Diagnostic {
+	if t.Taint == nil {
+		return nil
+	}
+	prog := t.Prog
+	// Taint heaps that flow into any sanitizer formal: these sources
+	// are cleansed on at least one path.
+	sanitized := map[ir.HeapID][]string{}
+	for _, m := range t.Taint.Sanitizers {
+		for _, formal := range prog.Methods[m].Formals {
+			t.Res.VarHeaps(formal).ForEach(func(h int32) {
+				if t.Taint.IsTaintHeap(ir.HeapID(h)) {
+					sanitized[ir.HeapID(h)] = append(sanitized[ir.HeapID(h)], prog.MethodName(m))
+				}
+			})
+		}
+	}
+	var out []Diagnostic
+	for _, f := range SinkFlows(t) {
+		sans := sanitized[f.Heap]
+		if len(sans) == 0 {
+			continue
+		}
+		src, _ := t.Taint.SourceOf(f.Heap)
+		out = append(out, Diagnostic{
+			Checker:  SanitizerBypassChecker{}.Name(),
+			Severity: Warning,
+			Site:     fmt.Sprintf("%s arg%d", prog.InvoName(f.Invo), f.Pos),
+			Message: fmt.Sprintf("taint from %s reaches sink %s without passing sanitizer %s (which cleanses this source elsewhere)",
+				prog.MethodName(src), prog.MethodName(f.Sink), strings.Join(dedupSorted(sans), ", ")),
+			Witness: witnessFor(t, f.Arg, f.Heap),
+		})
+	}
+	return out
+}
+
+func dedupSorted(in []string) []string {
+	sort.Strings(in)
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || s != in[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TaintCounts summarizes a taint run against a ground truth: how many
+// distinct sink invocation sites were reported, and of those, how many
+// are true flows vs false positives per the truth's labeling. Sites
+// not named by the truth (possible when a spec matches subject methods
+// beyond the kernel) count as neither.
+type TaintCounts struct {
+	Reported, TruePos, FalsePos int
+}
+
+// CountAgainst classifies the distinct reported sink sites of t
+// against gt.
+func CountAgainst(t *Target, gt *taint.GroundTruth) TaintCounts {
+	tainted := map[string]bool{}
+	for _, n := range gt.Tainted {
+		tainted[n] = true
+	}
+	clean := map[string]bool{}
+	for _, n := range gt.Clean {
+		clean[n] = true
+	}
+	seen := map[ir.InvoID]bool{}
+	var c TaintCounts
+	for _, f := range SinkFlows(t) {
+		if seen[f.Invo] {
+			continue
+		}
+		seen[f.Invo] = true
+		c.Reported++
+		name := t.Prog.InvoName(f.Invo)
+		switch {
+		case tainted[name]:
+			c.TruePos++
+		case clean[name]:
+			c.FalsePos++
+		}
+	}
+	return c
+}

@@ -150,6 +150,7 @@ func detectMethod(m *ir.Method) (pta.MethodEdit, bool) {
 		formals := map[int32]bool{}
 		fields := map[ir.FieldID]bool{}
 		retThis := false
+		//introvet:allow order-independent: the loop only accumulates flags and sets; the sets are sorted below
 		for v := range closure {
 			if v == m.Exc {
 				// The exception variable also receives callee-escape
@@ -178,11 +179,11 @@ func detectMethod(m *ir.Method) (pta.MethodEdit, bool) {
 		if ok && (retThis || len(formals) > 0 || len(fields) > 0) {
 			ed.CutReturn = true
 			ed.RetThis = retThis
-			for fi := range formals {
+			for fi := range formals { //introvet:allow sorted immediately below
 				ed.RetFormals = append(ed.RetFormals, fi)
 			}
 			sort.Slice(ed.RetFormals, func(i, j int) bool { return ed.RetFormals[i] < ed.RetFormals[j] })
-			for f := range fields {
+			for f := range fields { //introvet:allow sorted immediately below
 				ed.RetFields = append(ed.RetFields, f)
 			}
 			sort.Slice(ed.RetFields, func(i, j int) bool { return ed.RetFields[i] < ed.RetFields[j] })

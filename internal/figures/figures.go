@@ -104,10 +104,23 @@ func (c Config) instrument(reqs []analysis.Request) {
 		if c.Tracer == nil {
 			continue
 		}
-		track := c.Tracer.NewTrack(reqs[i].Source.Bench + " " + reqs[i].Job.Spec)
+		track := c.Tracer.NewTrack(benchOf(reqs[i]) + " " + reqs[i].Job.Spec)
 		reqs[i].Observer = analysis.Observers(reqs[i].Observer, analysis.TrackObserver(track))
 		reqs[i].SnapshotEvery = c.SnapshotEvery
 	}
+}
+
+// benchOf names a request's subject for display: the frontend input
+// for Source-carrying requests, the program name for pre-built ones
+// (the taint fleet hands RunAll merged programs directly).
+func benchOf(req analysis.Request) string {
+	if req.Source != nil {
+		return req.Source.Bench
+	}
+	if req.Prog != nil {
+		return req.Prog.Name
+	}
+	return "?"
 }
 
 // runAll executes the requests through the bounded-parallel fleet

@@ -294,7 +294,7 @@ func (b *Builder) Finish() (*Program, error) {
 		return nil, b.err
 	}
 	p := &b.prog
-	if err := b.computeHierarchy(); err != nil {
+	if err := p.computeHierarchy(); err != nil {
 		return nil, err
 	}
 	if err := p.Validate(); err != nil {
@@ -313,8 +313,10 @@ func (b *Builder) MustFinish() *Program {
 	return p
 }
 
-func (b *Builder) computeHierarchy() error {
-	p := &b.prog
+// computeHierarchy computes the subtype closures and virtual-dispatch
+// tables of p. Builder.Finish runs it automatically; Deriver.Finish and
+// Merge run it again for programs assembled outside a Builder.
+func (p *Program) computeHierarchy() error {
 	// Topological order over supertype edges (parents first).
 	order := make([]TypeID, 0, len(p.Types))
 	state := make([]uint8, len(p.Types)) // 0 unvisited, 1 visiting, 2 done

@@ -1,0 +1,146 @@
+package ir
+
+import "fmt"
+
+// Deriver edits a copy of a finished Program, leaving the original
+// untouched. It supports exactly the shape of edit that analysis
+// instrumentation needs — adding types, variables, allocation sites,
+// casts, and rerouting return variables — while preserving every
+// existing identifier: ids valid in the base program remain valid, and
+// mean the same entity, in the derived program.
+//
+// A Deriver is not safe for concurrent use. Finish revalidates the
+// program and recomputes the type hierarchy; the Deriver must not be
+// used afterwards.
+type Deriver struct {
+	p      Program
+	copied map[MethodID]bool // methods whose instruction slices are private
+	err    error
+}
+
+// Derive returns a Deriver over a copy of p.
+func (p *Program) Derive() *Deriver {
+	d := &Deriver{copied: make(map[MethodID]bool)}
+	d.p = *p
+	d.p.Types = append([]Type(nil), p.Types...)
+	d.p.Vars = append([]Var(nil), p.Vars...)
+	d.p.Heaps = append([]Heap(nil), p.Heaps...)
+	d.p.Fields = append([]Field(nil), p.Fields...)
+	d.p.Methods = append([]Method(nil), p.Methods...)
+	d.p.Sigs = append([]string(nil), p.Sigs...)
+	d.p.Invos = append([]Invo(nil), p.Invos...)
+	d.p.Entries = append([]MethodID(nil), p.Entries...)
+	return d
+}
+
+func (d *Deriver) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("ir: derive: "+format, args...)
+	}
+}
+
+// method returns a method whose instruction slices are safe to append
+// to: the shallow table copy still shares slice backing arrays with the
+// base program, so the first edit of each method deep-copies them.
+func (d *Deriver) method(m MethodID) *Method {
+	if m < 0 || int(m) >= len(d.p.Methods) {
+		d.fail("invalid method %d", m)
+		return &Method{This: None, Ret: None, Exc: None}
+	}
+	mm := &d.p.Methods[m]
+	if !d.copied[m] {
+		mm.Allocs = append([]Alloc(nil), mm.Allocs...)
+		mm.Casts = append([]Cast(nil), mm.Casts...)
+		mm.Moves = append([]Move(nil), mm.Moves...)
+		d.copied[m] = true
+	}
+	return mm
+}
+
+// HasType reports whether a type of the given name already exists.
+func (d *Deriver) HasType(name string) bool {
+	for i := range d.p.Types {
+		if d.p.Types[i].Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// AddRootClass adds a class that — unlike every class a Builder adds —
+// does NOT extend Object: it is its own hierarchy root. Objects of such
+// a class fail every subtype filter against program types (including
+// Object itself), which is exactly what a synthetic analysis-fact class
+// wants: casts in the analyzed program never let it through.
+func (d *Deriver) AddRootClass(name string) TypeID {
+	if d.HasType(name) {
+		d.fail("duplicate type %q", name)
+		return None
+	}
+	id := TypeID(len(d.p.Types))
+	d.p.Types = append(d.p.Types, Type{Name: name, Kind: ClassKind, Super: None})
+	return id
+}
+
+// NewVar creates a fresh local variable in method m.
+func (d *Deriver) NewVar(m MethodID, name string) VarID {
+	if m < 0 || int(m) >= len(d.p.Methods) {
+		d.fail("invalid method %d", m)
+		return None
+	}
+	id := VarID(len(d.p.Vars))
+	d.p.Vars = append(d.p.Vars, Var{Name: name, Method: m, Type: None})
+	return id
+}
+
+// AddAlloc appends "v = new t" to method m and returns the new
+// allocation site.
+func (d *Deriver) AddAlloc(m MethodID, v VarID, t TypeID, label string) HeapID {
+	mm := d.method(m)
+	if t < 0 || int(t) >= len(d.p.Types) {
+		d.fail("alloc of invalid type in %s", mm.Name)
+		return None
+	}
+	h := HeapID(len(d.p.Heaps))
+	if label == "" {
+		label = fmt.Sprintf("new %s@%s#%d", d.p.Types[t].Name, mm.Name, len(mm.Allocs))
+	}
+	d.p.Heaps = append(d.p.Heaps, Heap{Name: label, Type: t, Method: m})
+	mm.Allocs = append(mm.Allocs, Alloc{Var: v, Heap: h})
+	return h
+}
+
+// AddCast appends "to = (t) from" to method m.
+func (d *Deriver) AddCast(m MethodID, to, from VarID, t TypeID) {
+	mm := d.method(m)
+	mm.Casts = append(mm.Casts, Cast{To: to, From: from, Type: t})
+}
+
+// SetRet redirects the return variable of method m to v. Existing
+// instructions that wrote the old return variable keep writing it; v is
+// what callers now observe, so the deriver typically bridges the two
+// with AddCast or AddMove.
+func (d *Deriver) SetRet(m MethodID, v VarID) {
+	mm := d.method(m)
+	if mm.Ret == None {
+		d.fail("SetRet on void method %s", mm.Name)
+		return
+	}
+	mm.Ret = v
+}
+
+// Finish recomputes the type hierarchy, validates, and returns the
+// derived program. The Deriver must not be used afterwards.
+func (d *Deriver) Finish() (*Program, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	p := &d.p
+	if err := p.computeHierarchy(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,211 @@
+package ir
+
+import "fmt"
+
+// Merge composes two finished programs into a single program named
+// name: the base program's entities keep their identifiers, the extra
+// program's entities are appended with remapped identifiers, and both
+// programs' entry methods stay entries. It is how the analysis harness
+// grafts a fixed instrumentation kernel onto arbitrary subjects without
+// regenerating them.
+//
+// Identifier semantics:
+//   - every base id is valid in the merged program and means the same
+//     entity;
+//   - the extra program's root class Object is unified with the base's
+//     (so the two hierarchies share one root);
+//   - the extra program's array pseudo-field is unified with the base's
+//     if both exist;
+//   - signatures are deduplicated by string, so virtual dispatch works
+//     across the two halves.
+//
+// Any other type-name collision between the halves is an error: silent
+// unification of same-named classes would splice hierarchies the inputs
+// never declared.
+func Merge(name string, base, extra *Program) (*Program, error) {
+	out := &Program{Name: name}
+	out.Types = append([]Type(nil), base.Types...)
+	out.Vars = append([]Var(nil), base.Vars...)
+	out.Heaps = append([]Heap(nil), base.Heaps...)
+	out.Fields = append([]Field(nil), base.Fields...)
+	out.Methods = append([]Method(nil), base.Methods...)
+	out.Sigs = append([]string(nil), base.Sigs...)
+	out.Invos = append([]Invo(nil), base.Invos...)
+	out.Entries = append([]MethodID(nil), base.Entries...)
+	out.ArrayElem = base.ArrayElem
+	out.ObjectType = base.ObjectType
+
+	// Type map: extra id -> merged id.
+	baseTypes := make(map[string]TypeID, len(base.Types))
+	for i := range base.Types {
+		baseTypes[base.Types[i].Name] = TypeID(i)
+	}
+	typeMap := make([]TypeID, len(extra.Types))
+	for i := range extra.Types {
+		et := &extra.Types[i]
+		if TypeID(i) == extra.ObjectType {
+			typeMap[i] = base.ObjectType
+			continue
+		}
+		if _, dup := baseTypes[et.Name]; dup {
+			return nil, fmt.Errorf("ir: merge: type %q defined in both programs", et.Name)
+		}
+		typeMap[i] = TypeID(len(out.Types))
+		out.Types = append(out.Types, Type{
+			Name: et.Name, Kind: et.Kind, Super: et.Super,
+			Interfaces: append([]TypeID(nil), et.Interfaces...),
+			Abstract:   et.Abstract,
+		})
+	}
+	mapType := func(t TypeID) TypeID {
+		if t == None {
+			return None
+		}
+		return typeMap[t]
+	}
+	for i := len(base.Types); i < len(out.Types); i++ {
+		tt := &out.Types[i]
+		tt.Super = mapType(tt.Super)
+		for j, iface := range tt.Interfaces {
+			tt.Interfaces[j] = mapType(iface)
+		}
+		// Extra classes whose Super was the extra program's Object now
+		// extend the base's Object via typeMap; root-less extra classes
+		// (Kind==ClassKind, Super==None) stay hierarchy roots.
+	}
+
+	// Signature map: dedup by string.
+	sigIdx := make(map[string]SigID, len(out.Sigs))
+	for i, s := range out.Sigs {
+		sigIdx[s] = SigID(i)
+	}
+	sigMap := make([]SigID, len(extra.Sigs))
+	for i, s := range extra.Sigs {
+		if id, ok := sigIdx[s]; ok {
+			sigMap[i] = id
+			continue
+		}
+		id := SigID(len(out.Sigs))
+		out.Sigs = append(out.Sigs, s)
+		sigIdx[s] = id
+		sigMap[i] = id
+	}
+	mapSig := func(s SigID) SigID {
+		if s == None {
+			return None
+		}
+		return sigMap[s]
+	}
+
+	// Field map: unify the array pseudo-field, append the rest.
+	fieldMap := make([]FieldID, len(extra.Fields))
+	for i := range extra.Fields {
+		ef := &extra.Fields[i]
+		if FieldID(i) == extra.ArrayElem {
+			if base.ArrayElem != None {
+				fieldMap[i] = base.ArrayElem
+				continue
+			}
+			out.ArrayElem = FieldID(len(out.Fields))
+		}
+		fieldMap[i] = FieldID(len(out.Fields))
+		out.Fields = append(out.Fields, Field{Name: ef.Name, Owner: mapType(ef.Owner)})
+	}
+
+	// Dense offsets for the per-method tables.
+	voff := VarID(len(base.Vars))
+	hoff := HeapID(len(base.Heaps))
+	moff := MethodID(len(base.Methods))
+	ioff := InvoID(len(base.Invos))
+	mapVar := func(v VarID) VarID {
+		if v == None {
+			return None
+		}
+		return v + voff
+	}
+	mapMeth := func(m MethodID) MethodID {
+		if m == None {
+			return None
+		}
+		return m + moff
+	}
+	mapVars := func(vs []VarID) []VarID {
+		o := make([]VarID, len(vs))
+		for i, v := range vs {
+			o[i] = mapVar(v)
+		}
+		return o
+	}
+
+	for i := range extra.Vars {
+		ev := extra.Vars[i]
+		out.Vars = append(out.Vars, Var{Name: ev.Name, Method: ev.Method + moff, Type: mapType(ev.Type)})
+	}
+	for i := range extra.Heaps {
+		eh := extra.Heaps[i]
+		out.Heaps = append(out.Heaps, Heap{Name: eh.Name, Type: mapType(eh.Type), Method: eh.Method + moff})
+	}
+	for i := range extra.Invos {
+		ei := extra.Invos[i]
+		out.Invos = append(out.Invos, Invo{Name: ei.Name, Method: ei.Method + moff})
+	}
+	for i := range extra.Methods {
+		em := &extra.Methods[i]
+		nm := Method{
+			Name:    em.Name,
+			Sig:     mapSig(em.Sig),
+			Owner:   mapType(em.Owner),
+			Static:  em.Static,
+			This:    mapVar(em.This),
+			Formals: mapVars(em.Formals),
+			Ret:     mapVar(em.Ret),
+			Exc:     mapVar(em.Exc),
+		}
+		for _, a := range em.Allocs {
+			nm.Allocs = append(nm.Allocs, Alloc{Var: mapVar(a.Var), Heap: a.Heap + hoff})
+		}
+		for _, mv := range em.Moves {
+			nm.Moves = append(nm.Moves, Move{To: mapVar(mv.To), From: mapVar(mv.From)})
+		}
+		for _, l := range em.Loads {
+			nm.Loads = append(nm.Loads, Load{To: mapVar(l.To), Base: mapVar(l.Base), Field: fieldMap[l.Field]})
+		}
+		for _, s := range em.Stores {
+			nm.Stores = append(nm.Stores, Store{Base: mapVar(s.Base), Field: fieldMap[s.Field], From: mapVar(s.From)})
+		}
+		for _, c := range em.Calls {
+			nm.Calls = append(nm.Calls, Call{
+				Kind: c.Kind, Invo: c.Invo + ioff, Base: mapVar(c.Base),
+				Sig: mapSig(c.Sig), Target: mapMeth(c.Target),
+				Args: mapVars(c.Args), Ret: mapVar(c.Ret),
+			})
+		}
+		for _, c := range em.Casts {
+			nm.Casts = append(nm.Casts, Cast{To: mapVar(c.To), From: mapVar(c.From), Type: mapType(c.Type)})
+		}
+		for _, sl := range em.SLoads {
+			nm.SLoads = append(nm.SLoads, SLoad{To: mapVar(sl.To), Field: fieldMap[sl.Field]})
+		}
+		for _, ss := range em.SStores {
+			nm.SStores = append(nm.SStores, SStore{Field: fieldMap[ss.Field], From: mapVar(ss.From)})
+		}
+		for _, th := range em.Throws {
+			nm.Throws = append(nm.Throws, Throw{From: mapVar(th.From)})
+		}
+		for _, ca := range em.Catches {
+			nm.Catches = append(nm.Catches, Catch{Var: mapVar(ca.Var), Type: mapType(ca.Type)})
+		}
+		out.Methods = append(out.Methods, nm)
+	}
+	for _, e := range extra.Entries {
+		out.Entries = append(out.Entries, e+moff)
+	}
+
+	if err := out.computeHierarchy(); err != nil {
+		return nil, err
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -76,7 +76,7 @@ func (r *Result) InvoTargets(i ir.InvoID) []ir.MethodID {
 		return nil
 	}
 	out := make([]ir.MethodID, 0, len(m))
-	for t := range m {
+	for t := range m { //introvet:allow collected set is sorted before returning
 		out = append(out, t)
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
@@ -243,7 +243,7 @@ func (st RunStats) String() string {
 // like escape analyses ask.
 func (r *Result) VarsPointingTo(h ir.HeapID) []ir.VarID {
 	var out []ir.VarID
-	for v, nodes := range r.s.varNodes {
+	for v, nodes := range r.s.varNodes { //introvet:allow collected set is sorted before returning
 		found := false
 		for _, n := range nodes {
 			r.s.pt[n].ForEach(func(hc int32) {

@@ -341,7 +341,7 @@ func Solve(ctx context.Context, prog *ir.Program, strat Strategy, tab *Table, op
 	if workers > 1 {
 		s.par = newParRuntime(prog, workers)
 	}
-	start := time.Now()
+	start := time.Now() //introvet:allow feeds only Result.Elapsed, which no result or report table depends on
 	if s.par != nil {
 		s.runParallel()
 	} else {
@@ -356,7 +356,7 @@ func Solve(ctx context.Context, prog *ir.Program, strat Strategy, tab *Table, op
 		Work:         s.work,
 		Derivations:  s.derivations,
 		Propagations: s.propagations,
-		Elapsed:      time.Since(start),
+		Elapsed:      time.Since(start), //introvet:allow wall-clock reporting only; every other Result field is schedule-deterministic
 		s:            s,
 	}
 	switch {

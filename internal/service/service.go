@@ -391,7 +391,10 @@ func (s *Service) solve(ctx context.Context, req Request, pk, key string) (*anal
 	// pipeline enforces it, so a mismatched injection would fail the
 	// request rather than contaminate it): a serial request never
 	// reports a parallel pre-pass's Work, and vice versa.
-	if first := entry.sharedFirst(); first != nil && req.Job.NeedsPrePass() &&
+	// Taint jobs never share: their pre-pass solves the
+	// taint-instrumented program, not the program the cached
+	// insensitive result was solved over.
+	if first := entry.sharedFirst(); first != nil && req.Job.Taint == nil && req.Job.NeedsPrePass() &&
 		(!req.Provenance || first.ProvenanceEnabled()) &&
 		first.Workers == effectiveJobWorkers(req.Job.Workers) {
 		areq.First = first

@@ -28,6 +28,10 @@
 # the disabled path nothing), and traced wall time must stay within
 # noise. Set BENCH_GATE=off to record numbers without enforcing.
 #
+# The Taint row regenerates Figure 9 (the taint client over the
+# kernel-grafted suite) and records its deterministic work, timeout,
+# report and false-positive totals alongside wall time.
+#
 # The Fig5Par and Fig7Par rows are the parallel-solve gate: the
 # sharded solver must reach the same fixpoint as the serial one —
 # identical timeouts and identical cderivs (completed-run derivations,
@@ -57,7 +61,7 @@ if [ -n "$prev" ]; then
     prev_work=$(grep -o '"Fig5": \[[^]]*\]' "$prev" | grep -o '"work": [0-9]*' | head -n1 | grep -o '[0-9]*' || true)
 fi
 
-go test -bench='Fig|Provenance|CutShortcut' -benchtime=1x -count="$count" -run '^$' . | tee "$raw"
+go test -bench='Fig|Provenance|CutShortcut|Taint' -benchtime=1x -count="$count" -run '^$' . | tee "$raw"
 
 if [ "${BENCH_GATE:-on}" != "off" ]; then
     awk -v prev_work="$prev_work" '

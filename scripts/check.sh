@@ -5,12 +5,20 @@ set -eux
 cd "$(dirname "$0")/.."
 
 go vet ./...
+# introvet (cmd/introvet) is the repo's determinism linter: it gates
+# map ranges, wall-clock reads and randomness in the solver packages.
+# Stdlib-only, so it is mandatory everywhere.
+go run ./cmd/introvet
 # Optional deeper linters: run whichever is installed, skip otherwise
-# (the CI image ships neither; go vet is the mandatory floor).
+# (the GitHub Actions workflow installs pinned staticcheck and
+# govulncheck; go vet + introvet are the mandatory floor).
 if command -v staticcheck >/dev/null 2>&1; then
     staticcheck ./...
 elif command -v golangci-lint >/dev/null 2>&1; then
     golangci-lint run ./...
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+    govulncheck ./...
 fi
 go build ./...
 go test ./...
