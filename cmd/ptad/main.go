@@ -8,17 +8,35 @@
 // Usage:
 //
 //	ptad [-addr 127.0.0.1:8372] [-workers N] [-queue N] [-cache N]
+//	     [-cache-dir DIR] [-disk-entries N]
+//	     [-peers URL,URL,...] [-self URL]
 //	     [-deadline 30s] [-max-deadline 5m] [-budget N]
 //	     [-snap-every N] [-debug-addr 127.0.0.1:0]
 //
 // Endpoints:
 //
 //	POST /v1/analyze   analyze source (JSON request or raw body + query params)
-//	GET  /v1/specs     list analyses and introspective variants
+//	GET  /v1/analyze   same, streaming NDJSON progress events by default
+//	POST /v1/batch     many jobs over one program, frontend + pre-pass shared
+//	GET  /v1/specs     list analyses, capability flags, and variants
 //	GET  /v1/flights   in-flight requests with live solver snapshots
 //	GET  /healthz      liveness
 //	GET  /metrics      cache/queue/latency counters (JSON, or Prometheus
 //	                   text exposition via ?format=prometheus / Accept)
+//
+// With -cache-dir, results also persist to an on-disk content-addressed
+// store (capped at -disk-entries, LRU), so a restarted daemon keeps its
+// cache: a request it answered in a previous life is a hit, not a
+// re-solve. Corrupt or truncated store files are detected by checksum
+// and quietly discarded.
+//
+// With -peers (a comma-separated list of base URLs that must include
+// -self, or the first peer if -self is unset), the daemons shard the
+// program space by consistent hashing: a request for a program owned by
+// another node is forwarded there, so each program's cache lives on
+// exactly one node. Forwarding is one hop (a forwarded request is
+// always served locally) and degrades gracefully — if the owner is
+// unreachable the request is solved locally instead.
 //
 // With -debug-addr, a second listener serves the operator-only debug
 // surface: net/http/pprof under /debug/pprof/ and the daemon's
@@ -69,6 +87,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"introspect/internal/obs"
@@ -87,6 +106,10 @@ func run() error {
 	workers := flag.Int("workers", 0, "concurrent solves, i.e. the request pool (0 = number of CPUs); distinct from each job's intra-solve workers knob")
 	queue := flag.Int("queue", 16, "admitted requests that may wait beyond those in flight")
 	cache := flag.Int("cache", 256, "result cache entries")
+	cacheDir := flag.String("cache-dir", "", "if set, persist results to this directory (durable across restarts)")
+	diskEntries := flag.Int("disk-entries", 0, "durable store entry cap (0 = default, <0 = disable)")
+	peers := flag.String("peers", "", "comma-separated base URLs of all cluster nodes (enables peer sharding)")
+	self := flag.String("self", "", "this node's base URL as it appears in -peers (default: first peer)")
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 	maxDeadline := flag.Duration("max-deadline", 5*time.Minute, "maximum per-request deadline")
 	budget := flag.Int64("budget", 0, "default per-pass work budget (0 = solver default, <0 = unlimited)")
@@ -102,16 +125,34 @@ func run() error {
 		tracer = obs.NewTracer(*traceRing)
 	}
 
-	svc := service.New(service.Config{
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	selfURL := *self
+	if selfURL == "" && len(peerList) > 0 {
+		selfURL = peerList[0]
+	}
+
+	svc, err := service.New(service.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheEntries:    *cache,
+		CacheDir:        *cacheDir,
+		DiskEntries:     *diskEntries,
+		Peers:           peerList,
+		Self:            selfURL,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		DefaultBudget:   *budget,
 		SnapshotEvery:   *snapEvery,
 		Tracer:          tracer,
 	})
+	if err != nil {
+		return err
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

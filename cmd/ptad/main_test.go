@@ -17,6 +17,7 @@ import (
 	"introspect/internal/service"
 	"introspect/internal/suite"
 	"introspect/internal/taint"
+	ptav1 "introspect/pta/v1"
 )
 
 const demo = "../../examples/ptalint/holder.mj"
@@ -24,7 +25,7 @@ const taintDemo = "../../examples/ptalint/taintdemo.mj"
 
 func newServer(t *testing.T, cfg service.Config) (*httptest.Server, *service.Service) {
 	t.Helper()
-	svc := service.New(cfg)
+	svc := service.MustNew(cfg)
 	srv := httptest.NewServer(svc.Handler())
 	t.Cleanup(srv.Close)
 	return srv, svc
@@ -190,16 +191,11 @@ func TestOverloadHTTP(t *testing.T) {
 			ok++
 		case http.StatusTooManyRequests:
 			tooMany++
-			var env struct {
-				Schema string `json:"schema"`
-				Error  struct {
-					Code string `json:"code"`
-				} `json:"error"`
-			}
+			var env ptav1.ErrorBody
 			if err := json.Unmarshal(bodies[i], &env); err != nil {
 				t.Fatalf("429 body is not a pta/v1 envelope: %v\n%s", err, bodies[i])
 			}
-			if env.Schema != "pta/v1" || env.Error.Code != "overloaded" {
+			if env.Schema != "pta/v1" || env.Code != "overloaded" {
 				t.Errorf("429 envelope = %s", bodies[i])
 			}
 		default:
@@ -224,14 +220,11 @@ func TestDeadlineHTTP(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504: %s", resp.StatusCode, body)
 	}
-	var env struct {
-		Schema string `json:"schema"`
-		Error  *service.Error
-	}
+	var env ptav1.ErrorBody
 	if err := json.Unmarshal(body, &env); err != nil {
 		t.Fatalf("504 body is not a pta/v1 envelope: %v\n%s", err, body)
 	}
-	if env.Schema != "pta/v1" || env.Error == nil || env.Error.Code != service.CodeDeadline {
+	if env.Schema != "pta/v1" || ptav1.Code(env.Code) != service.CodeDeadline || env.Error == "" {
 		t.Errorf("504 envelope = %s", body)
 	}
 	if m := svc.Metrics(); m.Timeouts == 0 {
@@ -365,7 +358,7 @@ func TestSpecsAndHealth(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/v1/specs: %d", resp.StatusCode)
 	}
-	var specs service.Specs
+	var specs ptav1.SpecsDoc
 	if err := json.Unmarshal(body, &specs); err != nil {
 		t.Fatal(err)
 	}

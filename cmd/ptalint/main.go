@@ -41,6 +41,7 @@ import (
 	"introspect/internal/checkers"
 	"introspect/internal/pta"
 	"introspect/internal/taint"
+	ptav1 "introspect/pta/v1"
 )
 
 func main() {
@@ -154,20 +155,12 @@ func splitList(s string) []string {
 	return out
 }
 
-// lintJSON is ptalint's pta/v1 document: the shared analysis.RunJSON
-// run record (identical to cmd/pta -json and cmd/ptad) with the
-// checker diagnostics appended.
-type lintJSON struct {
-	*analysis.RunJSON
-	Diagnostics []checkers.Diagnostic `json:"diagnostics"`
-}
-
 func writeJSON(out io.Writer, res *analysis.Result, diags []checkers.Diagnostic) error {
 	if diags == nil {
 		diags = []checkers.Diagnostic{}
 	}
 	enc := json.NewEncoder(out)
-	return enc.Encode(lintJSON{analysis.NewRunJSON(res), diags})
+	return enc.Encode(ptav1.LintDoc{RunJSON: analysis.NewRunJSON(res), Diagnostics: diags})
 }
 
 // writeText renders the human-readable report: a summary line, then one

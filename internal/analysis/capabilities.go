@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"introspect/internal/taint"
+)
+
+// Capabilities flags what request knobs a registered spec supports —
+// what /v1/specs advertises so clients stop discovering
+// InvalidWorkersError/InvalidTaintError by probing for 400s. The flags
+// are computed by resolving probe Jobs through the registry itself, so
+// they cannot drift from what Validate actually accepts.
+type Capabilities struct {
+	// Workers: the spec accepts Job.Workers > 1 (sharded solver).
+	Workers bool `json:"workers"`
+	// Provenance: the spec can record derivation witnesses (serial
+	// solves only; the service rejects provenance with Workers > 1).
+	Provenance bool `json:"provenance"`
+	// Taint: the spec accepts a Job.Taint specification.
+	Taint bool `json:"taint"`
+	// Introspective: the spec accepts a "-IntroA"/"-IntroB"/variant
+	// suffix. False for analyses with no contexts to refine (insens,
+	// cs).
+	Introspective bool `json:"introspective"`
+}
+
+// capabilityProbeTaint is a minimal well-formed taint spec; only its
+// validity matters.
+var capabilityProbeTaint = &taint.Spec{Sources: []string{"Src.get"}, Sinks: []string{"Snk.put"}}
+
+// SpecCapabilities computes the capability flags of one spec by
+// resolving probe Jobs. The spec itself must be registered; the flags
+// of an unresolvable spec are all false.
+func SpecCapabilities(spec string) Capabilities {
+	if (Job{Spec: spec}).Validate() != nil {
+		return Capabilities{}
+	}
+	return Capabilities{
+		Workers: (Job{Spec: spec, Workers: 2}).Validate() == nil,
+		// Provenance is a pipeline-level recorder, available wherever
+		// the spec itself resolves; the workers interaction is
+		// per-request, not per-spec.
+		Provenance:    true,
+		Taint:         (Job{Spec: spec, Taint: capabilityProbeTaint}).Validate() == nil,
+		Introspective: (Job{Spec: spec + "-IntroA"}).Validate() == nil,
+	}
+}

@@ -93,6 +93,26 @@ func (p *PromWriter) Gauge(name, help string, v float64) {
 	p.printf("%s %s\n", name, formatValue(v))
 }
 
+// CounterFamily starts a labeled counter metric family; emit each
+// labeled series with Series. The family writes its HELP/TYPE header
+// once, so an empty family (no series) is still a well-formed
+// exposition entry.
+func (p *PromWriter) CounterFamily(name, help string) *CounterFamily {
+	p.header(name, help, "counter")
+	return &CounterFamily{p: p, name: name}
+}
+
+// CounterFamily emits the series of one labeled counter family.
+type CounterFamily struct {
+	p    *PromWriter
+	name string
+}
+
+// Series emits one labeled counter sample.
+func (f *CounterFamily) Series(labels Labels, v float64) {
+	f.p.printf("%s%s %s\n", f.name, labels.encode(), formatValue(v))
+}
+
 // HistogramFamily starts a histogram metric family; emit each labeled
 // series with Series. The family writes its HELP/TYPE header once.
 func (p *PromWriter) HistogramFamily(name, help string) *HistogramFamily {

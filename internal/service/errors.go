@@ -1,57 +1,26 @@
 package service
 
 import (
-	"fmt"
-	"net/http"
+	ptav1 "introspect/pta/v1"
 )
 
-// Code classifies a service failure. Codes are part of the pta/v1 wire
-// contract: they appear verbatim in error envelopes and map one-to-one
-// onto HTTP status codes.
-type Code string
+// Code and Error moved to the public wire package (pta/v1) so clients
+// can consume them without importing internal packages; the aliases
+// keep the service API unchanged.
+type (
+	// Code classifies a service failure; see ptav1.Code.
+	Code = ptav1.Code
+	// Error is the service's typed failure; see ptav1.Error.
+	Error = ptav1.Error
+)
 
 const (
-	// CodeBadRequest: the request cannot resolve to an analysis —
-	// malformed JSON, an unknown spec or variant, a source that does not
-	// parse, an oversized body.
-	CodeBadRequest Code = "bad_request"
-	// CodeOverloaded: the admission controller rejected the request
-	// because every worker was busy and the queue was full. The request
-	// did no work; retrying later is safe and expected.
-	CodeOverloaded Code = "overloaded"
-	// CodeDeadline: the request's deadline expired — while queued,
-	// while deduplicated behind an identical in-flight solve, or while
-	// its own solve was running.
-	CodeDeadline Code = "deadline"
-	// CodeInternal: the pipeline failed in a way the service cannot
-	// attribute to the request.
-	CodeInternal Code = "internal"
+	CodeBadRequest = ptav1.CodeBadRequest
+	CodeOverloaded = ptav1.CodeOverloaded
+	CodeDeadline   = ptav1.CodeDeadline
+	CodeInternal   = ptav1.CodeInternal
 )
 
-// Error is the service's typed failure: a machine-readable Code plus a
-// human-readable message. It is both the Go error the Service returns
-// and (inside an envelope) the JSON body cmd/ptad writes.
-type Error struct {
-	Code    Code   `json:"code"`
-	Message string `json:"message"`
-}
-
-func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
-
-// HTTPStatus maps the code onto its HTTP status.
-func (e *Error) HTTPStatus() int {
-	switch e.Code {
-	case CodeBadRequest:
-		return http.StatusBadRequest // 400
-	case CodeOverloaded:
-		return http.StatusTooManyRequests // 429
-	case CodeDeadline:
-		return http.StatusGatewayTimeout // 504
-	default:
-		return http.StatusInternalServerError // 500
-	}
-}
-
 func errf(code Code, format string, args ...any) *Error {
-	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+	return ptav1.Errorf(code, format, args...)
 }

@@ -7,6 +7,7 @@ import (
 
 	"introspect/internal/analysis"
 	"introspect/internal/pta"
+	ptav1 "introspect/pta/v1"
 )
 
 // flightMeta is the live-progress record of one admitted solve: what
@@ -88,29 +89,10 @@ func (s *Service) deregisterFlight(fl *flightMeta) {
 	s.mu.Unlock()
 }
 
-// FlightInfo is one in-flight request as reported by GET /v1/flights:
-// identity, age, current stage, and the latest sampled solver
-// snapshot. A request whose snapshot fields are zero has not yet
-// reached its first sampling interval (or is still queued/parsing).
-type FlightInfo struct {
-	ID         uint64 `json:"id"`
-	Program    string `json:"program"`
-	Spec       string `json:"spec"`
-	Provenance bool   `json:"provenance,omitempty"`
-	// AgeMS is milliseconds since the solve was admitted (queue time
-	// included).
-	AgeMS int64 `json:"age_ms"`
-	// Stage is the request's current position: "queued", "parse", or a
-	// pipeline stage name ("pre-pass", "main-pass", ...).
-	Stage string `json:"stage"`
-	// Snapshot is the latest sampled solver state, if any arrived;
-	// SnapshotAgeMS says how stale it is. A long-running flight whose
-	// snapshot age keeps growing is stuck outside the solver; one
-	// whose work grows without the stage advancing is the paper's
-	// context explosion, live.
-	Snapshot      *pta.Snapshot `json:"snapshot,omitempty"`
-	SnapshotAgeMS int64         `json:"snapshot_age_ms,omitempty"`
-}
+// FlightInfo is one in-flight request as reported by GET /v1/flights.
+// The wire shape lives in the public pta/v1 package with the rest of
+// the API types.
+type FlightInfo = ptav1.FlightInfo
 
 // Flights reports the currently admitted solves, oldest first. Fast
 // and lock-light: callers may poll it at heartbeat frequency.

@@ -44,7 +44,7 @@ func getFlights(t *testing.T, base string) flightsDoc {
 // again once it finishes.
 func TestFlightsVisibleDuringSolve(t *testing.T) {
 	tracer := obs.NewTracer(1 << 12)
-	svc := service.New(service.Config{
+	svc := service.MustNew(service.Config{
 		Workers:       1,
 		SnapshotEvery: 1 << 20, // ~400 snapshots over jython-2objH's ~439M work units
 		Tracer:        tracer,
@@ -134,7 +134,7 @@ poll:
 // JSON by default and switches to the Prometheus text exposition when
 // asked via ?format=prometheus or an Accept header.
 func TestMetricsContentNegotiation(t *testing.T) {
-	svc := service.New(service.Config{Workers: 1})
+	svc := service.MustNew(service.Config{Workers: 1})
 	srv := httptest.NewServer(svc.Handler())
 	defer srv.Close()
 

@@ -4,44 +4,45 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
-	"strconv"
 	"strings"
 
-	"introspect/internal/analysis"
+	ptav1 "introspect/pta/v1"
 )
-
-// errorEnvelope is the pta/v1 error body: same schema marker as
-// success responses so clients can switch on one field.
-type errorEnvelope struct {
-	Schema string `json:"schema"`
-	Error  *Error `json:"error"`
-}
 
 // Handler returns the service's HTTP API:
 //
 //	POST /v1/analyze   run (or serve from cache) one analysis
-//	GET  /v1/specs     list analyses and introspective variants
+//	GET  /v1/analyze   same, streaming by default (?source=... carries the program)
+//	POST /v1/batch     run many jobs over one program
+//	GET  /v1/specs     list analyses, capability flags, and variants
 //	GET  /v1/flights   in-flight requests with live solver snapshots
 //	GET  /healthz      liveness
 //	GET  /metrics      cache/queue/latency counters (JSON or Prometheus)
+//
+// Every response body is a versioned pta/v1 document (see
+// introspect/pta/v1); every error, on every endpoint, is the one
+// ptav1.ErrorBody envelope.
 //
 // GET /metrics defaults to the JSON snapshot; it serves the Prometheus
 // text exposition instead when the client asks for it — ?format=prometheus,
 // or an Accept header naming text/plain or application/openmetrics-text
 // (what Prometheus scrapers send).
 //
-// POST /v1/analyze accepts either a JSON Request (Content-Type
-// application/json) or — for curl-friendliness — a raw source body
-// with the job in query parameters:
+// /v1/analyze accepts a JSON AnalyzeRequest (Content-Type
+// application/json), a raw source body with the job in query
+// parameters, or a GET with ?source= — one decode path for all three
+// (ptav1.DecodeAnalyze documents the parameters). With ?stream=1 (or
+// "stream":true in the body; the default on GET) the response is a
+// chunked NDJSON event stream; see streamAnalyze.
 //
-//	curl --data-binary @prog.mj 'host/v1/analyze?spec=2objH-IntroA&budget=-1'
-//
-// Query parameters: lang (mj|ir, default mj), name, spec (default
-// 2objH), budget, deadline_ms, provenance (true|false), workers
-// (intra-solve shard goroutines per pass, 0..pta.MaxWorkers).
+// When the service is configured with Peers, requests for programs
+// owned by another node are forwarded there (one hop; see peers.go)
+// so the fleet's caches partition by program.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/specs", func(w http.ResponseWriter, r *http.Request) {
 		writeBody(w, http.StatusOK, SpecList())
 	})
@@ -49,9 +50,9 @@ func (s *Service) Handler() http.Handler {
 		writeBody(w, http.StatusOK, map[string]bool{"ok": true})
 	})
 	mux.HandleFunc("GET /v1/flights", func(w http.ResponseWriter, r *http.Request) {
-		writeBody(w, http.StatusOK, map[string]any{
-			"schema":  analysis.SchemaV1,
-			"flights": s.Flights(),
+		writeBody(w, http.StatusOK, ptav1.FlightsDoc{
+			Schema:  ptav1.Schema,
+			Flights: s.Flights(),
 		})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -79,11 +80,20 @@ func wantsPrometheus(r *http.Request) bool {
 }
 
 func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	req, serr := s.decodeAnalyze(r)
+	req, serr := ptav1.DecodeAnalyze(r, s.maxBody())
 	if serr != nil {
 		s.metrics.add(&s.metrics.requests)
 		s.metrics.add(&s.metrics.rejectedInvalid)
 		writeError(w, serr)
+		return
+	}
+	if peer, ok := s.routePeer(r, req.Lang, req.Name, req.Source); ok {
+		if s.forwardJSON(w, r, peer, "/v1/analyze", req) {
+			return
+		}
+	}
+	if req.Stream {
+		s.streamAnalyze(w, r, req)
 		return
 	}
 	resp, serr := s.Analyze(r.Context(), req)
@@ -94,58 +104,33 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	writeBody(w, http.StatusOK, resp)
 }
 
-// decodeAnalyze supports the two request forms. The body read is
-// capped a little above MaxSourceBytes so an oversized source gets the
-// limit-naming CodeBadRequest from validate, not a truncated parse.
-func (s *Service) decodeAnalyze(r *http.Request) (Request, *Error) {
-	var req Request
-	body := io.LimitReader(r.Body, int64(s.cfg.MaxSourceBytes)*2+4096)
-	ct := r.Header.Get("Content-Type")
-	if i := strings.IndexByte(ct, ';'); i >= 0 {
-		ct = ct[:i]
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, s.maxBody()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.add(&s.metrics.rejectedInvalid)
+		writeError(w, errf(CodeBadRequest, "decoding batch: %v", err))
+		return
 	}
-	if strings.TrimSpace(ct) == "application/json" {
-		dec := json.NewDecoder(body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			return req, errf(CodeBadRequest, "decoding request: %v", err)
+	if peer, ok := s.routePeer(r, req.Lang, req.Name, req.Source); ok {
+		if s.forwardJSON(w, r, peer, "/v1/batch", req) {
+			return
 		}
-		return req, nil
 	}
+	resp, serr := s.Batch(r.Context(), req)
+	if serr != nil {
+		writeError(w, serr)
+		return
+	}
+	writeBody(w, http.StatusOK, resp)
+}
 
-	src, err := io.ReadAll(body)
-	if err != nil {
-		return req, errf(CodeBadRequest, "reading body: %v", err)
-	}
-	q := r.URL.Query()
-	req.Source = string(src)
-	req.Lang = q.Get("lang")
-	req.Name = q.Get("name")
-	req.Job = analysis.Job{Spec: q.Get("spec")}
-	if req.Job.Spec == "" {
-		req.Job.Spec = "2objH"
-	}
-	if v := q.Get("budget"); v != "" {
-		if req.Budget, err = strconv.ParseInt(v, 10, 64); err != nil {
-			return req, errf(CodeBadRequest, "budget: %v", err)
-		}
-	}
-	if v := q.Get("deadline_ms"); v != "" {
-		if req.DeadlineMS, err = strconv.ParseInt(v, 10, 64); err != nil {
-			return req, errf(CodeBadRequest, "deadline_ms: %v", err)
-		}
-	}
-	if v := q.Get("provenance"); v != "" {
-		if req.Provenance, err = strconv.ParseBool(v); err != nil {
-			return req, errf(CodeBadRequest, "provenance: %v", err)
-		}
-	}
-	if v := q.Get("workers"); v != "" {
-		if req.Job.Workers, err = strconv.Atoi(v); err != nil {
-			return req, errf(CodeBadRequest, "workers: %v", err)
-		}
-	}
-	return req, nil
+// maxBody caps request body reads a little above MaxSourceBytes so an
+// oversized source gets the limit-naming CodeBadRequest from validate,
+// not a truncated parse.
+func (s *Service) maxBody() int64 {
+	return int64(s.cfg.MaxSourceBytes)*2 + 4096
 }
 
 func writeBody(w http.ResponseWriter, status int, body any) {
@@ -156,5 +141,5 @@ func writeBody(w http.ResponseWriter, status int, body any) {
 }
 
 func writeError(w http.ResponseWriter, serr *Error) {
-	writeBody(w, serr.HTTPStatus(), errorEnvelope{Schema: analysis.SchemaV1, Error: serr})
+	writeBody(w, serr.HTTPStatus(), ptav1.NewErrorBody(serr))
 }

@@ -49,6 +49,18 @@ type Metrics struct {
 	timeouts        uint64 // deadline expiries (504)
 	internalErrs    uint64
 
+	diskHits    uint64 // cache hits served from the durable store
+	diskWrites  uint64 // results spilled to the durable store
+	diskCorrupt uint64 // store files rejected by verify-on-read
+
+	batches   uint64 // POST /v1/batch requests
+	batchJobs uint64 // jobs submitted through batches
+	streams   uint64 // streaming analyze responses
+
+	peerForwarded map[string]uint64 // peer → requests forwarded to it
+	peerErrors    map[string]uint64 // peer → failed forward attempts
+	peerFallbacks uint64            // forwards that fell back to a local solve
+
 	inFlight int // solves currently holding a worker slot
 	queued   int // admitted requests waiting for a worker slot
 
@@ -56,7 +68,18 @@ type Metrics struct {
 }
 
 func newMetrics() *Metrics {
-	return &Metrics{stageLatency: make(map[string]*histogram)}
+	return &Metrics{
+		stageLatency:  make(map[string]*histogram),
+		peerForwarded: make(map[string]uint64),
+		peerErrors:    make(map[string]uint64),
+	}
+}
+
+// addPeer bumps one per-peer counter map under the lock.
+func (m *Metrics) addPeer(counts map[string]uint64, peer string) {
+	m.mu.Lock()
+	counts[peer]++
+	m.mu.Unlock()
 }
 
 func (m *Metrics) observeStage(stage string, wall time.Duration) {
@@ -93,9 +116,23 @@ type MetricsSnapshot struct {
 		Misses uint64 `json:"misses"`
 		Dedup  uint64 `json:"dedup"`
 	} `json:"cache"`
+	Disk struct {
+		Hits    uint64 `json:"hits"`
+		Writes  uint64 `json:"writes"`
+		Corrupt uint64 `json:"corrupt"`
+		Entries int    `json:"entries"`
+	} `json:"disk"`
 	Solves        uint64 `json:"solves"`
 	PrePassShared uint64 `json:"pre_pass_shared"`
-	Rejected      struct {
+	Batches       uint64 `json:"batches"`
+	BatchJobs     uint64 `json:"batch_jobs"`
+	Streams       uint64 `json:"streams"`
+	Peers         struct {
+		Forwarded map[string]uint64 `json:"forwarded,omitempty"`
+		Errors    map[string]uint64 `json:"errors,omitempty"`
+		Fallbacks uint64            `json:"fallbacks"`
+	} `json:"peers"`
+	Rejected struct {
 		Invalid  uint64 `json:"invalid"`
 		Overload uint64 `json:"overload"`
 	} `json:"rejected"`
@@ -110,9 +147,9 @@ type MetricsSnapshot struct {
 	StageLatencyMS map[string]histJSON `json:"stage_latency_ms"`
 }
 
-// snapshot copies the metrics under the lock. workers/capacity are
-// configuration, passed in by the owning Service.
-func (m *Metrics) snapshot(workers, capacity int) MetricsSnapshot {
+// snapshot copies the metrics under the lock. workers/capacity and the
+// disk entry count are owned elsewhere, passed in by the Service.
+func (m *Metrics) snapshot(workers, capacity, diskEntries int) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var s MetricsSnapshot
@@ -120,8 +157,22 @@ func (m *Metrics) snapshot(workers, capacity int) MetricsSnapshot {
 	s.Cache.Hits = m.cacheHits
 	s.Cache.Misses = m.cacheMisses
 	s.Cache.Dedup = m.dedups
+	s.Disk.Hits = m.diskHits
+	s.Disk.Writes = m.diskWrites
+	s.Disk.Corrupt = m.diskCorrupt
+	s.Disk.Entries = diskEntries
 	s.Solves = m.solves
 	s.PrePassShared = m.prePassShared
+	s.Batches = m.batches
+	s.BatchJobs = m.batchJobs
+	s.Streams = m.streams
+	if len(m.peerForwarded) > 0 {
+		s.Peers.Forwarded = copyCounts(m.peerForwarded)
+	}
+	if len(m.peerErrors) > 0 {
+		s.Peers.Errors = copyCounts(m.peerErrors)
+	}
+	s.Peers.Fallbacks = m.peerFallbacks
 	s.Rejected.Invalid = m.rejectedInvalid
 	s.Rejected.Overload = m.rejectedLoad
 	s.Timeouts = m.timeouts
@@ -150,4 +201,12 @@ func (m *Metrics) snapshot(workers, capacity int) MetricsSnapshot {
 func leLabel(bound float64) string {
 	b, _ := json.Marshal(bound)
 	return "le_" + string(b)
+}
+
+func copyCounts(m map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }

@@ -17,10 +17,10 @@ import (
 // (dashboards and alerts reference them); the exposition golden test
 // pins them. Add new metrics freely, rename existing ones never.
 func (s *Service) WritePrometheus(w io.Writer) error {
-	return s.metrics.writePrometheus(w, s.cfg.Workers, s.cfg.Workers+s.cfg.QueueDepth)
+	return s.metrics.writePrometheus(w, s.cfg.Workers, s.cfg.Workers+s.cfg.QueueDepth, s.store.len())
 }
 
-func (m *Metrics) writePrometheus(w io.Writer, workers, capacity int) error {
+func (m *Metrics) writePrometheus(w io.Writer, workers, capacity, diskEntries int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	p := obs.NewPromWriter(w)
@@ -35,11 +35,28 @@ func (m *Metrics) writePrometheus(w io.Writer, workers, capacity int) error {
 	p.Counter("ptad_rejected_overload_total", "Requests shed by admission control (HTTP 429).", float64(m.rejectedLoad))
 	p.Counter("ptad_timeouts_total", "Requests whose deadline expired (HTTP 504).", float64(m.timeouts))
 	p.Counter("ptad_internal_errors_total", "Requests failed by internal errors (HTTP 500).", float64(m.internalErrs))
+	p.Counter("ptad_disk_hits_total", "Cache hits served from the durable result store.", float64(m.diskHits))
+	p.Counter("ptad_disk_writes_total", "Results spilled to the durable result store.", float64(m.diskWrites))
+	p.Counter("ptad_disk_corrupt_total", "Durable store files rejected by verify-on-read.", float64(m.diskCorrupt))
+	p.Counter("ptad_batches_total", "Batch requests received.", float64(m.batches))
+	p.Counter("ptad_batch_jobs_total", "Jobs submitted through batch requests.", float64(m.batchJobs))
+	p.Counter("ptad_streams_total", "Streaming analyze responses served.", float64(m.streams))
+	p.Counter("ptad_peer_fallbacks_total", "Peer forwards that fell back to a local solve.", float64(m.peerFallbacks))
+
+	fwd := p.CounterFamily("ptad_peer_forwarded_total", "Requests forwarded to each peer.")
+	for _, peer := range sortedKeys(m.peerForwarded) {
+		fwd.Series(obs.Labels{"peer": peer}, float64(m.peerForwarded[peer]))
+	}
+	perr := p.CounterFamily("ptad_peer_errors_total", "Failed forward attempts per peer.")
+	for _, peer := range sortedKeys(m.peerErrors) {
+		perr.Series(obs.Labels{"peer": peer}, float64(m.peerErrors[peer]))
+	}
 
 	p.Gauge("ptad_in_flight", "Solves currently holding a worker slot.", float64(m.inFlight))
 	p.Gauge("ptad_queued", "Admitted requests waiting for a worker slot.", float64(m.queued))
 	p.Gauge("ptad_workers", "Configured worker-pool size.", float64(workers))
 	p.Gauge("ptad_capacity", "Admission capacity (workers + queue depth).", float64(capacity))
+	p.Gauge("ptad_disk_entries", "Entries in the durable result store.", float64(diskEntries))
 
 	stages := make([]string, 0, len(m.stageLatency))
 	for stage := range m.stageLatency {
@@ -52,4 +69,13 @@ func (m *Metrics) writePrometheus(w io.Writer, workers, capacity int) error {
 		h.Series(obs.Labels{"stage": stage}, histBoundsMS, hist.Counts, hist.Sum, hist.N)
 	}
 	return p.Err()
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -22,6 +22,15 @@ func TestPrometheusExpositionGolden(t *testing.T) {
 	m.rejectedInvalid = 1
 	m.rejectedLoad = 2
 	m.timeouts = 1
+	m.diskHits = 1
+	m.diskWrites = 3
+	m.batches = 1
+	m.batchJobs = 9
+	m.streams = 2
+	m.peerForwarded["http://node-a:8372"] = 2
+	m.peerForwarded["http://node-b:8372"] = 5
+	m.peerErrors["http://node-b:8372"] = 1
+	m.peerFallbacks = 1
 	m.inFlight = 1
 	m.queued = 2
 	// Deterministic bucket placement: 7ms → le=10, 40ms → le=50,
@@ -31,7 +40,7 @@ func TestPrometheusExpositionGolden(t *testing.T) {
 	m.observeStage("pre-pass", 500*time.Microsecond)
 
 	var sb strings.Builder
-	if err := m.writePrometheus(&sb, 4, 20); err != nil {
+	if err := m.writePrometheus(&sb, 4, 20, 12); err != nil {
 		t.Fatal(err)
 	}
 	if got := sb.String(); got != promGolden {
@@ -69,6 +78,34 @@ ptad_timeouts_total 1
 # HELP ptad_internal_errors_total Requests failed by internal errors (HTTP 500).
 # TYPE ptad_internal_errors_total counter
 ptad_internal_errors_total 0
+# HELP ptad_disk_hits_total Cache hits served from the durable result store.
+# TYPE ptad_disk_hits_total counter
+ptad_disk_hits_total 1
+# HELP ptad_disk_writes_total Results spilled to the durable result store.
+# TYPE ptad_disk_writes_total counter
+ptad_disk_writes_total 3
+# HELP ptad_disk_corrupt_total Durable store files rejected by verify-on-read.
+# TYPE ptad_disk_corrupt_total counter
+ptad_disk_corrupt_total 0
+# HELP ptad_batches_total Batch requests received.
+# TYPE ptad_batches_total counter
+ptad_batches_total 1
+# HELP ptad_batch_jobs_total Jobs submitted through batch requests.
+# TYPE ptad_batch_jobs_total counter
+ptad_batch_jobs_total 9
+# HELP ptad_streams_total Streaming analyze responses served.
+# TYPE ptad_streams_total counter
+ptad_streams_total 2
+# HELP ptad_peer_fallbacks_total Peer forwards that fell back to a local solve.
+# TYPE ptad_peer_fallbacks_total counter
+ptad_peer_fallbacks_total 1
+# HELP ptad_peer_forwarded_total Requests forwarded to each peer.
+# TYPE ptad_peer_forwarded_total counter
+ptad_peer_forwarded_total{peer="http://node-a:8372"} 2
+ptad_peer_forwarded_total{peer="http://node-b:8372"} 5
+# HELP ptad_peer_errors_total Failed forward attempts per peer.
+# TYPE ptad_peer_errors_total counter
+ptad_peer_errors_total{peer="http://node-b:8372"} 1
 # HELP ptad_in_flight Solves currently holding a worker slot.
 # TYPE ptad_in_flight gauge
 ptad_in_flight 1
@@ -81,6 +118,9 @@ ptad_workers 4
 # HELP ptad_capacity Admission capacity (workers + queue depth).
 # TYPE ptad_capacity gauge
 ptad_capacity 20
+# HELP ptad_disk_entries Entries in the durable result store.
+# TYPE ptad_disk_entries gauge
+ptad_disk_entries 12
 # HELP ptad_stage_latency_ms Pipeline stage wall time in milliseconds.
 # TYPE ptad_stage_latency_ms histogram
 ptad_stage_latency_ms_bucket{stage="main-pass",le="1"} 0

@@ -42,6 +42,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"runtime"
 	"strings"
 	"sync"
@@ -52,6 +53,7 @@ import (
 	"introspect/internal/lang"
 	"introspect/internal/obs"
 	"introspect/internal/pta"
+	ptav1 "introspect/pta/v1"
 )
 
 // Config sizes the service. The zero value is usable: every field has
@@ -87,6 +89,25 @@ type Config struct {
 	// obs.NewTracer) — cmd/ptad exposes the retained window at its
 	// debug listener's /debug/trace.
 	Tracer *obs.Tracer
+	// CacheDir, if non-empty, backs the result cache with a durable
+	// on-disk store rooted there: results spill to content-addressed
+	// JSON files (atomic writes, verified reads), and New rebuilds the
+	// index from the directory, so a restarted daemon keeps its hits.
+	CacheDir string
+	// DiskEntries caps the on-disk store. 0 means DefaultDiskEntries;
+	// negative disables the store even with CacheDir set.
+	DiskEntries int
+	// Peers is the fleet's static membership as absolute base URLs
+	// ("http://10.0.0.1:8372"). When set, programs are routed across
+	// the fleet by consistent hashing of their content key: a request
+	// arriving at a non-owner node is forwarded to the owner (once —
+	// see ForwardHeader), so every node's cache and single-flight
+	// table sees all traffic for its share of the keyspace. Empty
+	// means single-node.
+	Peers []string
+	// Self is this node's own entry in Peers, byte-identical to how
+	// the other nodes list it. Required when Peers is set.
+	Self string
 }
 
 // DefaultSnapshotEvery is the service's default solver-snapshot
@@ -127,32 +148,19 @@ func (c Config) withDefaults() Config {
 	} else if c.SnapshotEvery < 0 {
 		c.SnapshotEvery = 0 // solver default
 	}
+	if c.DiskEntries == 0 {
+		c.DiskEntries = DefaultDiskEntries
+	} else if c.DiskEntries < 0 {
+		c.DiskEntries = 0
+	}
 	return c
 }
 
-// Request is the wire shape of one analysis request — what cmd/ptad's
-// POST /v1/analyze decodes. Everything in it is plain data; the
-// program travels as source text.
-type Request struct {
-	// Lang is the source language: "mj" (Mini-Java) or "ir" (the
-	// textual IR). Empty means "mj".
-	Lang string `json:"lang,omitempty"`
-	// Name labels the program in responses; defaults to "program".
-	Name string `json:"name,omitempty"`
-	// Source is the program text.
-	Source string `json:"source"`
-	// Job names the analysis and its knobs (see analysis.Job).
-	Job analysis.Job `json:"job"`
-	// Budget is the per-pass work budget: 0 means the service default,
-	// negative means unlimited (the deadline still applies).
-	Budget int64 `json:"budget,omitempty"`
-	// DeadlineMS bounds the request's total time in milliseconds,
-	// queueing included: 0 means the service default; values above the
-	// service maximum are clamped.
-	DeadlineMS int64 `json:"deadline_ms,omitempty"`
-	// Provenance enables derivation-witness recording (slower).
-	Provenance bool `json:"provenance,omitempty"`
-}
+// Request is the wire shape of one analysis request — the public
+// ptav1.AnalyzeRequest, aliased so in-process callers keep their
+// spelling. Everything in it is plain data; the program travels as
+// source text.
+type Request = ptav1.AnalyzeRequest
 
 // Service is the long-running analysis daemon's engine.
 type Service struct {
@@ -161,6 +169,11 @@ type Service struct {
 
 	progs   *progCache
 	results *lruCache
+	store   *diskStore // durable tier, nil without Config.CacheDir
+
+	// Peer routing (nil/unused without Config.Peers; see peers.go).
+	ring       *peerRing
+	peerClient *http.Client
 
 	mu      sync.Mutex
 	flights map[string]*flight
@@ -182,10 +195,12 @@ type flight struct {
 }
 
 // New builds a Service. The returned service has no background
-// goroutines of its own; it is garbage-collected when dropped.
-func New(cfg Config) *Service {
+// goroutines of its own; it is garbage-collected when dropped. New
+// fails only on configuration errors: an unusable CacheDir or an
+// inconsistent Peers/Self pair.
+func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:     cfg,
 		metrics: newMetrics(),
 		progs:   newProgCache(),
@@ -193,6 +208,34 @@ func New(cfg Config) *Service {
 		flights: make(map[string]*flight),
 		slots:   make(chan struct{}, cfg.Workers),
 	}
+	if cfg.CacheDir != "" && cfg.DiskEntries > 0 {
+		store, err := openDiskStore(cfg.CacheDir, cfg.DiskEntries)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+	}
+	if len(cfg.Peers) > 0 {
+		ring, err := newPeerRing(cfg.Self, cfg.Peers)
+		if err != nil {
+			return nil, err
+		}
+		s.ring = ring
+		// No client timeout: the forwarded request's own context
+		// carries the deadline.
+		s.peerClient = &http.Client{}
+	}
+	return s, nil
+}
+
+// MustNew is New for configurations known valid at compile time
+// (tests, examples); it panics on error.
+func MustNew(cfg Config) *Service {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // Config returns the resolved configuration (defaults applied).
@@ -200,24 +243,27 @@ func (s *Service) Config() Config { return s.cfg }
 
 // Metrics returns the service's metrics snapshot.
 func (s *Service) Metrics() MetricsSnapshot {
-	return s.metrics.snapshot(s.cfg.Workers, s.cfg.Workers+s.cfg.QueueDepth)
+	return s.metrics.snapshot(s.cfg.Workers, s.cfg.Workers+s.cfg.QueueDepth, s.store.len())
 }
 
-// Specs describes what the service can run: the deep-analysis spec
-// grammar by example plus the registered introspective variants.
-type Specs struct {
-	Specs    []string `json:"specs"`
-	Variants []string `json:"variants"`
-}
-
-// SpecList returns the /v1/specs document. Both lists come from the
-// analysis registry (the single source of truth for spec names) and
-// are sorted, so the document is stable across runs and cannot drift
-// from what NewPipeline actually resolves.
-func SpecList() Specs {
-	return Specs{
-		Specs:    analysis.RegisteredSpecs(),
-		Variants: analysis.Variants(),
+// SpecList returns the /v1/specs document. The spec and variant lists
+// come from the analysis registry (the single source of truth for
+// spec names) and are sorted, so the document is stable across runs
+// and cannot drift from what NewPipeline actually resolves; each
+// spec's capability flags are computed by the registry itself
+// (analysis.SpecCapabilities), so they cannot drift from what
+// validation accepts.
+func SpecList() ptav1.SpecsDoc {
+	names := analysis.RegisteredSpecs()
+	specs := make([]ptav1.SpecInfo, len(names))
+	for i, n := range names {
+		specs[i] = ptav1.SpecInfo{Name: n, Capabilities: analysis.SpecCapabilities(n)}
+	}
+	return ptav1.SpecsDoc{
+		Schema:     ptav1.Schema,
+		MaxWorkers: pta.MaxWorkers,
+		Specs:      specs,
+		Variants:   analysis.Variants(),
 	}
 }
 
@@ -227,6 +273,15 @@ func SpecList() Specs {
 // request solved), or "dedup" (an identical concurrent request
 // solved). The error, when non-nil, is always a *Error.
 func (s *Service) Analyze(ctx context.Context, req Request) (*analysis.RunJSON, *Error) {
+	return s.analyze(ctx, req, nil)
+}
+
+// analyze is Analyze with an optional extra per-request observer:
+// when this request ends up owning the solve, extra receives the
+// pipeline callbacks (streaming uses this to feed events). Cache hits
+// and deduplicated waits produce no callbacks — there is no solve to
+// observe.
+func (s *Service) analyze(ctx context.Context, req Request, extra analysis.Observer) (*analysis.RunJSON, *Error) {
 	s.metrics.add(&s.metrics.requests)
 
 	req, serr := s.validate(req)
@@ -262,6 +317,17 @@ func (s *Service) Analyze(ctx context.Context, req Request) (*analysis.RunJSON, 
 			s.metrics.add(&s.metrics.cacheHits)
 			return withCache(resp, "hit"), nil
 		}
+		// Durable tier: a result spilled to disk — by this process or a
+		// previous incarnation sharing the cache dir — is a hit too.
+		// Promote it to the memory LRU so repeats skip the file read.
+		if doc, corrupt := s.store.get(key); doc != nil {
+			s.metrics.add(&s.metrics.cacheHits)
+			s.metrics.add(&s.metrics.diskHits)
+			s.results.put(key, doc)
+			return withCache(doc, "hit"), nil
+		} else if corrupt {
+			s.metrics.add(&s.metrics.diskCorrupt)
+		}
 
 		s.mu.Lock()
 		f, owner := s.flights[key], false
@@ -293,7 +359,7 @@ func (s *Service) Analyze(ctx context.Context, req Request) (*analysis.RunJSON, 
 			s.metrics.mu.Unlock()
 			go func() {
 				defer cancel()
-				f.resp, f.err = s.solve(solveCtx, req, pk, key)
+				f.resp, f.err = s.solve(solveCtx, req, pk, key, extra)
 				s.mu.Lock()
 				delete(s.flights, key)
 				s.pending--
@@ -334,8 +400,9 @@ func (s *Service) Analyze(ctx context.Context, req Request) (*analysis.RunJSON, 
 }
 
 // solve acquires a worker slot, loads the (cached) program, runs the
-// pipeline, and stores a cacheable outcome.
-func (s *Service) solve(ctx context.Context, req Request, pk, key string) (*analysis.RunJSON, *Error) {
+// pipeline, and stores a cacheable outcome. extra, when non-nil, is
+// composed into the solve's observer chain (streaming).
+func (s *Service) solve(ctx context.Context, req Request, pk, key string, extra analysis.Observer) (*analysis.RunJSON, *Error) {
 	fl := s.registerFlight(req)
 	defer s.deregisterFlight(fl)
 
@@ -372,6 +439,9 @@ func (s *Service) solve(ctx context.Context, req Request, pk, key string) (*anal
 	if s.cfg.Tracer != nil {
 		track := s.cfg.Tracer.NewTrack(fmt.Sprintf("#%d %s %s", fl.id, req.Name, req.Job.Spec))
 		observer = analysis.Observers(observer, analysis.TrackObserver(track))
+	}
+	if extra != nil {
+		observer = analysis.Observers(observer, extra)
 	}
 
 	areq := analysis.Request{
@@ -435,6 +505,16 @@ func (s *Service) solve(ctx context.Context, req Request, pk, key string) (*anal
 
 	resp := analysis.NewRunJSON(res)
 	s.results.put(key, resp)
+	// Spill to the durable tier. Deadline expiries never reach here
+	// (returned above), so everything stored is a deterministic
+	// function of its key — safe to serve across restarts, or from a
+	// shared directory. A failed spill costs durability, not
+	// correctness; the memory cache already has the entry.
+	if s.store != nil {
+		if err := s.store.put(key, resp); err == nil {
+			s.metrics.add(&s.metrics.diskWrites)
+		}
+	}
 	return resp, nil
 }
 

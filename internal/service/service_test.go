@@ -56,7 +56,7 @@ func holderMJ(t *testing.T) string {
 // indistinguishable (modulo wall time and the cache label) from the
 // cold solve that produced it — and the label sequence is miss, hit.
 func TestCacheHitEqualsColdSolve(t *testing.T) {
-	svc := service.New(service.Config{Workers: 2})
+	svc := service.MustNew(service.Config{Workers: 2})
 	for seed := int64(1); seed <= 3; seed++ {
 		src := irText(t, randprog.Generate(seed, randprog.Default()))
 		for _, spec := range []string{"insens", "2objH", "2objH-IntroA"} {
@@ -91,7 +91,7 @@ func TestCacheHitEqualsColdSolve(t *testing.T) {
 // checks exactly one solve happened; run under -race this also
 // exercises the flight/cache locking.
 func TestSingleFlightHammer(t *testing.T) {
-	svc := service.New(service.Config{Workers: 2, QueueDepth: 64})
+	svc := service.MustNew(service.Config{Workers: 2, QueueDepth: 64})
 	src := irText(t, randprog.Generate(4, randprog.Default()))
 	req := service.Request{Lang: "ir", Source: src, Job: analysis.Job{Spec: "2objH-IntroA"}, Budget: -1}
 
@@ -144,12 +144,12 @@ func TestPrePassSharing(t *testing.T) {
 	intro := service.Request{Source: src, Job: analysis.Job{Spec: "2objH-IntroA"}, Budget: -1}
 
 	// Cold reference: the introspective run with no sharing possible.
-	ref, serr := service.New(service.Config{Workers: 1}).Analyze(context.Background(), intro)
+	ref, serr := service.MustNew(service.Config{Workers: 1}).Analyze(context.Background(), intro)
 	if serr != nil {
 		t.Fatal(serr)
 	}
 
-	svc := service.New(service.Config{Workers: 1})
+	svc := service.MustNew(service.Config{Workers: 1})
 	if _, serr := svc.Analyze(context.Background(), insens); serr != nil {
 		t.Fatal(serr)
 	}
@@ -172,7 +172,7 @@ func TestPrePassSharing(t *testing.T) {
 // out-of-budget outcome is cached like a success: the response has
 // complete=false, and a repeat is a hit with identical counters.
 func TestBudgetExhaustedIsCacheable(t *testing.T) {
-	svc := service.New(service.Config{Workers: 1})
+	svc := service.MustNew(service.Config{Workers: 1})
 	src := irText(t, randprog.Generate(6, randprog.Default()))
 	req := service.Request{Lang: "ir", Source: src, Job: analysis.Job{Spec: "2objH"}, Budget: 50}
 
@@ -197,7 +197,7 @@ func TestBudgetExhaustedIsCacheable(t *testing.T) {
 
 // TestValidation covers the bad_request surface.
 func TestValidation(t *testing.T) {
-	svc := service.New(service.Config{Workers: 1, MaxSourceBytes: 64})
+	svc := service.MustNew(service.Config{Workers: 1, MaxSourceBytes: 64})
 	for _, c := range []struct {
 		name string
 		req  service.Request
@@ -230,7 +230,7 @@ func TestValidation(t *testing.T) {
 // large benchmark (jython, ~25k instructions) so the admitted one
 // reliably still holds the worker while the rest arrive.
 func TestAdmissionOverload(t *testing.T) {
-	svc := service.New(service.Config{Workers: 1, QueueDepth: -1})
+	svc := service.MustNew(service.Config{Workers: 1, QueueDepth: -1})
 	src := irText(t, suite.MustLoad("jython"))
 
 	const n = 8
@@ -276,7 +276,7 @@ func TestAdmissionOverload(t *testing.T) {
 // solve (1ms against a ~25k-instruction benchmark) expires during the
 // run and surfaces as code deadline, uncached.
 func TestDeadline(t *testing.T) {
-	svc := service.New(service.Config{Workers: 1})
+	svc := service.MustNew(service.Config{Workers: 1})
 	src := irText(t, suite.MustLoad("jython"))
 	req := service.Request{
 		Lang: "ir", Source: src, Job: analysis.Job{Spec: "2objH"},

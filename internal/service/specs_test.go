@@ -11,6 +11,7 @@ import (
 	"introspect/internal/analysis"
 	"introspect/internal/pta"
 	"introspect/internal/service"
+	ptav1 "introspect/pta/v1"
 )
 
 // TestSpecListLockstep keeps the /v1/specs document, the analysis
@@ -18,24 +19,36 @@ import (
 // resolves to a pipeline, and actually runs end-to-end through the
 // service. A registered spec missing from the listing — or a listed
 // spec the registry cannot run — fails here.
+func specNames(doc ptav1.SpecsDoc) []string {
+	names := make([]string, len(doc.Specs))
+	for i, s := range doc.Specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
 func TestSpecListLockstep(t *testing.T) {
 	doc := service.SpecList()
-	if !sort.StringsAreSorted(doc.Specs) {
-		t.Errorf("/v1/specs specs not sorted: %v", doc.Specs)
+	names := specNames(doc)
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("/v1/specs specs not sorted: %v", names)
 	}
 	if !sort.StringsAreSorted(doc.Variants) {
 		t.Errorf("/v1/specs variants not sorted: %v", doc.Variants)
 	}
-	if !reflect.DeepEqual(doc.Specs, analysis.RegisteredSpecs()) {
-		t.Errorf("/v1/specs = %v, registry = %v", doc.Specs, analysis.RegisteredSpecs())
+	if !reflect.DeepEqual(names, analysis.RegisteredSpecs()) {
+		t.Errorf("/v1/specs = %v, registry = %v", names, analysis.RegisteredSpecs())
 	}
 	if !reflect.DeepEqual(doc.Variants, analysis.Variants()) {
 		t.Errorf("/v1/specs variants = %v, registry = %v", doc.Variants, analysis.Variants())
 	}
+	if doc.MaxWorkers != pta.MaxWorkers {
+		t.Errorf("/v1/specs max_workers = %d, want %d", doc.MaxWorkers, pta.MaxWorkers)
+	}
 
 	found := map[string]bool{}
 	for _, s := range doc.Specs {
-		found[s] = true
+		found[s.Name] = true
 	}
 	for _, want := range []string{"cs", "insens", "2objH"} {
 		if !found[want] {
@@ -43,9 +56,9 @@ func TestSpecListLockstep(t *testing.T) {
 		}
 	}
 
-	svc := service.New(service.Config{Workers: 1})
+	svc := service.MustNew(service.Config{Workers: 1})
 	src := "class Main { static void main() { Main m; m = new Main(); } }"
-	for _, spec := range doc.Specs {
+	for _, spec := range names {
 		if _, err := pta.ParseSpec(spec); err != nil {
 			t.Errorf("listed spec %q does not parse: %v", spec, err)
 			continue
@@ -64,11 +77,39 @@ func TestSpecListLockstep(t *testing.T) {
 	}
 }
 
+// TestSpecCapabilities spot-checks the per-spec capability flags: the
+// listing must say what each analysis can actually do, not a blanket
+// feature matrix. The flags are probed from Job validation, so a
+// mismatch here means the listing and the validator disagree.
+func TestSpecCapabilities(t *testing.T) {
+	caps := map[string]ptav1.Capabilities{}
+	for _, s := range service.SpecList().Specs {
+		caps[s.Name] = s.Capabilities
+	}
+	for _, c := range []struct {
+		spec string
+		want ptav1.Capabilities
+	}{
+		{"insens", ptav1.Capabilities{Workers: true, Provenance: true, Taint: true, Introspective: false}},
+		{"cs", ptav1.Capabilities{Workers: true, Provenance: true, Taint: true, Introspective: false}},
+		{"2objH", ptav1.Capabilities{Workers: true, Provenance: true, Taint: true, Introspective: true}},
+	} {
+		got, ok := caps[c.spec]
+		if !ok {
+			t.Errorf("spec %q not listed", c.spec)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("spec %q capabilities = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+}
+
 // TestSpecsEndpointDeterministic hits GET /v1/specs twice and byte-
 // compares: the listing is part of the API surface and must be stable
 // across runs (sorted, no map-order leakage).
 func TestSpecsEndpointDeterministic(t *testing.T) {
-	svc := service.New(service.Config{Workers: 1})
+	svc := service.MustNew(service.Config{Workers: 1})
 	srv := httptest.NewServer(svc.Handler())
 	defer srv.Close()
 
@@ -86,11 +127,11 @@ func TestSpecsEndpointDeterministic(t *testing.T) {
 	if a != b {
 		t.Errorf("/v1/specs not byte-stable:\n%s\nvs\n%s", a, b)
 	}
-	var doc service.Specs
+	var doc ptav1.SpecsDoc
 	if err := json.Unmarshal([]byte(a), &doc); err != nil {
 		t.Fatalf("/v1/specs body does not decode: %v\n%s", err, a)
 	}
-	if !reflect.DeepEqual(doc.Specs, analysis.RegisteredSpecs()) {
-		t.Errorf("HTTP listing %v != registry %v", doc.Specs, analysis.RegisteredSpecs())
+	if !reflect.DeepEqual(specNames(doc), analysis.RegisteredSpecs()) {
+		t.Errorf("HTTP listing %v != registry %v", specNames(doc), analysis.RegisteredSpecs())
 	}
 }

@@ -38,7 +38,7 @@ func postJSON(t *testing.T, base string, req service.Request) (int, []byte) {
 // surface: out-of-range and malformed values are 400s with a
 // bad_request envelope (never a panic), and a valid setting solves.
 func TestWorkersHTTPValidation(t *testing.T) {
-	svc := service.New(service.Config{Workers: 1})
+	svc := service.MustNew(service.Config{Workers: 1})
 	srv := httptest.NewServer(svc.Handler())
 	defer srv.Close()
 
@@ -57,12 +57,13 @@ func TestWorkersHTTPValidation(t *testing.T) {
 			t.Errorf("bad body %d: status = %d, want 400; body %s", i, status, body)
 		}
 		var env struct {
-			Error *service.Error `json:"error"`
+			Code  string `json:"code"`
+			Error string `json:"error"`
 		}
-		if err := json.Unmarshal(body, &env); err != nil || env.Error == nil {
+		if err := json.Unmarshal(body, &env); err != nil || env.Error == "" {
 			t.Errorf("bad body %d: not an error envelope: %s", i, body)
-		} else if env.Error.Code != service.CodeBadRequest {
-			t.Errorf("bad body %d: code = %q, want bad_request", i, env.Error.Code)
+		} else if env.Code != string(service.CodeBadRequest) {
+			t.Errorf("bad body %d: code = %q, want bad_request", i, env.Code)
 		}
 	}
 
@@ -111,7 +112,7 @@ func TestWorkersHTTPValidation(t *testing.T) {
 // a hit — but the two responses agree on every deterministic counter
 // except the schedule-dependent Work (scrubbed along with wall times).
 func TestWorkersCacheKey(t *testing.T) {
-	svc := service.New(service.Config{Workers: 2})
+	svc := service.MustNew(service.Config{Workers: 2})
 	src := irText(t, randprog.Generate(12, randprog.Default()))
 	serial := service.Request{Lang: "ir", Source: src, Job: analysis.Job{Spec: "2objH"}, Budget: -1}
 	par := serial
@@ -161,7 +162,7 @@ func TestWorkersPrePassSharing(t *testing.T) {
 	src := holderMJ(t)
 
 	// Serial insens in cache, parallel introspective request: no share.
-	svc := service.New(service.Config{Workers: 1})
+	svc := service.MustNew(service.Config{Workers: 1})
 	if _, serr := svc.Analyze(context.Background(), service.Request{
 		Source: src, Job: analysis.Job{Spec: "insens"}, Budget: -1,
 	}); serr != nil {
@@ -177,7 +178,7 @@ func TestWorkersPrePassSharing(t *testing.T) {
 	}
 
 	// Parallel insens in cache, parallel introspective request: share.
-	svc = service.New(service.Config{Workers: 1})
+	svc = service.MustNew(service.Config{Workers: 1})
 	if _, serr := svc.Analyze(context.Background(), service.Request{
 		Source: src, Job: analysis.Job{Spec: "insens", Workers: 2}, Budget: -1,
 	}); serr != nil {

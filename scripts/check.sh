@@ -64,3 +64,87 @@ curl -sS "$DEBUG_URL/debug/pprof/" | grep -qi 'profile'
 curl -sS "$DEBUG_URL/debug/trace" >/tmp/ptad-trace.$$.json
 go run ./scripts/tracecheck -require-snapshots=false /tmp/ptad-trace.$$.json
 rm -f /tmp/ptad-trace.$$.json
+
+# The smokes below boot additional daemons; one trap cleans up all of
+# them plus every scratch file.
+STORE_PID="" NODEA_PID="" NODEB_PID=""
+trap 'kill $PTAD_PID $STORE_PID $NODEA_PID $NODEB_PID 2>/dev/null || true; \
+      rm -rf /tmp/ptad.$$ /tmp/ptad.$$.log /tmp/ptad-store.$$ \
+             /tmp/ptad-store.$$.log /tmp/ptad-store2.$$.log \
+             /tmp/ptad-a.$$.log /tmp/ptad-b.$$.log /tmp/ptad-jython.$$.ir' EXIT
+
+# wait_url blocks until a freshly booted daemon prints its listening
+# line into the given log, then echoes the base URL.
+wait_url() {
+    _url=""
+    for _i in $(seq 1 50); do
+        _url=$(sed -n 's/^ptad: listening on //p' "$1" | head -n1)
+        [ -n "$_url" ] && break
+        sleep 0.1
+    done
+    [ -n "$_url" ]
+    echo "$_url"
+}
+
+# Batch smoke: one program, several jobs, one POST. The envelope names
+# the job count and carries a per-job result array.
+BATCH=$(curl -sS -H 'Content-Type: application/json' -d '{
+    "name": "batchsmoke",
+    "source": "class Main { static void main() { Main m; m = new Main(); } }",
+    "jobs": [{"spec": "insens"}, {"spec": "2objH"}]
+}' "$URL/v1/batch")
+echo "$BATCH" | grep -q '"schema":"pta/v1"'
+echo "$BATCH" | grep -q '"jobs":2'
+echo "$BATCH" | grep -qF '"spec":"insens"'
+echo "$BATCH" | grep -qF '"spec":"2objH"'
+
+# Streaming smoke: a benchmark-sized program with stream=1 comes back
+# as NDJSON — stage events first, one terminal result event last. (The
+# stronger ≥1-snapshot-before-terminal property is pinned by
+# TestStreamDeliversProgress, which controls snap-every.)
+go run ./scripts/suitedump jython >/tmp/ptad-jython.$$.ir
+STREAM=$(curl -sS --data-binary @/tmp/ptad-jython.$$.ir \
+    "$URL/v1/analyze?lang=ir&spec=insens&budget=-1&name=jython&stream=1")
+echo "$STREAM" | grep -q '"event":"stage"'
+echo "$STREAM" | grep -q '"event":"result"'
+echo "$STREAM" | grep -q '"complete":true'
+
+# Durable-store smoke: solve once with -cache-dir, restart on the same
+# directory, and the repeat must be a cache hit with zero solves.
+/tmp/ptad.$$ -addr 127.0.0.1:0 -cache-dir /tmp/ptad-store.$$ >/tmp/ptad-store.$$.log &
+STORE_PID=$!
+SURL=$(wait_url /tmp/ptad-store.$$.log)
+curl -sS --data-binary @examples/ptalint/holder.mj "$SURL/v1/analyze?spec=2objH" | grep -q '"cache":"miss"'
+kill $STORE_PID
+wait $STORE_PID 2>/dev/null || true
+/tmp/ptad.$$ -addr 127.0.0.1:0 -cache-dir /tmp/ptad-store.$$ >/tmp/ptad-store2.$$.log &
+STORE_PID=$!
+SURL=$(wait_url /tmp/ptad-store2.$$.log)
+curl -sS --data-binary @examples/ptalint/holder.mj "$SURL/v1/analyze?spec=2objH" | grep -q '"cache":"hit"'
+curl -sS "$SURL/metrics" | grep -q '"solves":0'
+kill $STORE_PID
+wait $STORE_PID 2>/dev/null || true
+STORE_PID=""
+
+# Two-node smoke: a static two-peer ring on fixed loopback ports.
+# Distinct program names spread across the ring, so posting everything
+# at node A must forward some requests to node B — visible in A's
+# Prometheus forwarding counter.
+PEER_A=127.0.0.1:18472
+PEER_B=127.0.0.1:18473
+PEERS="http://$PEER_A,http://$PEER_B"
+/tmp/ptad.$$ -addr $PEER_A -peers "$PEERS" -self "http://$PEER_A" >/tmp/ptad-a.$$.log &
+NODEA_PID=$!
+/tmp/ptad.$$ -addr $PEER_B -peers "$PEERS" -self "http://$PEER_B" >/tmp/ptad-b.$$.log &
+NODEB_PID=$!
+wait_url /tmp/ptad-a.$$.log >/dev/null
+wait_url /tmp/ptad-b.$$.log >/dev/null
+for i in $(seq 1 16); do
+    curl -sS --data-binary @examples/ptalint/holder.mj \
+        "http://$PEER_A/v1/analyze?spec=insens&name=fleet$i" | grep -q '"complete":true'
+done
+curl -sS "http://$PEER_A/metrics?format=prometheus" \
+    | grep -qF 'ptad_peer_forwarded_total{peer="http://127.0.0.1:18473"}'
+kill $NODEA_PID $NODEB_PID
+wait $NODEA_PID $NODEB_PID 2>/dev/null || true
+NODEA_PID="" NODEB_PID=""

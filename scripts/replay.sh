@@ -1,0 +1,31 @@
+#!/bin/sh
+# replay.sh — run the service load harness (scripts/replay) and record
+# the measured service levels as a dated JSON file, SLO_<date>.json, in
+# the repo root — the service-layer counterpart to bench.sh's solver
+# figures.
+#
+# The harness replays the full (benchmark, spec) grid for three rounds
+# against an in-process service: round one is all misses, the later
+# rounds measure the cache. The document records p50/p95/p99/max
+# latency, throughput, and the cache hit ratio. Latency and throughput
+# are machine-dependent; the hit ratio is not — with the default three
+# rounds it must sit at 2/3, and a lower number means the result cache
+# regressed.
+#
+# Usage: scripts/replay.sh [extra replay flags...]
+#   scripts/replay.sh -rounds 5 -clients 8
+#   scripts/replay.sh -cache-dir /tmp/ptad-replay-store
+
+set -eu
+cd "$(dirname "$0")/.."
+
+out="SLO_$(date +%Y-%m-%d).json"
+go run ./scripts/replay -out "$out" "$@"
+
+# The deterministic gate: hits+dedup over all requests. 3 rounds over
+# one grid → exactly 2/3 unless the cache dropped results.
+ratio=$(grep -o '"hit_ratio": [0-9.]*' "$out" | grep -o '[0-9.]*$')
+echo "replay gate: hit ratio $ratio"
+awk -v r="$ratio" 'BEGIN { if (r + 0 < 0.66) { print "replay gate: FAIL: hit ratio below 2/3 baseline"; exit 1 } }'
+
+echo "wrote $out"

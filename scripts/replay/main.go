@@ -1,0 +1,306 @@
+// Command replay is the service's load harness: it replays a
+// deterministic mix of analysis requests against ptad — in-process by
+// default, over HTTP with -url — and publishes the measured service
+// levels as one JSON document (latency percentiles, throughput, cache
+// hit ratio). scripts/replay.sh wraps it to write the dated
+// SLO_<date>.json files committed alongside BENCH_<date>.json.
+//
+// The traffic shape is rounds over a fixed grid: every (benchmark,
+// spec) pair once per round, so round one is all misses and every
+// later round replays the same keys — with -rounds 3 the expected hit
+// ratio is 2/3, and a falling measured ratio means the cache (or the
+// durable store under -cache-dir) stopped doing its job. The grid
+// order is shuffled deterministically per round (seeded by the round
+// number) so concurrent clients do not lockstep on one program.
+//
+// Usage:
+//
+//	go run ./scripts/replay                      # in-process, full suite
+//	go run ./scripts/replay -rounds 5 -clients 8
+//	go run ./scripts/replay -url http://127.0.0.1:8372 -benchmarks jython,hsqldb
+//	go run ./scripts/replay -cache-dir /tmp/ptad-store   # measure the durable tier
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"introspect/internal/analysis"
+	"introspect/internal/service"
+	"introspect/internal/suite"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+}
+
+// job is one grid cell: a program under a spec.
+type job struct {
+	bench, spec string
+}
+
+// sample is one completed request's measurement.
+type sample struct {
+	latency time.Duration
+	cache   string // hit | miss | dedup
+	err     string
+}
+
+// sloDoc is the published document. Latencies are milliseconds.
+type sloDoc struct {
+	Schema     string   `json:"schema"`
+	Target     string   `json:"target"` // "in-process" or the -url
+	Benchmarks []string `json:"benchmarks"`
+	Specs      []string `json:"specs"`
+	Rounds     int      `json:"rounds"`
+	Clients    int      `json:"clients"`
+	Requests   int      `json:"requests"`
+	Errors     int      `json:"errors"`
+	DurationMS float64  `json:"duration_ms"`
+	Throughput float64  `json:"throughput_rps"`
+	Latency    struct {
+		P50 float64 `json:"p50_ms"`
+		P95 float64 `json:"p95_ms"`
+		P99 float64 `json:"p99_ms"`
+		Max float64 `json:"max_ms"`
+	} `json:"latency"`
+	Cache struct {
+		Hits     int     `json:"hits"`
+		Misses   int     `json:"misses"`
+		Dedup    int     `json:"dedup"`
+		HitRatio float64 `json:"hit_ratio"` // hits+dedup over all satisfied
+	} `json:"cache"`
+}
+
+func run() error {
+	url := flag.String("url", "", "replay against a running daemon at this base URL (default: in-process service)")
+	benches := flag.String("benchmarks", strings.Join(suite.Names(), ","), "comma-separated suite benchmarks to replay")
+	specs := flag.String("specs", "insens,2objH,2objH-IntroA", "comma-separated analysis specs in the mix")
+	rounds := flag.Int("rounds", 3, "times the full (benchmark, spec) grid replays; rounds after the first measure the cache")
+	clients := flag.Int("clients", 4, "concurrent client goroutines")
+	budget := flag.Int64("budget", 0, "per-pass work budget (0 = service default; budget-capped runs are valid, cacheable traffic)")
+	cacheDir := flag.String("cache-dir", "", "in-process only: durable store directory (measures the disk tier)")
+	out := flag.String("out", "", "write the SLO document here (default stdout)")
+	flag.Parse()
+
+	benchList := splitList(*benches)
+	specList := splitList(*specs)
+	if len(benchList) == 0 || len(specList) == 0 || *rounds < 1 || *clients < 1 {
+		return fmt.Errorf("need at least one benchmark, one spec, one round, one client")
+	}
+
+	// Serialize each program once; the harness replays text exactly like
+	// a real client would.
+	sources := make(map[string]string, len(benchList))
+	for _, name := range benchList {
+		prog, err := suite.Load(name)
+		if err != nil {
+			return err
+		}
+		var sb strings.Builder
+		if err := prog.WriteText(&sb); err != nil {
+			return err
+		}
+		sources[name] = sb.String()
+	}
+
+	send, target, err := newSender(*url, *cacheDir, *clients, *budget)
+	if err != nil {
+		return err
+	}
+
+	// The request schedule: the grid, shuffled per round with the round
+	// number as seed — deterministic traffic, non-degenerate interleave.
+	var schedule []job
+	for round := 0; round < *rounds; round++ {
+		grid := make([]job, 0, len(benchList)*len(specList))
+		for _, b := range benchList {
+			for _, s := range specList {
+				grid = append(grid, job{bench: b, spec: s})
+			}
+		}
+		rand.New(rand.NewSource(int64(round))).Shuffle(len(grid), func(i, j int) {
+			grid[i], grid[j] = grid[j], grid[i]
+		})
+		schedule = append(schedule, grid...)
+	}
+
+	samples := make([]sample, len(schedule))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, *clients)
+	start := time.Now()
+	for i, jb := range schedule {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, jb job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			cache, err := send(jb.bench, sources[jb.bench], jb.spec)
+			samples[i] = sample{latency: time.Since(t0), cache: cache}
+			if err != nil {
+				samples[i].err = err.Error()
+			}
+		}(i, jb)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	doc := summarize(samples, elapsed)
+	doc.Target = target
+	doc.Benchmarks = benchList
+	doc.Specs = specList
+	doc.Rounds = *rounds
+	doc.Clients = *clients
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	if doc.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed", doc.Errors, doc.Requests)
+	}
+	return nil
+}
+
+// newSender builds the request function: in-process Analyze calls, or
+// HTTP POSTs against a live daemon. Both return the response's cache
+// label.
+func newSender(url, cacheDir string, clients int, budget int64) (func(name, src, spec string) (string, error), string, error) {
+	if url == "" {
+		svc, err := service.New(service.Config{
+			Workers:    clients,
+			QueueDepth: 1 << 16, // the harness provides its own backpressure
+			CacheDir:   cacheDir,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		send := func(name, src, spec string) (string, error) {
+			doc, serr := svc.Analyze(context.Background(), service.Request{
+				Lang: "ir", Name: name, Source: src,
+				Job: analysis.Job{Spec: spec}, Budget: budget,
+			})
+			if serr != nil {
+				return "", serr
+			}
+			return doc.Cache, nil
+		}
+		return send, "in-process", nil
+	}
+
+	if cacheDir != "" {
+		return nil, "", fmt.Errorf("-cache-dir applies to the in-process service; configure the daemon with its own -cache-dir")
+	}
+	client := &http.Client{}
+	send := func(name, src, spec string) (string, error) {
+		u := fmt.Sprintf("%s/v1/analyze?lang=ir&name=%s&spec=%s&budget=%d",
+			strings.TrimSuffix(url, "/"), name, spec, budget)
+		resp, err := client.Post(u, "text/plain", strings.NewReader(src))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+		}
+		var doc struct {
+			Cache string `json:"cache"`
+		}
+		if err := json.Unmarshal(b, &doc); err != nil {
+			return "", err
+		}
+		return doc.Cache, nil
+	}
+	return send, url, nil
+}
+
+func summarize(samples []sample, elapsed time.Duration) sloDoc {
+	var doc sloDoc
+	doc.Schema = "ptad-slo/v1"
+	doc.Requests = len(samples)
+	doc.DurationMS = float64(elapsed) / float64(time.Millisecond)
+	if elapsed > 0 {
+		doc.Throughput = float64(len(samples)) / elapsed.Seconds()
+	}
+	lat := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		if s.err != "" {
+			doc.Errors++
+			continue
+		}
+		lat = append(lat, float64(s.latency)/float64(time.Millisecond))
+		switch s.cache {
+		case "hit":
+			doc.Cache.Hits++
+		case "miss":
+			doc.Cache.Misses++
+		case "dedup":
+			doc.Cache.Dedup++
+		}
+	}
+	sort.Float64s(lat)
+	doc.Latency.P50 = percentile(lat, 50)
+	doc.Latency.P95 = percentile(lat, 95)
+	doc.Latency.P99 = percentile(lat, 99)
+	if n := len(lat); n > 0 {
+		doc.Latency.Max = lat[n-1]
+	}
+	if n := doc.Cache.Hits + doc.Cache.Misses + doc.Cache.Dedup; n > 0 {
+		doc.Cache.HitRatio = float64(doc.Cache.Hits+doc.Cache.Dedup) / float64(n)
+	}
+	return doc
+}
+
+// percentile is the nearest-rank percentile over sorted values.
+func percentile(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

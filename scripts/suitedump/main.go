@@ -1,0 +1,41 @@
+// Command suitedump writes a suite benchmark's program as textual IR
+// on stdout — the serialization ir.ParseText round-trips and ptad's
+// lang=ir accepts. It exists so shell scripts (scripts/check.sh's
+// daemon smokes) and curl users can feed real benchmark-sized programs
+// to the HTTP API:
+//
+//	go run ./scripts/suitedump jython > /tmp/jython.ir
+//	curl --data-binary @/tmp/jython.ir 'http://127.0.0.1:8372/v1/analyze?lang=ir&spec=2objH&stream=1'
+//
+// With no argument it lists the benchmark names.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"introspect/internal/suite"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintf(os.Stderr, "usage: suitedump <benchmark>\nbenchmarks: %s\n", strings.Join(suite.Names(), " "))
+		os.Exit(2)
+	}
+	prog, err := suite.Load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suitedump:", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	if err := prog.WriteText(w); err != nil {
+		fmt.Fprintln(os.Stderr, "suitedump:", err)
+		os.Exit(1)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "suitedump:", err)
+		os.Exit(1)
+	}
+}
