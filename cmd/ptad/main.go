@@ -38,6 +38,16 @@
 // always served locally) and degrades gracefully — if the owner is
 // unreachable the request is solved locally instead.
 //
+// Every /v1/* request is correlated: the daemon echoes (or mints) an
+// X-Ptad-Request-Id header, carries it across peer forwards, and logs
+// one JSON access line per request to stderr — request ID, node,
+// status, latency, cache disposition, queue wait, and the peer hop if
+// the request was forwarded. Requests with trace=1 return a
+// Perfetto-loadable trace on the response; a forwarded trace=1
+// request comes back stitched across both nodes. decisions=1 attaches
+// the introspection decision audit (which sites HeuristicA/B refined
+// or demoted, and why).
+//
 // With -debug-addr, a second listener serves the operator-only debug
 // surface: net/http/pprof under /debug/pprof/ and the daemon's
 // in-memory ring of recent trace spans as a Chrome trace-event file at
@@ -149,6 +159,10 @@ func run() error {
 		DefaultBudget:   *budget,
 		SnapshotEvery:   *snapEvery,
 		Tracer:          tracer,
+		// Access logs go to stderr as JSON lines, one per /v1/* request,
+		// keyed by the X-Ptad-Request-Id correlation ID; stdout stays
+		// reserved for the startup lines scripts parse.
+		Logger: obs.NewLogger(os.Stderr),
 	})
 	if err != nil {
 		return err

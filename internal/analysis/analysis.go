@@ -76,6 +76,15 @@ type Request struct {
 	// program the request resolves to.
 	First *pta.Result
 
+	// Audit enables the introspection decision audit: the selection
+	// stage records every refine/demote verdict the heuristic reached
+	// (site, metric, observed value, threshold) into
+	// Result.Selection.Decisions and fires Observer.Decisions once with
+	// the log. Selection itself is unchanged — the audited and silent
+	// paths compute the same Refinement by construction — so Audit
+	// never affects analysis results, only what is reported.
+	Audit bool
+
 	Limits Limits
 	// Provenance enables the solver's derivation-witness recorder on
 	// every pass (pta.Options.Provenance): each pass's Result can then
@@ -277,11 +286,24 @@ func metricsStage() stage {
 
 func selectionStage(sel Selector) stage {
 	return stage{name: StageSelection, run: func(ctx context.Context, p *Pipeline, res *Result) (Stats, error) {
-		s, err := sel.Select(res.Prog, res.First, res.Metrics)
+		var s *introspect.Selection
+		var err error
+		if as, ok := sel.(AuditingSelector); ok && p.req.Audit {
+			s, err = as.SelectAudit(res.Prog, res.First, res.Metrics)
+		} else {
+			s, err = sel.Select(res.Prog, res.First, res.Metrics)
+		}
 		if err != nil {
 			return Stats{}, fmt.Errorf("analysis: stage %s: %w", StageSelection, err)
 		}
 		res.Selection = s
+		if len(s.Decisions) > 0 {
+			obs := p.req.Observer
+			if obs == nil {
+				obs = NopObserver{}
+			}
+			obs.Decisions(StageSelection, s.Decisions)
+		}
 		return Stats{}, nil
 	}}
 }

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"introspect/internal/introspect"
 	"introspect/internal/pta"
 )
 
@@ -40,15 +41,21 @@ type Observer interface {
 	// pta.DefaultSnapshotEvery) with a point-in-time picture of the
 	// solve: worklist depth, interned populations, points-to volume.
 	SolveSnapshot(stage string, snap pta.Snapshot)
+	// Decisions fires at most once per run, from the selection stage of
+	// an audited pipeline (Request.Audit), with the heuristic's
+	// refine/demote log. The slice is shared with
+	// Result.Selection.Decisions; observers must not mutate it.
+	Decisions(stage string, ds []introspect.Decision)
 }
 
 // NopObserver is the default Observer: it ignores every callback.
 type NopObserver struct{}
 
-func (NopObserver) StageStart(string)                  {}
-func (NopObserver) StageFinish(string, Stats, error)   {}
-func (NopObserver) Progress(string, int64)             {}
-func (NopObserver) SolveSnapshot(string, pta.Snapshot) {}
+func (NopObserver) StageStart(string)                       {}
+func (NopObserver) StageFinish(string, Stats, error)        {}
+func (NopObserver) Progress(string, int64)                  {}
+func (NopObserver) SolveSnapshot(string, pta.Snapshot)      {}
+func (NopObserver) Decisions(string, []introspect.Decision) {}
 
 // ObserverFuncs adapts free functions to the Observer interface; nil
 // fields are no-ops. When shared across concurrent runs (RunAll), the
@@ -58,6 +65,7 @@ type ObserverFuncs struct {
 	OnStageFinish   func(stage string, st Stats, err error)
 	OnProgress      func(stage string, work int64)
 	OnSolveSnapshot func(stage string, snap pta.Snapshot)
+	OnDecisions     func(stage string, ds []introspect.Decision)
 }
 
 func (o ObserverFuncs) StageStart(stage string) {
@@ -81,6 +89,12 @@ func (o ObserverFuncs) Progress(stage string, work int64) {
 func (o ObserverFuncs) SolveSnapshot(stage string, snap pta.Snapshot) {
 	if o.OnSolveSnapshot != nil {
 		o.OnSolveSnapshot(stage, snap)
+	}
+}
+
+func (o ObserverFuncs) Decisions(stage string, ds []introspect.Decision) {
+	if o.OnDecisions != nil {
+		o.OnDecisions(stage, ds)
 	}
 }
 
@@ -126,5 +140,11 @@ func (m multiObserver) Progress(stage string, work int64) {
 func (m multiObserver) SolveSnapshot(stage string, snap pta.Snapshot) {
 	for _, o := range m {
 		o.SolveSnapshot(stage, snap)
+	}
+}
+
+func (m multiObserver) Decisions(stage string, ds []introspect.Decision) {
+	for _, o := range m {
+		o.Decisions(stage, ds)
 	}
 }

@@ -26,8 +26,20 @@ type Selector interface {
 	Select(prog *ir.Program, first *pta.Result, m *introspect.Metrics) (*introspect.Selection, error)
 }
 
+// AuditingSelector is implemented by selectors that can narrate their
+// selection: SelectAudit computes the same Selection as Select,
+// additionally populating Selection.Decisions with the per-element
+// refine/demote log. The selection stage uses it when Request.Audit is
+// set; selectors without it simply produce no log.
+type AuditingSelector interface {
+	Selector
+	SelectAudit(prog *ir.Program, first *pta.Result, m *introspect.Metrics) (*introspect.Selection, error)
+}
+
 // HeuristicSelector adapts an introspective heuristic (the paper's
-// Heuristic A/B, or any Combo) to the Selector interface.
+// Heuristic A/B, or any Combo) to the Selector interface. Heuristics
+// that implement introspect.AuditingHeuristic — A, B, and every Combo
+// do — yield an AuditingSelector.
 func HeuristicSelector(h introspect.Heuristic) Selector { return heuristicSelector{h} }
 
 type heuristicSelector struct{ h introspect.Heuristic }
@@ -36,6 +48,10 @@ func (s heuristicSelector) Name() string       { return s.h.Name() }
 func (s heuristicSelector) NeedsPrePass() bool { return true }
 func (s heuristicSelector) Select(prog *ir.Program, first *pta.Result, m *introspect.Metrics) (*introspect.Selection, error) {
 	return introspect.SelectWith(first, m, s.h), nil
+}
+
+func (s heuristicSelector) SelectAudit(prog *ir.Program, first *pta.Result, m *introspect.Metrics) (*introspect.Selection, error) {
+	return introspect.SelectWithAudit(first, m, s.h, true), nil
 }
 
 // SyntacticSelector adapts the traditional hard-coded exclusions

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"introspect/internal/introspect"
+	"introspect/internal/obs"
 	"introspect/internal/report"
 )
 
@@ -35,6 +37,16 @@ type RunJSON struct {
 	// Precision holds the paper's three precision metrics, when the
 	// report stage ran.
 	Precision *report.Precision `json:"precision,omitempty"`
+	// Decisions is the introspection decision audit (Request.Audit):
+	// one record per observed refine/demote verdict of the selection
+	// heuristic, in deterministic clause-then-element order. Omitted
+	// when auditing is off or the pipeline has no selection stage.
+	Decisions []introspect.Decision `json:"decisions,omitempty"`
+	// Trace, set by services on request (?trace=1), is the run's
+	// Chrome trace-event document — for forwarded requests, the
+	// stitched multi-process trace covering both hops. Omitted
+	// otherwise; never part of the cached document.
+	Trace *obs.ChromeDoc `json:"trace,omitempty"`
 }
 
 // NewRunJSON renders a pipeline Result as the versioned document.
@@ -50,6 +62,9 @@ func NewRunJSON(res *Result) *RunJSON {
 	}
 	if res.Main != nil {
 		out.Complete = res.Main.Complete
+	}
+	if res.Selection != nil {
+		out.Decisions = res.Selection.Decisions
 	}
 	return out
 }

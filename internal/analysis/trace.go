@@ -3,6 +3,7 @@ package analysis
 import (
 	"sync"
 
+	"introspect/internal/introspect"
 	"introspect/internal/obs"
 	"introspect/internal/pta"
 )
@@ -79,6 +80,22 @@ func (t *trackObserver) StageFinish(stage string, st Stats, err error) {
 }
 
 func (t *trackObserver) Progress(stage string, work int64) {}
+
+// Decisions summarizes the audit log as one instant event — the full
+// log belongs on the response document, not in the span ring.
+func (t *trackObserver) Decisions(stage string, ds []introspect.Decision) {
+	demoted := 0
+	for _, d := range ds {
+		if d.Verdict == introspect.VerdictDemote {
+			demoted++
+		}
+	}
+	t.track.Instant("decisions", map[string]any{
+		"stage":   stage,
+		"total":   len(ds),
+		"demoted": demoted,
+	})
+}
 
 func (t *trackObserver) SolveSnapshot(stage string, snap pta.Snapshot) {
 	t.track.Instant("solver", map[string]any{

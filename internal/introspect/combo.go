@@ -99,11 +99,7 @@ type Clause struct {
 
 // Exceeds evaluates the clause on element id.
 func (c Clause) Exceeds(ms *Metrics, id int) bool {
-	v := c.Metric.value(ms, id)
-	if c.HasSecond {
-		v *= c.Metric2.value(ms, id)
-	}
-	return v > c.Threshold
+	return c.score(ms, id) > c.Threshold
 }
 
 func (c Clause) String() string {
@@ -135,32 +131,11 @@ func (c Combo) Name() string {
 	return "Combo(" + strings.Join(parts, "; ") + ")"
 }
 
-// Select implements Heuristic.
+// Select implements Heuristic. It is SelectAudit with no recorder:
+// the audit path and the silent path cannot disagree on the
+// refinement by construction.
 func (c Combo) Select(prog *ir.Program, m *Metrics) *pta.Refinement {
-	ref := &pta.Refinement{}
-	for _, cl := range c.Clauses {
-		switch cl.Metric.domain() {
-		case invoDomain:
-			for i := 0; i < prog.NumInvos(); i++ {
-				if cl.Exceeds(m, i) {
-					ref.Invos.Add(int32(i))
-				}
-			}
-		case methodDomain:
-			for i := 0; i < prog.NumMethods(); i++ {
-				if cl.Exceeds(m, i) {
-					ref.Methods.Add(int32(i))
-				}
-			}
-		case heapDomain:
-			for i := 0; i < prog.NumHeaps(); i++ {
-				if cl.Exceeds(m, i) {
-					ref.Heaps.Add(int32(i))
-				}
-			}
-		}
-	}
-	return ref
+	return c.SelectAudit(prog, m, nil)
 }
 
 // AsComboA expresses Heuristic A as a Combo (used in tests to pin the

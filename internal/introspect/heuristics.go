@@ -107,6 +107,10 @@ type Selection struct {
 	ExcludedInvos int
 	// ExcludedHeaps counts allocation sites excluded from refinement.
 	ExcludedHeaps int
+
+	// Decisions is the per-element refine/demote audit log, populated
+	// only by SelectWithAudit on an AuditingHeuristic; nil otherwise.
+	Decisions []Decision
 }
 
 // PctCallSites returns the percentage of (reachable) call sites not
@@ -145,9 +149,14 @@ func Select(res *pta.Result, h Heuristic) *Selection {
 // for pipelines that stage metric computation and heuristic selection
 // separately (internal/analysis).
 func SelectWith(res *pta.Result, m *Metrics, h Heuristic) *Selection {
+	return tally(res, h.Select(res.Prog, m), h.Name())
+}
+
+// tally packages a computed refinement with its Figure-4 statistics —
+// the shared back half of SelectWith and SelectWithAudit.
+func tally(res *pta.Result, ref *pta.Refinement, name string) *Selection {
 	prog := res.Prog
-	ref := h.Select(prog, m)
-	sel := &Selection{Refinement: ref, Heuristic: h.Name()}
+	sel := &Selection{Refinement: ref, Heuristic: name}
 
 	for mi := range prog.Methods {
 		mm := &prog.Methods[mi]

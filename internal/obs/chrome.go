@@ -21,10 +21,10 @@ type ChromeEvent struct {
 	Args  map[string]any `json:"args,omitempty"`
 }
 
-// chromeDoc is the JSON-object trace container. Perfetto and
+// ChromeDoc is the JSON-object trace container. Perfetto and
 // chrome://tracing load both this and a bare event array; we emit the
 // object form so the file is self-describing.
-type chromeDoc struct {
+type ChromeDoc struct {
 	TraceEvents     []ChromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
 }
@@ -37,12 +37,17 @@ func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsec
 // tracer.
 func (t *Tracer) ChromeEvents(process string) []ChromeEvent {
 	recs := t.Spans()
+	traceID := t.TraceID()
+	procArgs := map[string]any{"name": process}
+	if traceID != "" {
+		procArgs["trace_id"] = traceID
+	}
 	out := make([]ChromeEvent, 0, len(recs)+1)
 	out = append(out, ChromeEvent{
 		Name:  "process_name",
 		Phase: PhaseMetadata,
 		PID:   1,
-		Args:  map[string]any{"name": process},
+		Args:  procArgs,
 	})
 	for _, r := range recs {
 		ev := ChromeEvent{
@@ -52,6 +57,20 @@ func (t *Tracer) ChromeEvents(process string) []ChromeEvent {
 			PID:   1,
 			TID:   r.TID,
 			Args:  r.Args,
+		}
+		// Correlation IDs surface only in distributed traces, keeping
+		// single-process exports byte-stable.
+		if traceID != "" && r.SpanID != 0 {
+			args := make(map[string]any, len(r.Args)+3)
+			for k, v := range r.Args {
+				args[k] = v
+			}
+			args["trace_id"] = traceID
+			args["span_id"] = r.SpanID
+			if r.ParentID != 0 {
+				args["parent_span_id"] = r.ParentID
+			}
+			ev.Args = args
 		}
 		switch r.Phase {
 		case PhaseSpan:
@@ -71,10 +90,26 @@ func (t *Tracer) ChromeEvents(process string) []ChromeEvent {
 // On a nil tracer it writes a valid empty trace.
 func (t *Tracer) WriteChrome(w io.Writer, process string) error {
 	enc := json.NewEncoder(w)
-	return enc.Encode(chromeDoc{
+	return enc.Encode(ChromeDoc{
 		TraceEvents:     t.ChromeEvents(process),
 		DisplayTimeUnit: "ms",
 	})
+}
+
+// StitchChrome merges the trace events of several processes into one
+// document: set i's events keep their TIDs but are re-tagged PID i+1,
+// so every node of a forwarded request renders as its own process
+// group in Perfetto while span_id/parent_span_id args (stamped by
+// traced tracers) link the hops logically.
+func StitchChrome(sets ...[]ChromeEvent) ChromeDoc {
+	doc := ChromeDoc{DisplayTimeUnit: "ms"}
+	for i, set := range sets {
+		for _, ev := range set {
+			ev.PID = int64(i + 1)
+			doc.TraceEvents = append(doc.TraceEvents, ev)
+		}
+	}
+	return doc
 }
 
 // ParseChrome reads a Chrome trace-event JSON document — either the
@@ -85,7 +120,7 @@ func ParseChrome(r io.Reader) ([]ChromeEvent, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: reading trace: %w", err)
 	}
-	var doc chromeDoc
+	var doc ChromeDoc
 	if err := json.Unmarshal(data, &doc); err == nil && doc.TraceEvents != nil {
 		return doc.TraceEvents, nil
 	}

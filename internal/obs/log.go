@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// Logger is the stack's structured logger: one JSON object per line on
+// the configured writer, built on stdlib log/slog. Like the Tracer, a
+// nil *Logger is the disabled logger — every method returns
+// immediately — so call sites thread a possibly-nil logger
+// unconditionally instead of guarding each line.
+type Logger struct {
+	sl *slog.Logger
+}
+
+// NewLogger builds a JSON logger writing to w. Timestamps are slog's
+// RFC3339 "time" attribute; the service owns all other keys.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{sl: slog.New(slog.NewJSONHandler(w, nil))}
+}
+
+// With returns a logger whose lines all carry the given key/value
+// attributes — the idiom for binding a request ID once. Nil in, nil
+// out.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{sl: l.sl.With(kv...)}
+}
+
+// Info emits one line at info level. No-op on a nil logger.
+func (l *Logger) Info(msg string, kv ...any) {
+	if l == nil {
+		return
+	}
+	l.sl.Info(msg, kv...)
+}
+
+// Error emits one line at error level. No-op on a nil logger.
+func (l *Logger) Error(msg string, kv ...any) {
+	if l == nil {
+		return
+	}
+	l.sl.Error(msg, kv...)
+}

@@ -58,7 +58,14 @@ type SpanRecord struct {
 	Start time.Duration
 	Dur   time.Duration
 	Args  map[string]any
-	seq   uint64 // tiebreak for stable ordering of same-Start records
+	// SpanID is the span's tracer-assigned identity (zero for instants
+	// and metadata); ParentID links to the parent span — possibly one
+	// recorded by another node's tracer, which is what cross-node trace
+	// stitching rides on. IDs surface in the Chrome export only when
+	// the tracer carries a trace ID (see Tracer.SetTraceID).
+	SpanID   uint64
+	ParentID uint64
+	seq      uint64 // tiebreak for stable ordering of same-Start records
 }
 
 // Tracer records spans and events. The zero value is not usable; build
@@ -68,15 +75,17 @@ type SpanRecord struct {
 // All methods are safe for concurrent use; recording takes one short
 // mutex-guarded append.
 type Tracer struct {
-	mu      sync.Mutex
-	epoch   time.Time
-	ring    []SpanRecord // fixed-capacity ring, ring[head] is oldest
-	head    int
-	count   int
-	dropped uint64
-	seq     uint64
-	nextTID int64
-	meta    []SpanRecord // track-name metadata, never evicted
+	mu       sync.Mutex
+	epoch    time.Time
+	ring     []SpanRecord // fixed-capacity ring, ring[head] is oldest
+	head     int
+	count    int
+	dropped  uint64
+	seq      uint64
+	nextTID  int64
+	meta     []SpanRecord // track-name metadata, never evicted
+	traceID  string
+	nextSpan uint64
 }
 
 // NewTracer builds a tracer whose ring buffer retains the most recent
@@ -110,6 +119,51 @@ func (t *Tracer) record(r SpanRecord) {
 
 // since converts an absolute time to an epoch offset.
 func (t *Tracer) since(at time.Time) time.Duration { return at.Sub(t.epoch) }
+
+// SetTraceID marks the tracer as belonging to a distributed trace.
+// When set, the Chrome export stamps every span's span_id /
+// parent_span_id (and the trace ID itself on the process metadata), so
+// spans from several nodes' tracers can be stitched into one document.
+// Safe on a nil tracer.
+func (t *Tracer) SetTraceID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.traceID = id
+	t.mu.Unlock()
+}
+
+// TraceID returns the distributed trace ID, "" when unset or nil.
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traceID
+}
+
+// SeedSpanIDs offsets the tracer's span-ID counter. Per-request
+// tracers on different fleet nodes seed with distinct bases so span
+// IDs stay unique within one stitched trace. Safe on a nil tracer.
+func (t *Tracer) SeedSpanIDs(base uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.nextSpan = base
+	t.mu.Unlock()
+}
+
+// newSpanID hands out the next span identity.
+func (t *Tracer) newSpanID() uint64 {
+	t.mu.Lock()
+	t.nextSpan++
+	id := t.nextSpan
+	t.mu.Unlock()
+	return id
+}
 
 // NewTrack allocates a new track (a lane in the trace viewer) with the
 // given display name. Safe on a nil tracer, which returns a nil track.
@@ -190,7 +244,7 @@ func (tr *Track) Begin(name string, args map[string]any) *Span {
 	if tr == nil {
 		return nil
 	}
-	return &Span{tr: tr, name: name, start: time.Now(), args: args}
+	return &Span{tr: tr, name: name, start: time.Now(), args: args, id: tr.t.newSpanID()}
 }
 
 // Instant records an instant event on the track. args may be nil and
@@ -212,11 +266,30 @@ func (tr *Track) Instant(name string, args map[string]any) {
 // A Span is owned by the goroutine that began it; its methods are not
 // safe for concurrent use with each other (the underlying Tracer is).
 type Span struct {
-	tr    *Track
-	name  string
-	start time.Time
-	args  map[string]any
-	ended bool
+	tr     *Track
+	name   string
+	start  time.Time
+	args   map[string]any
+	id     uint64
+	parent uint64
+	ended  bool
+}
+
+// ID returns the span's tracer-assigned identity; zero on a nil span.
+func (sp *Span) ID() uint64 {
+	if sp == nil {
+		return 0
+	}
+	return sp.id
+}
+
+// SetParent links the span under a parent span — by ID, so the parent
+// may live in another tracer (or another process entirely).
+func (sp *Span) SetParent(id uint64) {
+	if sp == nil {
+		return
+	}
+	sp.parent = id
 }
 
 // Set attaches (or overwrites) one argument on the span before End.
@@ -238,11 +311,13 @@ func (sp *Span) End() {
 	sp.ended = true
 	now := time.Now()
 	sp.tr.t.record(SpanRecord{
-		Name:  sp.name,
-		Phase: PhaseSpan,
-		TID:   sp.tr.tid,
-		Start: sp.tr.t.since(sp.start),
-		Dur:   now.Sub(sp.start),
-		Args:  sp.args,
+		Name:     sp.name,
+		Phase:    PhaseSpan,
+		TID:      sp.tr.tid,
+		Start:    sp.tr.t.since(sp.start),
+		Dur:      now.Sub(sp.start),
+		Args:     sp.args,
+		SpanID:   sp.id,
+		ParentID: sp.parent,
 	})
 }

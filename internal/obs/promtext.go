@@ -113,6 +113,24 @@ func (f *CounterFamily) Series(labels Labels, v float64) {
 	f.p.printf("%s%s %s\n", f.name, labels.encode(), formatValue(v))
 }
 
+// GaugeFamily starts a labeled gauge metric family; emit each labeled
+// series with Series. The family writes its HELP/TYPE header once.
+func (p *PromWriter) GaugeFamily(name, help string) *GaugeFamily {
+	p.header(name, help, "gauge")
+	return &GaugeFamily{p: p, name: name}
+}
+
+// GaugeFamily emits the series of one labeled gauge family.
+type GaugeFamily struct {
+	p    *PromWriter
+	name string
+}
+
+// Series emits one labeled gauge sample.
+func (f *GaugeFamily) Series(labels Labels, v float64) {
+	f.p.printf("%s%s %s\n", f.name, labels.encode(), formatValue(v))
+}
+
 // HistogramFamily starts a histogram metric family; emit each labeled
 // series with Series. The family writes its HELP/TYPE header once.
 func (p *PromWriter) HistogramFamily(name, help string) *HistogramFamily {

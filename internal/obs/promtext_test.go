@@ -53,3 +53,84 @@ func TestPromWriterShortCounts(t *testing.T) {
 		t.Errorf("short counts mishandled:\n%s", sb.String())
 	}
 }
+
+// TestPromWriterLabelEscaping: label values containing quotes,
+// backslashes, and newlines must reach the exposition escaped per the
+// format (\" \\ \n) — exactly what Go's %q produces — or a hostile
+// program name could forge extra series or break a scrape.
+func TestPromWriterLabelEscaping(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	f := p.CounterFamily("m", "m.")
+	f.Series(Labels{"name": `say "hi"`}, 1)
+	f.Series(Labels{"path": `C:\temp\x`}, 2)
+	f.Series(Labels{"evil": "line1\nline2"}, 3)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		`m{name="say \"hi\""} 1`,
+		`m{path="C:\\temp\\x"} 2`,
+		`m{evil="line1\nline2"} 3`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing escaped series %s in:\n%s", want, got)
+		}
+	}
+	// The newline must never land raw: every physical line is one
+	// sample or one comment.
+	for _, line := range strings.Split(strings.TrimSuffix(got, "\n"), "\n") {
+		if line == "" || line == "line2\"} 3" {
+			t.Errorf("raw newline split a sample line: %q", line)
+		}
+	}
+}
+
+// TestPromWriterZeroBucketHistogram: a histogram series with no
+// observations still emits the full well-formed shape — every bucket
+// at 0, +Inf at 0, sum 0, count 0 — so a scraper sees the series
+// exists rather than a hole in the family.
+func TestPromWriterZeroBucketHistogram(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.HistogramFamily("empty_ms", "Never observed.").
+		Series(Labels{"stage": "pre-pass"}, []float64{1, 10}, nil, 0, 0)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP empty_ms Never observed.",
+		"# TYPE empty_ms histogram",
+		`empty_ms_bucket{stage="pre-pass",le="1"} 0`,
+		`empty_ms_bucket{stage="pre-pass",le="10"} 0`,
+		`empty_ms_bucket{stage="pre-pass",le="+Inf"} 0`,
+		`empty_ms_sum{stage="pre-pass"} 0`,
+		`empty_ms_count{stage="pre-pass"} 0`,
+		"",
+	}, "\n")
+	if got := sb.String(); got != want {
+		t.Errorf("zero-bucket histogram:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPromWriterGaugeFamily: labeled gauges share the family
+// HELP/TYPE header and sort their labels.
+func TestPromWriterGaugeFamily(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	g := p.GaugeFamily("build_info", "Build metadata.")
+	g.Series(Labels{"version": "v1", "arch": "amd64"}, 1)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP build_info Build metadata.",
+		"# TYPE build_info gauge",
+		`build_info{arch="amd64",version="v1"} 1`,
+		"",
+	}, "\n")
+	if got := sb.String(); got != want {
+		t.Errorf("gauge family:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSpanIDsAndParents: every span gets a distinct tracer-assigned
+// ID, SetParent lands on the record, and SeedSpanIDs offsets the
+// counter so two tracers seeded apart cannot collide.
+func TestSpanIDsAndParents(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SeedSpanIDs(1 << 20)
+	track := tr.NewTrack("req")
+	root := track.Begin("request", nil)
+	child := track.Begin("forward", nil)
+	child.SetParent(root.ID())
+	child.End()
+	root.End()
+
+	if root.ID() == 0 || child.ID() == 0 || root.ID() == child.ID() {
+		t.Fatalf("span IDs not distinct/nonzero: root=%d child=%d", root.ID(), child.ID())
+	}
+	if root.ID() <= 1<<20 {
+		t.Errorf("seed ignored: root ID %d not above the 1<<20 base", root.ID())
+	}
+	var childRec *SpanRecord
+	for _, r := range tr.Spans() {
+		if r.Name == "forward" {
+			rc := r
+			childRec = &rc
+		}
+	}
+	if childRec == nil {
+		t.Fatal("forward span not recorded")
+	}
+	if childRec.SpanID != child.ID() || childRec.ParentID != root.ID() {
+		t.Errorf("record IDs = (%d parent %d), want (%d parent %d)",
+			childRec.SpanID, childRec.ParentID, child.ID(), root.ID())
+	}
+}
+
+// TestChromeIDsGatedOnTraceID: correlation args (trace_id, span_id,
+// parent_span_id) appear in the Chrome export only after SetTraceID —
+// single-process exports stay byte-stable with what they were before
+// distributed tracing existed.
+func TestChromeIDsGatedOnTraceID(t *testing.T) {
+	build := func(traceID string) []ChromeEvent {
+		tr := NewTracer(16)
+		if traceID != "" {
+			tr.SetTraceID(traceID)
+		}
+		track := tr.NewTrack("req")
+		root := track.Begin("request", nil)
+		child := track.Begin("solve", map[string]any{"spec": "insens"})
+		child.SetParent(root.ID())
+		child.End()
+		root.End()
+		return tr.ChromeEvents("node")
+	}
+
+	for _, ev := range build("") {
+		for _, key := range []string{"trace_id", "span_id", "parent_span_id"} {
+			if _, ok := ev.Args[key]; ok {
+				t.Errorf("untraced export leaks %s on %q: %v", key, ev.Name, ev.Args)
+			}
+		}
+	}
+
+	byName := map[string]ChromeEvent{}
+	for _, ev := range build("trace-42") {
+		byName[ev.Name] = ev
+	}
+	if got := byName["process_name"].Args["trace_id"]; got != "trace-42" {
+		t.Errorf("process metadata trace_id = %v", got)
+	}
+	solve := byName["solve"]
+	if solve.Args["trace_id"] != "trace-42" {
+		t.Errorf("solve trace_id = %v", solve.Args["trace_id"])
+	}
+	if id, ok := solve.Args["span_id"].(uint64); !ok || id == 0 {
+		t.Errorf("solve span_id = %v (%T)", solve.Args["span_id"], solve.Args["span_id"])
+	}
+	if pid, ok := solve.Args["parent_span_id"].(uint64); !ok || pid == 0 {
+		t.Errorf("solve parent_span_id = %v", solve.Args["parent_span_id"])
+	}
+	// Stamping must not mutate the caller-retained args map.
+	if solve.Args["spec"] != "insens" {
+		t.Errorf("original arg lost: %v", solve.Args)
+	}
+}
+
+// TestStitchChrome re-tags each node's events with its own PID so a
+// forwarded request renders as two process groups, without touching
+// TIDs, order, or payloads.
+func TestStitchChrome(t *testing.T) {
+	origin := []ChromeEvent{
+		{Name: "process_name", Phase: PhaseMetadata, PID: 1, Args: map[string]any{"name": "ptad a"}},
+		{Name: "request", Phase: PhaseSpan, PID: 1, TID: 1, TS: 0, Dur: 10},
+	}
+	remote := []ChromeEvent{
+		{Name: "process_name", Phase: PhaseMetadata, PID: 1, Args: map[string]any{"name": "ptad b"}},
+		{Name: "request", Phase: PhaseSpan, PID: 1, TID: 1, TS: 2, Dur: 5},
+	}
+	doc := StitchChrome(origin, remote)
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("DisplayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("stitched %d events, want 4", len(doc.TraceEvents))
+	}
+	pids := map[string][]int64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == PhaseMetadata {
+			pids[ev.Args["name"].(string)] = append(pids[ev.Args["name"].(string)], ev.PID)
+		}
+	}
+	if got := pids["ptad a"]; len(got) != 1 || got[0] != 1 {
+		t.Errorf("origin process PID = %v, want [1]", got)
+	}
+	if got := pids["ptad b"]; len(got) != 1 || got[0] != 2 {
+		t.Errorf("remote process PID = %v, want [2]", got)
+	}
+	// The origin slice itself must be untouched (events are copied).
+	if remote[0].PID != 1 {
+		t.Errorf("StitchChrome mutated its input: remote PID = %d", remote[0].PID)
+	}
+}
+
+// TestLoggerJSONAndNil: a nil *Logger absorbs every call; a real one
+// emits one JSON object per line carrying the With-bound and per-call
+// attributes.
+func TestLoggerJSONAndNil(t *testing.T) {
+	var nilLogger *Logger
+	nilLogger.Info("ignored", "k", "v")
+	nilLogger.Error("ignored")
+	if l := nilLogger.With("id", "x"); l != nil {
+		t.Errorf("With on nil logger = %v, want nil", l)
+	}
+
+	var buf bytes.Buffer
+	l := NewLogger(&buf).With("node", "a")
+	l.Info("request", "id", "r1", "status", 200)
+	l.Error("boom", "err", "bad")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if first["msg"] != "request" || first["node"] != "a" || first["id"] != "r1" ||
+		first["status"] != float64(200) || first["level"] != "INFO" {
+		t.Errorf("line 0 = %v", first)
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if second["level"] != "ERROR" || second["err"] != "bad" || second["node"] != "a" {
+		t.Errorf("line 1 = %v", second)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"introspect/internal/analysis"
+	"introspect/internal/introspect"
 	"introspect/internal/pta"
 	ptav1 "introspect/pta/v1"
 )
@@ -61,6 +62,8 @@ func (o flightObserver) Progress(stage string, work int64) {
 func (o flightObserver) SolveSnapshot(stage string, snap pta.Snapshot) {
 	o.fl.setSnapshot(snap)
 }
+
+func (o flightObserver) Decisions(string, []introspect.Decision) {}
 
 // registerFlight adds a record for one admitted solve; the caller must
 // deregister it (deferred) when the solve returns.

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strings"
 
+	"introspect/internal/analysis"
 	ptav1 "introspect/pta/v1"
 )
 
@@ -38,6 +39,11 @@ import (
 // When the service is configured with Peers, requests for programs
 // owned by another node are forwarded there (one hop; see peers.go)
 // so the fleet's caches partition by program.
+//
+// Every response carries an X-Ptad-Request-Id header (see
+// RequestIDHeader), and with Config.Logger set, every /v1/* request
+// emits one structured access-log line keyed by that ID — the same ID
+// on every node a forwarded request touches.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
@@ -64,7 +70,7 @@ func (s *Service) Handler() http.Handler {
 		}
 		writeBody(w, http.StatusOK, s.Metrics())
 	})
-	return mux
+	return s.withObservability(mux)
 }
 
 // wantsPrometheus decides the /metrics representation: explicit
@@ -88,7 +94,14 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if peer, ok := s.routePeer(r, req.Lang, req.Name, req.Source); ok {
-		if s.forwardJSON(w, r, peer, "/v1/analyze", req) {
+		if req.Trace && !req.Stream {
+			// Traced forwards buffer the peer's response and stitch its
+			// trace onto this node's; a false return falls back to a
+			// local solve, same as the verbatim path.
+			if s.forwardAnalyzeTraced(w, r, peer, req, s.startReqTrace(r, requestID(r))) {
+				return
+			}
+		} else if s.forwardJSON(w, r, peer, "/v1/analyze", req) {
 			return
 		}
 	}
@@ -96,10 +109,25 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.streamAnalyze(w, r, req)
 		return
 	}
-	resp, serr := s.Analyze(r.Context(), req)
+	// A traced request gets its own tracer: the root span covers the
+	// whole handling (so a cache hit traces the lookup), and when this
+	// request ends up owning the solve, the track observer adds a span
+	// per pipeline stage.
+	var rt *reqTrace
+	var extra analysis.Observer
+	if req.Trace {
+		rt = s.startReqTrace(r, requestID(r))
+		extra = analysis.TrackObserver(rt.track)
+	}
+	resp, serr := s.analyze(r.Context(), req, extra)
 	if serr != nil {
 		writeError(w, serr)
 		return
+	}
+	if rt != nil {
+		// resp is this request's private shallow copy (finish), so
+		// attaching the trace never mutates the shared cached document.
+		resp.Trace = rt.doc(resp.Cache)
 	}
 	writeBody(w, http.StatusOK, resp)
 }

@@ -2,9 +2,12 @@ package service
 
 import (
 	"encoding/json"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
+
+	"introspect/internal/introspect"
 )
 
 // histBoundsMS are the latency histogram's upper bounds in
@@ -65,14 +68,61 @@ type Metrics struct {
 	queued   int // admitted requests waiting for a worker slot
 
 	stageLatency map[string]*histogram // stage name → wall-time histogram
+
+	// decisions aggregates the introspection decision audit across
+	// solves: "metric|verdict" → count (metric labels never contain
+	// '|'; products spell "a*b").
+	decisions map[string]uint64
+
+	// Memory telemetry, fed by memObserver: cumulative bytes allocated
+	// per pipeline stage, the latest solve's per-stage delta, and the
+	// latest main-pass bytes-per-constraint-node figure. Deltas are
+	// process-wide TotalAlloc differences, so concurrent solves bleed
+	// into each other's numbers — a capacity-planning signal, not an
+	// exact attribution.
+	stageAllocBytes     map[string]uint64
+	stageLastAllocBytes map[string]uint64
+	bytesPerNode        uint64
+
+	start time.Time // process metrics epoch, for the uptime gauge
 }
 
 func newMetrics() *Metrics {
 	return &Metrics{
-		stageLatency:  make(map[string]*histogram),
-		peerForwarded: make(map[string]uint64),
-		peerErrors:    make(map[string]uint64),
+		stageLatency:        make(map[string]*histogram),
+		peerForwarded:       make(map[string]uint64),
+		peerErrors:          make(map[string]uint64),
+		decisions:           make(map[string]uint64),
+		stageAllocBytes:     make(map[string]uint64),
+		stageLastAllocBytes: make(map[string]uint64),
+		start:               time.Now(),
 	}
+}
+
+// observeDecisions folds one solve's decision audit into the
+// per-metric, per-verdict counters behind ptad_intro_decisions_total.
+func (m *Metrics) observeDecisions(ds []introspect.Decision) {
+	if len(ds) == 0 {
+		return
+	}
+	m.mu.Lock()
+	for _, d := range ds {
+		m.decisions[d.Metric+"|"+d.Verdict]++
+	}
+	m.mu.Unlock()
+}
+
+// observeStageAlloc records one stage's allocation delta; nodes, when
+// positive (solver stages), refreshes the bytes-per-constraint-node
+// gauge.
+func (m *Metrics) observeStageAlloc(stage string, bytes uint64, nodes int) {
+	m.mu.Lock()
+	m.stageAllocBytes[stage] += bytes
+	m.stageLastAllocBytes[stage] = bytes
+	if nodes > 0 {
+		m.bytesPerNode = bytes / uint64(nodes)
+	}
+	m.mu.Unlock()
 }
 
 // addPeer bumps one per-peer counter map under the lock.
@@ -145,6 +195,23 @@ type MetricsSnapshot struct {
 		Capacity int `json:"capacity"` // workers + queue depth limit
 	} `json:"queue"`
 	StageLatencyMS map[string]histJSON `json:"stage_latency_ms"`
+	// Decisions is the aggregated introspection decision audit:
+	// "metric|verdict" → count.
+	Decisions map[string]uint64 `json:"decisions,omitempty"`
+	Mem       struct {
+		// StageAllocBytes is cumulative bytes allocated per pipeline
+		// stage (process-wide TotalAlloc deltas — see Metrics); Last is
+		// the most recent solve's delta per stage.
+		StageAllocBytes     map[string]uint64 `json:"stage_alloc_bytes,omitempty"`
+		LastStageAllocBytes map[string]uint64 `json:"last_stage_alloc_bytes,omitempty"`
+		// BytesPerNode is the latest solve's main-pass allocation
+		// divided by its constraint-node count.
+		BytesPerNode uint64 `json:"bytes_per_node,omitempty"`
+		// HeapInuseBytes is the live runtime.MemStats.HeapInuse.
+		HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
+	} `json:"mem"`
+	UptimeMS   int64 `json:"uptime_ms"`
+	Goroutines int   `json:"goroutines"`
 }
 
 // snapshot copies the metrics under the lock. workers/capacity and the
@@ -195,6 +262,19 @@ func (m *Metrics) snapshot(workers, capacity, diskEntries int) MetricsSnapshot {
 		}
 		s.StageLatencyMS[stage] = hj
 	}
+	if len(m.decisions) > 0 {
+		s.Decisions = copyCounts(m.decisions)
+	}
+	if len(m.stageAllocBytes) > 0 {
+		s.Mem.StageAllocBytes = copyCounts(m.stageAllocBytes)
+		s.Mem.LastStageAllocBytes = copyCounts(m.stageLastAllocBytes)
+	}
+	s.Mem.BytesPerNode = m.bytesPerNode
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.Mem.HeapInuseBytes = ms.HeapInuse
+	s.UptimeMS = time.Since(m.start).Milliseconds()
+	s.Goroutines = runtime.NumGoroutine()
 	return s
 }
 

@@ -152,6 +152,9 @@ func (s *Service) forwardJSON(w http.ResponseWriter, r *http.Request, peer, path
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardHeader, s.ring.self)
+	// The correlation ID crosses the hop, so the owner's access log
+	// carries the same ID the edge minted.
+	req.Header.Set(RequestIDHeader, requestID(r))
 	resp, err := s.peerClient.Do(req)
 	if err != nil {
 		s.noteForwardError(peer)
@@ -160,6 +163,7 @@ func (s *Service) forwardJSON(w http.ResponseWriter, r *http.Request, peer, path
 	defer resp.Body.Close()
 
 	s.metrics.addPeer(s.metrics.peerForwarded, peer)
+	reqInfoFrom(r.Context()).set(func(ri *reqInfo) { ri.peer = peer })
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}

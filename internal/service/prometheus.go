@@ -2,7 +2,11 @@ package service
 
 import (
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
+	"strings"
+	"time"
 
 	"introspect/internal/obs"
 )
@@ -17,10 +21,37 @@ import (
 // (dashboards and alerts reference them); the exposition golden test
 // pins them. Add new metrics freely, rename existing ones never.
 func (s *Service) WritePrometheus(w io.Writer) error {
-	return s.metrics.writePrometheus(w, s.cfg.Workers, s.cfg.Workers+s.cfg.QueueDepth, s.store.len())
+	return s.metrics.writePrometheus(w, s.cfg.Workers, s.cfg.Workers+s.cfg.QueueDepth, s.store.len(), collectProcStats(s.metrics))
 }
 
-func (m *Metrics) writePrometheus(w io.Writer, workers, capacity, diskEntries int) error {
+// procStats are the process-level gauge values. The caller collects
+// them so writePrometheus stays a pure function of its inputs and the
+// golden test can pin the exposition byte-for-byte with fixed values.
+type procStats struct {
+	goVersion  string
+	version    string
+	uptimeSec  float64
+	goroutines int
+	heapInuse  uint64
+}
+
+func collectProcStats(m *Metrics) procStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	return procStats{
+		goVersion:  runtime.Version(),
+		version:    version,
+		uptimeSec:  time.Since(m.start).Seconds(),
+		goroutines: runtime.NumGoroutine(),
+		heapInuse:  ms.HeapInuse,
+	}
+}
+
+func (m *Metrics) writePrometheus(w io.Writer, workers, capacity, diskEntries int, proc procStats) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	p := obs.NewPromWriter(w)
@@ -57,6 +88,28 @@ func (m *Metrics) writePrometheus(w io.Writer, workers, capacity, diskEntries in
 	p.Gauge("ptad_workers", "Configured worker-pool size.", float64(workers))
 	p.Gauge("ptad_capacity", "Admission capacity (workers + queue depth).", float64(capacity))
 	p.Gauge("ptad_disk_entries", "Entries in the durable result store.", float64(diskEntries))
+
+	dec := p.CounterFamily("ptad_intro_decisions_total", "Introspection refine/demote decisions, by metric clause and verdict.")
+	for _, k := range sortedKeys(m.decisions) {
+		metric, verdict, _ := strings.Cut(k, "|")
+		dec.Series(obs.Labels{"metric": metric, "verdict": verdict}, float64(m.decisions[k]))
+	}
+
+	alloc := p.CounterFamily("ptad_stage_alloc_bytes_total", "Cumulative bytes allocated per pipeline stage (process-wide deltas).")
+	for _, st := range sortedKeys(m.stageAllocBytes) {
+		alloc.Series(obs.Labels{"stage": st}, float64(m.stageAllocBytes[st]))
+	}
+	lastAlloc := p.GaugeFamily("ptad_stage_alloc_last_bytes", "Most recent solve's allocation delta per pipeline stage.")
+	for _, st := range sortedKeys(m.stageLastAllocBytes) {
+		lastAlloc.Series(obs.Labels{"stage": st}, float64(m.stageLastAllocBytes[st]))
+	}
+	p.Gauge("ptad_bytes_per_constraint_node", "Latest main-pass allocation divided by its constraint-node count.", float64(m.bytesPerNode))
+
+	info := p.GaugeFamily("ptad_build_info", "Build metadata; value is always 1.")
+	info.Series(obs.Labels{"go_version": proc.goVersion, "version": proc.version}, 1)
+	p.Gauge("ptad_uptime_seconds", "Seconds since the service started.", proc.uptimeSec)
+	p.Gauge("ptad_goroutines", "Live goroutine count.", float64(proc.goroutines))
+	p.Gauge("ptad_heap_inuse_bytes", "Bytes in in-use heap spans (runtime.MemStats.HeapInuse).", float64(proc.heapInuse))
 
 	stages := make([]string, 0, len(m.stageLatency))
 	for stage := range m.stageLatency {

@@ -38,9 +38,20 @@ func TestPrometheusExpositionGolden(t *testing.T) {
 	m.observeStage("main-pass", 7*time.Millisecond)
 	m.observeStage("main-pass", 40*time.Millisecond)
 	m.observeStage("pre-pass", 500*time.Microsecond)
+	m.decisions["in-flow|demote"] = 3
+	m.decisions["in-flow|refine"] = 11
+	m.decisions["total-field-points-to*pointed-by-vars|demote"] = 2
+	m.stageAllocBytes["main-pass"] = 1048576
+	m.stageAllocBytes["pre-pass"] = 524288
+	m.stageLastAllocBytes["main-pass"] = 262144
+	m.stageLastAllocBytes["pre-pass"] = 131072
+	m.bytesPerNode = 512
+	// Fixed process stats keep the golden deterministic; the live
+	// values are collected by WritePrometheus (collectProcStats).
+	proc := procStats{goVersion: "go1.23.0", version: "(devel)", uptimeSec: 42.5, goroutines: 12, heapInuse: 8388608}
 
 	var sb strings.Builder
-	if err := m.writePrometheus(&sb, 4, 20, 12); err != nil {
+	if err := m.writePrometheus(&sb, 4, 20, 12, proc); err != nil {
 		t.Fatal(err)
 	}
 	if got := sb.String(); got != promGolden {
@@ -121,6 +132,34 @@ ptad_capacity 20
 # HELP ptad_disk_entries Entries in the durable result store.
 # TYPE ptad_disk_entries gauge
 ptad_disk_entries 12
+# HELP ptad_intro_decisions_total Introspection refine/demote decisions, by metric clause and verdict.
+# TYPE ptad_intro_decisions_total counter
+ptad_intro_decisions_total{metric="in-flow",verdict="demote"} 3
+ptad_intro_decisions_total{metric="in-flow",verdict="refine"} 11
+ptad_intro_decisions_total{metric="total-field-points-to*pointed-by-vars",verdict="demote"} 2
+# HELP ptad_stage_alloc_bytes_total Cumulative bytes allocated per pipeline stage (process-wide deltas).
+# TYPE ptad_stage_alloc_bytes_total counter
+ptad_stage_alloc_bytes_total{stage="main-pass"} 1048576
+ptad_stage_alloc_bytes_total{stage="pre-pass"} 524288
+# HELP ptad_stage_alloc_last_bytes Most recent solve's allocation delta per pipeline stage.
+# TYPE ptad_stage_alloc_last_bytes gauge
+ptad_stage_alloc_last_bytes{stage="main-pass"} 262144
+ptad_stage_alloc_last_bytes{stage="pre-pass"} 131072
+# HELP ptad_bytes_per_constraint_node Latest main-pass allocation divided by its constraint-node count.
+# TYPE ptad_bytes_per_constraint_node gauge
+ptad_bytes_per_constraint_node 512
+# HELP ptad_build_info Build metadata; value is always 1.
+# TYPE ptad_build_info gauge
+ptad_build_info{go_version="go1.23.0",version="(devel)"} 1
+# HELP ptad_uptime_seconds Seconds since the service started.
+# TYPE ptad_uptime_seconds gauge
+ptad_uptime_seconds 42.5
+# HELP ptad_goroutines Live goroutine count.
+# TYPE ptad_goroutines gauge
+ptad_goroutines 12
+# HELP ptad_heap_inuse_bytes Bytes in in-use heap spans (runtime.MemStats.HeapInuse).
+# TYPE ptad_heap_inuse_bytes gauge
+ptad_heap_inuse_bytes 8388608
 # HELP ptad_stage_latency_ms Pipeline stage wall time in milliseconds.
 # TYPE ptad_stage_latency_ms histogram
 ptad_stage_latency_ms_bucket{stage="main-pass",le="1"} 0

@@ -108,6 +108,11 @@ type Config struct {
 	// Self is this node's own entry in Peers, byte-identical to how
 	// the other nodes list it. Required when Peers is set.
 	Self string
+	// Logger, if non-nil, receives one structured access-log line per
+	// /v1/* HTTP request (request ID, spec, cache status, peer hop,
+	// queue wait, status, latency). Nil means no request logging; the
+	// service itself never logs anywhere else.
+	Logger *obs.Logger
 }
 
 // DefaultSnapshotEvery is the service's default solver-snapshot
@@ -289,6 +294,10 @@ func (s *Service) analyze(ctx context.Context, req Request, extra analysis.Obser
 		s.metrics.add(&s.metrics.rejectedInvalid)
 		return nil, serr
 	}
+	reqInfoFrom(ctx).set(func(ri *reqInfo) {
+		ri.spec = req.Job.Spec
+		ri.program = req.Name
+	})
 
 	// The deadline covers everything from here: queueing, dedup waits,
 	// parsing, and the solve itself.
@@ -315,7 +324,12 @@ func (s *Service) analyze(ctx context.Context, req Request, extra analysis.Obser
 	for first := true; ; first = false {
 		if resp, ok := s.results.get(key); ok {
 			s.metrics.add(&s.metrics.cacheHits)
-			return withCache(resp, "hit"), nil
+			// A memory hit is a logical hit on the durable entry too:
+			// refresh its recency so the on-disk LRU (and the
+			// mtime-ordered index a restart rebuilds) tracks real access
+			// order, not just disk-read order.
+			s.store.touchKey(key)
+			return s.finish(ctx, resp, req, "hit"), nil
 		}
 		// Durable tier: a result spilled to disk — by this process or a
 		// previous incarnation sharing the cache dir — is a hit too.
@@ -324,7 +338,7 @@ func (s *Service) analyze(ctx context.Context, req Request, extra analysis.Obser
 			s.metrics.add(&s.metrics.cacheHits)
 			s.metrics.add(&s.metrics.diskHits)
 			s.results.put(key, doc)
-			return withCache(doc, "hit"), nil
+			return s.finish(ctx, doc, req, "hit"), nil
 		} else if corrupt {
 			s.metrics.add(&s.metrics.diskCorrupt)
 		}
@@ -372,10 +386,10 @@ func (s *Service) analyze(ctx context.Context, req Request, extra analysis.Obser
 		case <-f.done:
 			switch {
 			case f.err == nil && owner:
-				return withCache(f.resp, "miss"), nil
+				return s.finish(ctx, f.resp, req, "miss"), nil
 			case f.err == nil:
 				s.metrics.add(&s.metrics.dedups)
-				return withCache(f.resp, "dedup"), nil
+				return s.finish(ctx, f.resp, req, "dedup"), nil
 			case owner:
 				return nil, f.err
 			case ctx.Err() != nil:
@@ -406,6 +420,7 @@ func (s *Service) solve(ctx context.Context, req Request, pk, key string, extra 
 	fl := s.registerFlight(req)
 	defer s.deregisterFlight(fl)
 
+	enqueued := time.Now()
 	select {
 	case s.slots <- struct{}{}:
 	case <-ctx.Done():
@@ -415,6 +430,11 @@ func (s *Service) solve(ctx context.Context, req Request, pk, key string, extra 
 		s.metrics.mu.Unlock()
 		return nil, errf(CodeDeadline, "deadline expired waiting for a worker")
 	}
+	// The detached solve context preserves the owner's request values
+	// (context.WithoutCancel), so the slot wait lands on the owning
+	// request's access-log line; dedup waiters never queued, so their
+	// lines carry none.
+	reqInfoFrom(ctx).set(func(ri *reqInfo) { ri.queueMS = time.Since(enqueued).Milliseconds() })
 	s.metrics.mu.Lock()
 	s.metrics.queued--
 	s.metrics.inFlight++
@@ -432,10 +452,10 @@ func (s *Service) solve(ctx context.Context, req Request, pk, key string, extra 
 		return nil, errf(CodeBadRequest, "parsing source: %v", entry.err)
 	}
 
-	// Heartbeats (GET /v1/flights) always; trace spans when the service
-	// has a tracer. One track per solve keeps concurrent requests on
-	// separate lanes in the viewer.
-	observer := analysis.Observer(flightObserver{fl})
+	// Heartbeats (GET /v1/flights) and memory telemetry always; trace
+	// spans when the service has a tracer. One track per solve keeps
+	// concurrent requests on separate lanes in the viewer.
+	observer := analysis.Observers(flightObserver{fl}, &memObserver{m: s.metrics})
 	if s.cfg.Tracer != nil {
 		track := s.cfg.Tracer.NewTrack(fmt.Sprintf("#%d %s %s", fl.id, req.Name, req.Job.Spec))
 		observer = analysis.Observers(observer, analysis.TrackObserver(track))
@@ -451,6 +471,11 @@ func (s *Service) solve(ctx context.Context, req Request, pk, key string, extra 
 		Provenance:    req.Provenance,
 		Observer:      observer,
 		SnapshotEvery: s.cfg.SnapshotEvery,
+		// Always audit: decisions never affect the solve, and recording
+		// them on the cached document means later requests with
+		// decisions=1 are served from cache too. finish strips them from
+		// responses that did not ask.
+		Audit: true,
 	}
 	// Pre-pass sharing: inject the program's cached insensitive result
 	// if this pipeline would otherwise solve one. NeedsPrePass is what
@@ -476,6 +501,9 @@ func (s *Service) solve(ctx context.Context, req Request, pk, key string, extra 
 	if res != nil {
 		for _, st := range res.Stages {
 			s.metrics.observeStage(st.Stage, st.Wall)
+		}
+		if res.Selection != nil {
+			s.metrics.observeDecisions(res.Selection.Decisions)
 		}
 	}
 
@@ -573,11 +601,19 @@ func parseSource(req Request) (*ir.Program, error) {
 	}
 }
 
-// withCache shallow-copies the document with its Cache label set; the
-// cached value itself is shared and must stay immutable.
-func withCache(r *analysis.RunJSON, label string) *analysis.RunJSON {
+// finish prepares the shared cached document as one response: a
+// shallow copy with the Cache label set (the cached value itself stays
+// immutable), the decision audit stripped unless this request asked
+// for it (solves always record decisions so cached documents can serve
+// audited requests later), and the outcome noted on the request's
+// access-log line.
+func (s *Service) finish(ctx context.Context, r *analysis.RunJSON, req Request, label string) *analysis.RunJSON {
+	reqInfoFrom(ctx).set(func(ri *reqInfo) { ri.cache = label })
 	cp := *r
 	cp.Cache = label
+	if !req.Decisions {
+		cp.Decisions = nil
+	}
 	return &cp
 }
 

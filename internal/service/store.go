@@ -108,7 +108,12 @@ func openDiskStore(dir string, capacity int) (*diskStore, error) {
 	for _, f := range found {
 		s.index[f.key] = s.order.PushFront(f.key)
 	}
-	s.evictLocked()
+	// Unlink what the rebuild evicted: get reads files by path without
+	// consulting the index, so a file left behind here would keep
+	// serving hits past the configured capacity forever.
+	for _, k := range s.evictLocked() {
+		os.Remove(s.path(k))
+	}
 	return s, nil
 }
 
@@ -214,6 +219,23 @@ func (s *diskStore) touch(key, path string) {
 	s.mu.Unlock()
 	now := time.Now()
 	os.Chtimes(path, now, now)
+}
+
+// touchKey is touch for callers that hit the entry without reading its
+// file — the memory LRU serving a result the store also holds. Without
+// it a popular entry served purely from memory looks cold on disk, so
+// it would be the first evicted and a restart's mtime-ordered index
+// rebuild would invert the true access order.
+func (s *diskStore) touchKey(key string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	_, ok := s.index[key]
+	s.mu.Unlock()
+	if ok {
+		s.touch(key, s.path(key))
+	}
 }
 
 // evictLocked trims the index to capacity, returning the evicted keys

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"introspect/internal/analysis"
 	"introspect/internal/service"
@@ -141,6 +142,44 @@ func TestCorruptStoreFileFallsBack(t *testing.T) {
 				t.Errorf("cache = %q after repair, want hit", doc.Cache)
 			}
 		})
+	}
+}
+
+// TestMemoryHitRefreshesDiskRecency: a cache hit served from the
+// memory LRU refreshes the durable entry's recency (file mtime) too,
+// so the access order a restart rebuilds from mtimes is the true one —
+// without the refresh, the fleet's hottest entries would be the first
+// evicted after every restart, because serving them from memory left
+// their files looking cold.
+func TestMemoryHitRefreshesDiskRecency(t *testing.T) {
+	dir := t.TempDir()
+	src := holderMJ(t)
+	reqA := service.Request{Name: "holder", Source: src, Job: analysis.Job{Spec: "insens"}}
+	reqB := service.Request{Name: "holder", Source: src, Job: analysis.Job{Spec: "cs"}}
+
+	svc := service.MustNew(service.Config{Workers: 1, CacheDir: dir})
+	analyzeOne(t, svc, reqA)
+	time.Sleep(20 * time.Millisecond) // separate the mtimes
+	analyzeOne(t, svc, reqB)
+	time.Sleep(20 * time.Millisecond)
+	// Hit A from the memory LRU: its store file must be freshened even
+	// though nothing reads it.
+	if doc := analyzeOne(t, svc, reqA); doc.Cache != "hit" {
+		t.Fatalf("cache = %q, want hit", doc.Cache)
+	}
+	if m := svc.Metrics(); m.Disk.Hits != 0 {
+		t.Fatalf("disk hits = %d, want 0 (the hit must come from memory)", m.Disk.Hits)
+	}
+
+	// Restart with capacity 1: the rebuild keeps the most recently used
+	// entry — A, because the memory hit refreshed its mtime.
+	fresh := service.MustNew(service.Config{Workers: 1, CacheDir: dir, DiskEntries: 1})
+	if doc := analyzeOne(t, fresh, reqA); doc.Cache != "hit" {
+		t.Errorf("A after restart: cache = %q, want hit (memory hit did not refresh disk recency)", doc.Cache)
+	}
+	fresh2 := service.MustNew(service.Config{Workers: 1, CacheDir: dir, DiskEntries: 1})
+	if doc := analyzeOne(t, fresh2, reqB); doc.Cache != "miss" {
+		t.Errorf("B after restart: cache = %q, want miss (B was the least recently used)", doc.Cache)
 	}
 }
 

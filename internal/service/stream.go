@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"introspect/internal/analysis"
+	"introspect/internal/introspect"
 	"introspect/internal/pta"
 	ptav1 "introspect/pta/v1"
 )
@@ -58,6 +59,16 @@ func (s *Service) streamAnalyze(w http.ResponseWriter, r *http.Request, req Requ
 		OnSolveSnapshot: func(stage string, snap pta.Snapshot) {
 			s := snap
 			offer(ptav1.StreamEvent{Schema: ptav1.Schema, Event: ptav1.EventSnapshot, Stage: stage, Snapshot: &s})
+		},
+		OnDecisions: func(stage string, ds []introspect.Decision) {
+			// In-band audit for clients watching the solve live. Like
+			// every progress event it can be dropped under backpressure
+			// — and cache-hit streams never fire it — but the terminal
+			// result document carries the same log either way.
+			if !req.Decisions {
+				return
+			}
+			offer(ptav1.StreamEvent{Schema: ptav1.Schema, Event: ptav1.EventDecisions, Stage: stage, Decisions: ds})
 		},
 	}
 

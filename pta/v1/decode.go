@@ -22,12 +22,13 @@ const DefaultSpec = "2objH"
 //   - POST with Content-Type application/json: the body is an
 //     AnalyzeRequest document (unknown fields rejected). The job
 //     travels in the body; query parameters are ignored except
-//     "stream", which works on every encoding.
+//     "stream", "decisions", and "trace", which select response
+//     representations and work on every encoding.
 //   - POST with any other content type: the body is raw program
 //     source, and the job rides in query parameters — lang (mj|ir),
 //     name, spec, budget, deadline_ms, provenance, workers,
 //     taint-sources/taint-sinks/taint-sanitizers (comma-separated),
-//     stream.
+//     stream, decisions, trace.
 //   - GET: no body; the "source" query parameter carries the program
 //     and the remaining parameters work as in the raw-POST form. GET
 //     streams by default (stream=false opts out): it is the
@@ -55,15 +56,11 @@ func DecodeAnalyze(r *http.Request, maxBody int64) (AnalyzeRequest, *Error) {
 		if err := dec.Decode(&req); err != nil {
 			return req, Errorf(CodeBadRequest, "decoding request: %v", err)
 		}
-		// stream is the one query parameter honored alongside a JSON
-		// body: it selects a response representation, not a different
-		// computation.
-		if v := q.Get("stream"); v != "" {
-			stream, err := strconv.ParseBool(v)
-			if err != nil {
-				return req, Errorf(CodeBadRequest, "stream: %v", err)
-			}
-			req.Stream = stream
+		// stream/decisions/trace are the query parameters honored
+		// alongside a JSON body: they select response representations,
+		// not different computations.
+		if serr := decodePresentation(&req, q); serr != nil {
+			return req, serr
 		}
 	default:
 		src, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
@@ -115,14 +112,30 @@ func decodeQuery(req *AnalyzeRequest, q map[string][]string) *Error {
 			return Errorf(CodeBadRequest, "workers: %v", err)
 		}
 	}
-	if v := get("stream"); v != "" {
-		if req.Stream, err = strconv.ParseBool(v); err != nil {
-			return Errorf(CodeBadRequest, "stream: %v", err)
-		}
-	}
 	sources, sinks, sans := splitList(get("taint-sources")), splitList(get("taint-sinks")), splitList(get("taint-sanitizers"))
 	if len(sources) > 0 || len(sinks) > 0 || len(sans) > 0 {
 		req.Job.Taint = &taint.Spec{Sources: sources, Sinks: sinks, Sanitizers: sans}
+	}
+	return decodePresentation(req, q)
+}
+
+// decodePresentation parses the representation-selecting parameters —
+// stream, decisions, trace — honored on every request encoding.
+func decodePresentation(req *AnalyzeRequest, q map[string][]string) *Error {
+	var err error
+	for _, p := range []struct {
+		key string
+		dst *bool
+	}{
+		{"stream", &req.Stream},
+		{"decisions", &req.Decisions},
+		{"trace", &req.Trace},
+	} {
+		if vs := q[p.key]; len(vs) > 0 && vs[0] != "" {
+			if *p.dst, err = strconv.ParseBool(vs[0]); err != nil {
+				return Errorf(CodeBadRequest, "%s: %v", p.key, err)
+			}
+		}
 	}
 	return nil
 }

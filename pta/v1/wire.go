@@ -27,6 +27,7 @@ import (
 
 	"introspect/internal/analysis"
 	"introspect/internal/checkers"
+	"introspect/internal/introspect"
 	"introspect/internal/pta"
 	"introspect/internal/report"
 )
@@ -55,6 +56,9 @@ type (
 	Snapshot = pta.Snapshot
 	// Capabilities flags what request knobs a spec supports.
 	Capabilities = analysis.Capabilities
+	// Decision is one refine/demote verdict of an introspection
+	// heuristic — the unit of the decision audit log.
+	Decision = introspect.Decision
 )
 
 // Code classifies a service failure. Codes are part of the wire
@@ -151,6 +155,19 @@ type AnalyzeRequest struct {
 	// then one terminal result or error event. GET requests stream by
 	// default.
 	Stream bool `json:"stream,omitempty"`
+	// Decisions asks for the introspection decision audit on the
+	// response: RunJSON.Decisions carries the selection heuristic's
+	// refine/demote log (and streams emit one "decisions" event).
+	// Purely presentational — not part of the cache identity — so
+	// cached results serve audited responses too.
+	Decisions bool `json:"decisions,omitempty"`
+	// Trace asks for a per-request trace: RunJSON.Trace carries the
+	// Chrome trace-event document of this request's handling, stitched
+	// across the peer hop when the request was forwarded. Like
+	// Decisions it is presentational; unlike cached solve artifacts the
+	// trace always describes THIS request (a cache hit traces the
+	// lookup, not the original solve).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // BatchRequest is POST /v1/batch's body: one program, many jobs. The
@@ -204,18 +221,23 @@ const (
 	// EventError: the terminal failure event; Code and Error are set
 	// with ErrorBody semantics.
 	EventError = "error"
+	// EventDecisions: the introspection decision audit, emitted once
+	// after the selection stage when the request asked for decisions;
+	// Stage and Decisions are set.
+	EventDecisions = "decisions"
 )
 
 // StreamEvent is one line of a streaming /v1/analyze response
 // (Content-Type application/x-ndjson, one JSON object per line).
 type StreamEvent struct {
-	Schema   string    `json:"schema"`
-	Event    string    `json:"event"`
-	Stage    string    `json:"stage,omitempty"`
-	Snapshot *Snapshot `json:"snapshot,omitempty"`
-	Result   *RunJSON  `json:"result,omitempty"`
-	Code     Code      `json:"code,omitempty"`
-	Error    string    `json:"error,omitempty"`
+	Schema    string                `json:"schema"`
+	Event     string                `json:"event"`
+	Stage     string                `json:"stage,omitempty"`
+	Snapshot  *Snapshot             `json:"snapshot,omitempty"`
+	Decisions []introspect.Decision `json:"decisions,omitempty"`
+	Result    *RunJSON              `json:"result,omitempty"`
+	Code      Code                  `json:"code,omitempty"`
+	Error     string                `json:"error,omitempty"`
 }
 
 // SpecInfo is one analysis spec in the /v1/specs listing: its name

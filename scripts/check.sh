@@ -71,7 +71,9 @@ STORE_PID="" NODEA_PID="" NODEB_PID=""
 trap 'kill $PTAD_PID $STORE_PID $NODEA_PID $NODEB_PID 2>/dev/null || true; \
       rm -rf /tmp/ptad.$$ /tmp/ptad.$$.log /tmp/ptad-store.$$ \
              /tmp/ptad-store.$$.log /tmp/ptad-store2.$$.log \
-             /tmp/ptad-a.$$.log /tmp/ptad-b.$$.log /tmp/ptad-jython.$$.ir' EXIT
+             /tmp/ptad-a.$$.log /tmp/ptad-b.$$.log \
+             /tmp/ptad-a.$$.err /tmp/ptad-b.$$.err \
+             /tmp/ptad-fwd.$$.json /tmp/ptad-jython.$$.ir' EXIT
 
 # wait_url blocks until a freshly booted daemon prints its listening
 # line into the given log, then echoes the base URL.
@@ -133,9 +135,11 @@ STORE_PID=""
 PEER_A=127.0.0.1:18472
 PEER_B=127.0.0.1:18473
 PEERS="http://$PEER_A,http://$PEER_B"
-/tmp/ptad.$$ -addr $PEER_A -peers "$PEERS" -self "http://$PEER_A" >/tmp/ptad-a.$$.log &
+/tmp/ptad.$$ -addr $PEER_A -peers "$PEERS" -self "http://$PEER_A" \
+    >/tmp/ptad-a.$$.log 2>/tmp/ptad-a.$$.err &
 NODEA_PID=$!
-/tmp/ptad.$$ -addr $PEER_B -peers "$PEERS" -self "http://$PEER_B" >/tmp/ptad-b.$$.log &
+/tmp/ptad.$$ -addr $PEER_B -peers "$PEERS" -self "http://$PEER_B" \
+    >/tmp/ptad-b.$$.log 2>/tmp/ptad-b.$$.err &
 NODEB_PID=$!
 wait_url /tmp/ptad-a.$$.log >/dev/null
 wait_url /tmp/ptad-b.$$.log >/dev/null
@@ -145,6 +149,29 @@ for i in $(seq 1 16); do
 done
 curl -sS "http://$PEER_A/metrics?format=prometheus" \
     | grep -qF 'ptad_peer_forwarded_total{peer="http://127.0.0.1:18473"}'
+
+# Correlation + stitching smoke: post traced introspective requests at
+# node A until one lands on a name node B owns — the response's trace
+# then carries two process groups ("pid":2 appears only in stitched
+# documents). With that request in hand, assert the fleet-wide
+# correlation story end to end: the request ID we supplied shows up in
+# BOTH nodes' JSON access logs (B's with the forwarded_from hop), the
+# stitched trace passes tracecheck's multi-process validation, and the
+# introspection decision audit came back non-empty.
+FWD_ID=""
+for i in $(seq 1 16); do
+    RID="smoke-$$-$i"
+    curl -sS -H "X-Ptad-Request-Id: $RID" --data-binary @examples/ptalint/holder.mj \
+        "http://$PEER_A/v1/analyze?spec=2objH-IntroB&name=fleet$i&stream=0&trace=1&decisions=1" \
+        >/tmp/ptad-fwd.$$.json
+    if grep -q '"pid":2' /tmp/ptad-fwd.$$.json; then FWD_ID=$RID; break; fi
+done
+[ -n "$FWD_ID" ]
+grep -q "\"id\":\"$FWD_ID\"" /tmp/ptad-a.$$.err
+grep -q "\"id\":\"$FWD_ID\"" /tmp/ptad-b.$$.err
+grep "\"id\":\"$FWD_ID\"" /tmp/ptad-b.$$.err | grep -q '"forwarded_from"'
+go run ./scripts/tracecheck -from-run -stitched -require-snapshots=false /tmp/ptad-fwd.$$.json
+grep -q '"decisions":\[{' /tmp/ptad-fwd.$$.json
 kill $NODEA_PID $NODEB_PID
 wait $NODEA_PID $NODEB_PID 2>/dev/null || true
 NODEA_PID="" NODEB_PID=""

@@ -84,6 +84,15 @@ type sloDoc struct {
 		Dedup    int     `json:"dedup"`
 		HitRatio float64 `json:"hit_ratio"` // hits+dedup over all satisfied
 	} `json:"cache"`
+	// Memory is the service's allocation telemetry at the end of the
+	// run: cumulative bytes allocated per pipeline stage, the latest
+	// solve's bytes-per-constraint-node, and live heap-in-use — the
+	// capacity-planning numbers next to the latency ones.
+	Memory struct {
+		StageAllocBytes map[string]uint64 `json:"stage_alloc_bytes,omitempty"`
+		BytesPerNode    uint64            `json:"bytes_per_constraint_node,omitempty"`
+		HeapInuseBytes  uint64            `json:"heap_inuse_bytes,omitempty"`
+	} `json:"memory"`
 }
 
 func run() error {
@@ -118,7 +127,7 @@ func run() error {
 		sources[name] = sb.String()
 	}
 
-	send, target, err := newSender(*url, *cacheDir, *clients, *budget)
+	send, target, mem, err := newSender(*url, *cacheDir, *clients, *budget)
 	if err != nil {
 		return err
 	}
@@ -166,6 +175,15 @@ func run() error {
 	doc.Specs = specList
 	doc.Rounds = *rounds
 	doc.Clients = *clients
+	if mem != nil {
+		if stage, perNode, heap, err := mem(); err == nil {
+			doc.Memory.StageAllocBytes = stage
+			doc.Memory.BytesPerNode = perNode
+			doc.Memory.HeapInuseBytes = heap
+		} else {
+			fmt.Fprintln(os.Stderr, "replay: memory telemetry unavailable:", err)
+		}
+	}
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -187,10 +205,16 @@ func run() error {
 	return nil
 }
 
+// memFn reports the service's allocation telemetry after the run:
+// cumulative per-stage alloc bytes, bytes-per-constraint-node, and
+// heap in use.
+type memFn func() (map[string]uint64, uint64, uint64, error)
+
 // newSender builds the request function: in-process Analyze calls, or
 // HTTP POSTs against a live daemon. Both return the response's cache
-// label.
-func newSender(url, cacheDir string, clients int, budget int64) (func(name, src, spec string) (string, error), string, error) {
+// label, and both come with a memFn reading the service's memory
+// telemetry (svc.Metrics() in-process, GET /metrics over HTTP).
+func newSender(url, cacheDir string, clients int, budget int64) (func(name, src, spec string) (string, error), string, memFn, error) {
 	if url == "" {
 		svc, err := service.New(service.Config{
 			Workers:    clients,
@@ -198,7 +222,7 @@ func newSender(url, cacheDir string, clients int, budget int64) (func(name, src,
 			CacheDir:   cacheDir,
 		})
 		if err != nil {
-			return nil, "", err
+			return nil, "", nil, err
 		}
 		send := func(name, src, spec string) (string, error) {
 			doc, serr := svc.Analyze(context.Background(), service.Request{
@@ -210,11 +234,15 @@ func newSender(url, cacheDir string, clients int, budget int64) (func(name, src,
 			}
 			return doc.Cache, nil
 		}
-		return send, "in-process", nil
+		mem := func() (map[string]uint64, uint64, uint64, error) {
+			m := svc.Metrics()
+			return m.Mem.StageAllocBytes, m.Mem.BytesPerNode, m.Mem.HeapInuseBytes, nil
+		}
+		return send, "in-process", mem, nil
 	}
 
 	if cacheDir != "" {
-		return nil, "", fmt.Errorf("-cache-dir applies to the in-process service; configure the daemon with its own -cache-dir")
+		return nil, "", nil, fmt.Errorf("-cache-dir applies to the in-process service; configure the daemon with its own -cache-dir")
 	}
 	client := &http.Client{}
 	send := func(name, src, spec string) (string, error) {
@@ -240,7 +268,25 @@ func newSender(url, cacheDir string, clients int, budget int64) (func(name, src,
 		}
 		return doc.Cache, nil
 	}
-	return send, url, nil
+	mem := func() (map[string]uint64, uint64, uint64, error) {
+		resp, err := client.Get(strings.TrimSuffix(url, "/") + "/metrics")
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		defer resp.Body.Close()
+		var snap struct {
+			Mem struct {
+				StageAllocBytes map[string]uint64 `json:"stage_alloc_bytes"`
+				BytesPerNode    uint64            `json:"bytes_per_node"`
+				HeapInuseBytes  uint64            `json:"heap_inuse_bytes"`
+			} `json:"mem"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			return nil, 0, 0, err
+		}
+		return snap.Mem.StageAllocBytes, snap.Mem.BytesPerNode, snap.Mem.HeapInuseBytes, nil
+	}
+	return send, url, mem, nil
 }
 
 func summarize(samples []sample, elapsed time.Duration) sloDoc {

@@ -1,19 +1,34 @@
 // Command tracecheck validates a Chrome trace-event JSON file as
-// produced by `pta -trace`, `introbench -trace`, or ptad's
-// /debug/trace: the file must parse (object or bare-array form),
-// contain stage spans with consistent nesting per lane, and — unless
+// produced by `pta -trace`, `introbench -trace`, ptad's /debug/trace,
+// or the stitched cross-node trace on a forwarded /v1/analyze
+// response: the file must parse (object or bare-array form), contain
+// stage spans with consistent nesting per lane, and — unless
 // -require-snapshots=false — carry at least one sampled solver
-// snapshot with a live work counter. `make trace-smoke` runs it in CI
-// over a fresh solve, so a regression that breaks the export (or
-// silently stops emitting snapshots) fails the build instead of being
-// discovered in a trace viewer mid-incident.
+// snapshot with a live work counter. Lanes are keyed by (pid, tid):
+// a stitched trace repeats tid 1 in every process group, and those
+// lanes are distinct.
 //
-// Usage: tracecheck [-require-snapshots=true] trace.json
+// With -stitched, the file must additionally be a well-formed
+// multi-node trace: at least two process groups, exactly one trace ID
+// across all correlated events, and every parent_span_id resolving to
+// a span_id somewhere in the document — including across processes,
+// which is the link stitching exists to provide. `make trace-smoke`
+// runs the single-process mode in CI; scripts/check.sh runs -stitched
+// over a live two-node forward.
+//
+// With -from-run, the input is a pta/v1 run document (a /v1/analyze
+// response saved to disk) and the embedded "trace" field is what gets
+// validated — the shape a `trace=1` request returns.
+//
+// Usage: tracecheck [-require-snapshots=true] [-stitched] [-from-run] trace.json
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -22,39 +37,79 @@ import (
 
 func main() {
 	requireSnaps := flag.Bool("require-snapshots", true, "fail unless the trace has a solver snapshot with work > 0")
+	stitched := flag.Bool("stitched", false, "require a multi-process trace with one trace ID and resolvable cross-process parent links")
+	fromRun := flag.Bool("from-run", false, "input is a pta/v1 run document; validate its embedded trace field")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require-snapshots=true] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require-snapshots=true] [-stitched] [-from-run] trace.json")
 		os.Exit(2)
 	}
-	if err := check(flag.Arg(0), *requireSnaps); err != nil {
+	if err := check(flag.Arg(0), *requireSnaps, *stitched, *fromRun); err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
 		os.Exit(1)
 	}
 }
 
-func check(path string, requireSnaps bool) error {
+// lane identifies one viewer lane. The Chrome format scopes tids to
+// their pid, so a stitched trace legitimately reuses tid numbers
+// across its process groups.
+type lane struct {
+	pid, tid int64
+}
+
+func check(path string, requireSnaps, stitched, fromRun bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	events, err := obs.ParseChrome(f)
+	var src io.Reader = f
+	if fromRun {
+		var run struct {
+			Trace json.RawMessage `json:"trace"`
+		}
+		if err := json.NewDecoder(f).Decode(&run); err != nil {
+			return fmt.Errorf("%s: not a run document: %w", path, err)
+		}
+		if len(run.Trace) == 0 {
+			return fmt.Errorf("%s: run document has no trace field (was the request made with trace=1?)", path)
+		}
+		src = bytes.NewReader(run.Trace)
+	}
+	events, err := obs.ParseChrome(src)
 	if err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
 
 	var spans, instants, meta int
 	var snapshots int
-	byTID := map[int64][]obs.ChromeEvent{}
+	byLane := map[lane][]obs.ChromeEvent{}
+	pids := map[int64]bool{}
+	traceIDs := map[string]bool{}
+	spanIDs := map[float64]bool{}
+	type parentRef struct {
+		span   string
+		parent float64
+	}
+	var parents []parentRef
 	for _, ev := range events {
+		pids[ev.PID] = true
+		if id, ok := ev.Args["trace_id"].(string); ok {
+			traceIDs[id] = true
+		}
+		if id, ok := ev.Args["span_id"].(float64); ok {
+			spanIDs[id] = true
+		}
+		if p, ok := ev.Args["parent_span_id"].(float64); ok {
+			parents = append(parents, parentRef{span: ev.Name, parent: p})
+		}
 		switch ev.Phase {
 		case obs.PhaseSpan:
 			spans++
 			if ev.Dur < 0 || ev.TS < 0 {
 				return fmt.Errorf("%s: span %q has negative ts/dur (%v, %v)", path, ev.Name, ev.TS, ev.Dur)
 			}
-			byTID[ev.TID] = append(byTID[ev.TID], ev)
+			byLane[lane{ev.PID, ev.TID}] = append(byLane[lane{ev.PID, ev.TID}], ev)
 		case obs.PhaseInstant:
 			instants++
 			if ev.Name == "solver" {
@@ -78,11 +133,28 @@ func check(path string, requireSnaps bool) error {
 		return fmt.Errorf("%s: no solver snapshot instants (was the solve long enough for the sampling interval?)", path)
 	}
 
+	if stitched {
+		if len(pids) < 2 {
+			return fmt.Errorf("%s: stitched trace has %d process group(s), want >= 2", path, len(pids))
+		}
+		if len(traceIDs) != 1 {
+			return fmt.Errorf("%s: stitched trace carries %d distinct trace IDs, want exactly 1", path, len(traceIDs))
+		}
+		if len(parents) == 0 {
+			return fmt.Errorf("%s: stitched trace has no parent_span_id links — the hops are not connected", path)
+		}
+		for _, p := range parents {
+			if !spanIDs[p.parent] {
+				return fmt.Errorf("%s: span %q references parent_span_id %v, which no span in the document carries", path, p.span, p.parent)
+			}
+		}
+	}
+
 	// Spans on one lane must nest like a call stack: a span that starts
 	// inside another must also end inside it. Partial overlap renders as
 	// garbage in trace viewers and means Begin/End pairing broke.
 	const eps = 1.0 // µs tolerance for rounding at span boundaries
-	for tid, evs := range byTID {
+	for ln, evs := range byLane {
 		sort.Slice(evs, func(i, j int) bool {
 			if evs[i].TS != evs[j].TS {
 				return evs[i].TS < evs[j].TS
@@ -97,15 +169,15 @@ func check(path string, requireSnaps bool) error {
 			if len(stack) > 0 {
 				top := stack[len(stack)-1]
 				if ev.TS+ev.Dur > top.TS+top.Dur+eps {
-					return fmt.Errorf("%s: tid %d: span %q [%v,+%v] partially overlaps %q [%v,+%v]",
-						path, tid, ev.Name, ev.TS, ev.Dur, top.Name, top.TS, top.Dur)
+					return fmt.Errorf("%s: pid %d tid %d: span %q [%v,+%v] partially overlaps %q [%v,+%v]",
+						path, ln.pid, ln.tid, ev.Name, ev.TS, ev.Dur, top.Name, top.TS, top.Dur)
 				}
 			}
 			stack = append(stack, ev)
 		}
 	}
 
-	fmt.Printf("tracecheck: %s ok: %d spans, %d instants (%d solver snapshots), %d metadata, %d lanes\n",
-		path, spans, instants, snapshots, meta, len(byTID))
+	fmt.Printf("tracecheck: %s ok: %d spans, %d instants (%d solver snapshots), %d metadata, %d lanes, %d process(es)\n",
+		path, spans, instants, snapshots, meta, len(byLane), len(pids))
 	return nil
 }
